@@ -1,0 +1,76 @@
+// Regenerates Fig 9: system efficiency and the reuse factor R versus the
+// local cache size S on one node, for all three applications.
+//
+// Following §6.3: for S below the GPU memory (11 GB) the host cache is
+// disabled and the device cache is limited to S; above it the device cache
+// is the full GPU and the host cache grows to S.
+//
+// Shape targets: microscopy is flat (its data always fits); forensics and
+// bioinformatics degrade as S shrinks, with R roughly inversely
+// proportional to S; bioinformatics at 6 GB still reaches ~50% efficiency.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cache/slot_cache.hpp"
+
+using namespace rocket;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const bench::BenchEnv env(opts);
+
+  const double device_limit_gb = 11.1;
+  const std::vector<double> sweep_gb = env.quick
+      ? std::vector<double>{2, 6, 11.1, 20, 40}
+      : std::vector<double>{1, 2, 3, 4, 6, 8, 11.1, 15, 20, 30, 40};
+
+  TableWriter table("Fig 9: efficiency and R vs local cache size (1 node)");
+  table.set_header({"app", "cache S (GB)", "region", "device slots",
+                    "host slots", "efficiency", "R"});
+
+  const apps::AppModel models[3] = {apps::forensics_model(),
+                                    apps::bioinformatics_model(),
+                                    apps::microscopy_model()};
+  for (const auto& app : models) {
+    for (const double s_gb : sweep_gb) {
+      cluster::ClusterConfig cfg = cluster::das5_cluster(1);
+      cfg.seed = env.seed;
+      const bool device_region = s_gb < device_limit_gb;
+      if (device_region) {
+        cfg.host_cache_enabled = false;
+        cfg.device_cache_capacity_override = gigabytes(s_gb);
+      } else {
+        cfg.nodes[0].host_cache_capacity = gigabytes(s_gb);
+      }
+      const std::uint32_t n = env.n_for(app);
+      // Note: scaled_workload shrinks capacities proportionally when n is
+      // reduced, preserving the dataset:cache ratio of each sweep point.
+      cluster::WorkloadConfig wl = cluster::scaled_workload(app, n, cfg);
+      const auto m = cluster::SimCluster(cfg, wl).run();
+
+      const auto dev_slots = rocket::cache::slots_for_capacity(
+          cfg.device_cache_capacity_override.value_or(
+              gpu::titanx_maxwell().cache_capacity()),
+          wl.app.slot_size, wl.n);
+      const std::uint32_t host_slots =
+          cfg.host_cache_enabled
+              ? rocket::cache::slots_for_capacity(
+                    cfg.nodes[0].host_cache_capacity, wl.app.slot_size, wl.n)
+              : 0;
+      table.add_row({app.name, TableWriter::num(s_gb, 1),
+                     std::string(device_region ? "device-limit" : "host-limit"),
+                     TableWriter::integer(dev_slots),
+                     TableWriter::integer(host_slots),
+                     TableWriter::percent(m.efficiency),
+                     TableWriter::num(m.reuse_factor, 1)});
+    }
+  }
+  env.emit(table, "fig9_cache_sweep.csv");
+
+  std::printf("Paper reference: microscopy flat ~99%%; forensics/bioinfo "
+              "efficiency degrades gradually as S shrinks; R rises as ~1/S; "
+              "bioinformatics at 6 GB: eff ~52.5%%.\n");
+  return 0;
+}

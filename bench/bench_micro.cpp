@@ -1,0 +1,105 @@
+// Microbenchmarks (google-benchmark) for Rocket's hot substrate paths:
+// slot-cache operations, Chase–Lev deque throughput, pair-space math and
+// the DES event loop. These guard the constants that make full-scale
+// figure regeneration tractable (tens of millions of virtual events).
+
+#include <benchmark/benchmark.h>
+
+#include "cache/slot_cache.hpp"
+#include "common/rng.hpp"
+#include "dnc/pair_space.hpp"
+#include "sim/primitives.hpp"
+#include "sim/process.hpp"
+#include "steal/deque.hpp"
+
+namespace {
+
+using namespace rocket;
+
+void BM_SlotCacheHit(benchmark::State& state) {
+  cache::SlotCache cache({64, 1_MB, "bench"});
+  for (cache::ItemId i = 0; i < 64; ++i) {
+    const auto g = cache.acquire(i, nullptr);
+    cache.publish(g.slot);
+    cache.release(g.slot);
+  }
+  cache::ItemId item = 0;
+  for (auto _ : state) {
+    const auto g = cache.acquire(item, nullptr);
+    benchmark::DoNotOptimize(g.slot);
+    cache.release(g.slot);
+    item = (item + 1) & 63;
+  }
+}
+BENCHMARK(BM_SlotCacheHit);
+
+void BM_SlotCacheMissEvict(benchmark::State& state) {
+  cache::SlotCache cache({64, 1_MB, "bench"});
+  cache::ItemId item = 0;
+  for (auto _ : state) {
+    const auto g = cache.acquire(item++, nullptr);
+    cache.publish(g.slot);
+    cache.release(g.slot);
+  }
+}
+BENCHMARK(BM_SlotCacheMissEvict);
+
+void BM_ChaseLevOwner(benchmark::State& state) {
+  steal::ChaseLevDeque<int> deque;
+  int value = 7;
+  for (auto _ : state) {
+    deque.push(&value);
+    benchmark::DoNotOptimize(deque.pop());
+  }
+}
+BENCHMARK(BM_ChaseLevOwner);
+
+void BM_PairCount(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    const dnc::Region region{
+        static_cast<dnc::ItemIndex>(rng.uniform_index(1000)),
+        static_cast<dnc::ItemIndex>(1000 + rng.uniform_index(4000)),
+        static_cast<dnc::ItemIndex>(rng.uniform_index(1000)),
+        static_cast<dnc::ItemIndex>(1000 + rng.uniform_index(4000)), 0};
+    benchmark::DoNotOptimize(dnc::count_pairs(region));
+  }
+}
+BENCHMARK(BM_PairCount);
+
+void BM_RegionSplit(benchmark::State& state) {
+  const dnc::Region root = dnc::root_region(4980);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dnc::split(root));
+  }
+}
+BENCHMARK(BM_RegionSplit);
+
+sim::Process ping(sim::Simulation&, int hops) {
+  for (int i = 0; i < hops; ++i) {
+    co_await sim::delay(1e-6);
+  }
+}
+
+void BM_SimEventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    spawn(sim, ping(sim, 1000));
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimEventLoop);
+
+void BM_LognormalSample(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.lognormal_from_moments(564.3, 348.0));
+  }
+}
+BENCHMARK(BM_LognormalSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+#pragma once
+
+// Shared helpers for the figure/table regeneration benches.
+//
+// Every bench prints the paper's rows/series as an aligned table, writes a
+// CSV sidecar next to the binary, and accepts:
+//   --quick        reduced item counts (CI-friendly, shapes preserved)
+//   --scale=F      multiply all item counts by F (0 < F <= 1)
+//   --seed=S       simulation seed
+//   --csv-dir=DIR  where to drop CSVs (default: current directory)
+
+#include <cstdio>
+#include <string>
+
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "cluster/experiments.hpp"
+#include "cluster/sim_cluster.hpp"
+
+namespace rocket::bench {
+
+struct BenchEnv {
+  double scale = 1.0;
+  std::uint64_t seed = 42;
+  std::string csv_dir = ".";
+  bool quick = false;
+
+  explicit BenchEnv(const Options& opts) {
+    quick = opts.get_bool("quick", false);
+    scale = opts.get_double("scale", quick ? 0.25 : 1.0);
+    if (scale <= 0.0 || scale > 1.0) scale = 1.0;
+    seed = static_cast<std::uint64_t>(opts.get_int("seed", 42));
+    csv_dir = opts.get("csv-dir", ".");
+  }
+
+  /// Item count for an app under the current scale (at least 16).
+  std::uint32_t n_for(const apps::AppModel& app) const {
+    const auto n = static_cast<std::uint32_t>(
+        static_cast<double>(app.default_n) * scale);
+    return n < 16 ? 16 : n;
+  }
+
+  void emit(TableWriter& table, const std::string& csv_name) const {
+    std::fputs(table.render().c_str(), stdout);
+    std::fputs("\n", stdout);
+    const std::string path = csv_dir + "/" + csv_name;
+    try {
+      table.write_csv(path);
+      std::printf("[csv] %s\n\n", path.c_str());
+    } catch (const std::exception& e) {
+      std::printf("[csv] skipped (%s)\n\n", e.what());
+    }
+  }
+};
+
+/// Paper-style speedup reporting helper.
+inline std::string speedup_str(double base, double current) {
+  return TableWriter::num(base / current, 2) + "x";
+}
+
+}  // namespace rocket::bench

@@ -1,0 +1,54 @@
+// Cluster-scale simulation demo: Rocket's virtual-time backend.
+//
+// Runs the forensics workload model on a simulated 8-node DAS-5-like
+// cluster — with and without the third-level (distributed) cache — and
+// prints the effect on run time, data reuse and storage pressure. This is
+// the API the benchmark harness uses to regenerate every figure of the
+// paper; here it demonstrates the headline result (super-linear scaling
+// through the distributed cache) in a couple of seconds.
+//
+//   $ ./cluster_sim_demo [--nodes 8] [--n 1000]
+
+#include <cstdio>
+
+#include "common/options.hpp"
+#include "rocket/rocket.hpp"
+
+int main(int argc, char** argv) {
+  const rocket::Options opts(argc, argv);
+  const auto nodes = static_cast<std::uint32_t>(opts.get_int("nodes", 8));
+  const auto n = static_cast<std::uint32_t>(opts.get_int("n", 1000));
+
+  for (const bool distributed : {true, false}) {
+    rocket::cluster::ClusterConfig cfg = rocket::cluster::das5_cluster(nodes);
+    cfg.distributed_cache = distributed;
+    cfg.seed = 42;
+    rocket::cluster::WorkloadConfig wl = rocket::cluster::scaled_workload(
+        rocket::apps::forensics_model(), n, cfg);
+
+    rocket::cluster::SimCluster cluster(cfg, wl);
+    const auto metrics = cluster.run();
+
+    std::printf("%u nodes, distributed cache %s:\n", nodes,
+                distributed ? "ON " : "OFF");
+    std::printf("  run time  %s\n",
+                rocket::format_seconds(metrics.makespan).c_str());
+    std::printf("  reuse     R = %.2f (%llu loads for %u items)\n",
+                metrics.reuse_factor,
+                static_cast<unsigned long long>(metrics.total_loads), n);
+    std::printf("  efficiency %.1f%%   storage traffic %.1f MB/s\n",
+                metrics.efficiency * 100.0, metrics.avg_io_usage / 1e6);
+    if (distributed) {
+      const auto& dc = metrics.dist_cache;
+      std::printf("  distributed cache: %llu requests, %llu hits, %llu misses\n",
+                  static_cast<unsigned long long>(dc.requests),
+                  static_cast<unsigned long long>(dc.total_hits()),
+                  static_cast<unsigned long long>(dc.misses));
+    }
+    std::printf("\n");
+  }
+  std::printf("Expected shape (paper Fig 12): with the distributed cache the\n"
+              "cluster re-loads far fewer items (lower R), touches storage\n"
+              "less, and finishes sooner.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Localization-microscopy particle fusion demo (paper §5.3), with the
+// Fig-6-style execution trace.
+//
+// Registers every pair of synthetic particles (all-to-all registration for
+// robustness against misregistration, as in Heydarian et al.), reporting
+// the score matrix statistics and the per-thread task timeline that shows
+// Rocket overlapping I/O, parsing and GPU work.
+//
+//   $ ./particle_fusion_demo [--particles 10]
+
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "apps/microscopy.hpp"
+#include "common/options.hpp"
+#include "common/stats.hpp"
+#include "rocket/rocket.hpp"
+
+int main(int argc, char** argv) {
+  const rocket::Options opts(argc, argv);
+  rocket::apps::MicroscopyConfig cfg;
+  cfg.particles = static_cast<std::uint32_t>(opts.get_int("particles", 10));
+  cfg.binding_sites = 16;
+  cfg.localizations_per_site_min = 6;
+  cfg.localizations_per_site_max = 14;
+  cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 3));
+
+  std::printf("generating %u particles (%u-site ring template)...\n",
+              cfg.particles, cfg.binding_sites);
+  rocket::storage::MemoryStore store;
+  rocket::apps::MicroscopyDataset dataset(cfg, store);
+  rocket::apps::MicroscopyApplication app(dataset);
+
+  // Two virtual GPUs of different generations: watch the load balancer
+  // give the faster card more pairs (paper §6.5).
+  rocket::Rocket::Config engine_cfg;
+  engine_cfg.devices = {rocket::gpu::rtx2080ti(), rocket::gpu::gtx980()};
+  engine_cfg.cpu_threads = 2;
+  engine_cfg.host_cache_capacity = rocket::megabytes(8);
+  engine_cfg.trace = true;
+  rocket::Rocket engine(engine_cfg);
+
+  rocket::OnlineStats scores;
+  std::mutex mutex;
+  const auto report =
+      engine.run_all_pairs(app, store, [&](const rocket::PairResult& r) {
+        std::scoped_lock lock(mutex);
+        scores.add(r.score);
+      });
+
+  std::printf("\nregistered %llu pairs in %.2fs\n",
+              static_cast<unsigned long long>(report.pairs),
+              report.wall_seconds);
+  std::printf("overlap scores: mean %.3f  min %.3f  max %.3f\n",
+              scores.mean(), scores.min(), scores.max());
+  for (std::size_t d = 0; d < report.pairs_per_device.size(); ++d) {
+    std::printf("device %zu (%s): %llu pairs\n", d,
+                engine.config().devices[d].name.c_str(),
+                static_cast<unsigned long long>(report.pairs_per_device[d]));
+  }
+
+  std::printf("\nexecution trace (Fig 6 style):\n%s", report.timeline.c_str());
+  std::printf("\nper-lane busy seconds:\n");
+  for (const auto& [lane, busy] : report.lane_busy) {
+    std::printf("  %-22s %.3fs\n", lane.c_str(), busy);
+  }
+  return 0;
+}

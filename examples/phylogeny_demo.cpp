@@ -1,0 +1,122 @@
+// Phylogeny reconstruction demo (paper §5.2).
+//
+// Generates a synthetic clade tree of proteomes, computes the all-pairs
+// composition-vector distance matrix with Rocket, then reconstructs the
+// tree by UPGMA hierarchical clustering (the paper's use case: "with
+// Rocket we can reconstruct the evolutionary tree of all reference
+// bacteria proteomes on Uniprot in under 20 minutes").
+//
+//   $ ./phylogeny_demo [--species 16]
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "apps/bioinformatics.hpp"
+#include "common/options.hpp"
+#include "rocket/rocket.hpp"
+
+namespace {
+
+/// UPGMA agglomerative clustering over a distance matrix; returns the
+/// newick representation and the merge order.
+std::string upgma(std::vector<std::vector<double>> dist) {
+  const std::size_t n = dist.size();
+  std::vector<std::string> labels(n);
+  std::vector<std::size_t> sizes(n, 1);
+  std::vector<bool> alive(n, true);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = "sp" + std::to_string(i);
+
+  for (std::size_t merges = 0; merges + 1 < n; ++merges) {
+    // Find the closest live pair.
+    double best = 1e300;
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (!alive[j]) continue;
+        if (dist[i][j] < best) {
+          best = dist[i][j];
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    // Merge j into i (size-weighted average distances).
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!alive[k] || k == bi || k == bj) continue;
+      dist[bi][k] = dist[k][bi] =
+          (dist[bi][k] * sizes[bi] + dist[bj][k] * sizes[bj]) /
+          static_cast<double>(sizes[bi] + sizes[bj]);
+    }
+    labels[bi] = "(" + labels[bi] + "," + labels[bj] + ")";
+    sizes[bi] += sizes[bj];
+    alive[bj] = false;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alive[i]) return labels[i] + ";";
+  }
+  return ";";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const rocket::Options opts(argc, argv);
+  rocket::apps::BioinformaticsConfig cfg;
+  cfg.species = static_cast<std::uint32_t>(opts.get_int("species", 16));
+  cfg.proteins = 40;
+  cfg.mutation_rate = 0.03;
+  cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 5));
+
+  std::printf("generating %u synthetic proteomes down a clade tree...\n",
+              cfg.species);
+  rocket::storage::MemoryStore store;
+  rocket::apps::BioinformaticsDataset dataset(cfg, store);
+  rocket::apps::BioinformaticsApplication app(dataset);
+
+  rocket::Rocket::Config engine_cfg;
+  engine_cfg.cpu_threads = 2;
+  engine_cfg.host_cache_capacity = rocket::megabytes(128);
+  rocket::Rocket engine(engine_cfg);
+
+  std::vector<std::vector<double>> dist(
+      cfg.species, std::vector<double>(cfg.species, 0.0));
+  std::mutex mutex;
+  const auto report =
+      engine.run_all_pairs(app, store, [&](const rocket::PairResult& r) {
+        std::scoped_lock lock(mutex);
+        dist[r.left][r.right] = dist[r.right][r.left] = r.score;
+      });
+
+  std::printf("distance matrix complete: %llu pairs, %.2fs, R=%.2f\n",
+              static_cast<unsigned long long>(report.pairs),
+              report.wall_seconds, report.reuse_factor);
+
+  // Sanity: sibling species should be closer than cross-root pairs.
+  double sibling = 0, distant = 0;
+  int ns = 0, nd = 0;
+  for (std::uint32_t i = 0; i < cfg.species; ++i) {
+    for (std::uint32_t j = i + 1; j < cfg.species; ++j) {
+      const auto depth = dataset.clade_depth(i, j);
+      if (depth >= 1 && i / 2 == j / 2) {
+        sibling += dist[i][j];
+        ++ns;
+      } else if (depth == 0) {
+        distant += dist[i][j];
+        ++nd;
+      }
+    }
+  }
+  if (ns && nd) {
+    std::printf("mean sibling distance %.5f vs cross-root %.5f (%s)\n",
+                sibling / ns, distant / nd,
+                sibling / ns < distant / nd ? "tree signal recovered"
+                                            : "WARNING: no signal");
+  }
+
+  std::printf("\nUPGMA tree:\n%s\n", upgma(dist).c_str());
+  return 0;
+}

@@ -1,0 +1,128 @@
+#include "apps/app_model.hpp"
+
+#include <stdexcept>
+
+namespace rocket::apps {
+
+namespace {
+
+/// Deterministic per-entity sampler: a tiny RNG seeded from (seed, a, b).
+Rng entity_rng(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  std::uint64_t state = seed;
+  state = splitmix64(state) ^ (a * 0x9E3779B97F4A7C15ULL);
+  state = splitmix64(state) ^ (b * 0xC2B2AE3D27D4EB4FULL);
+  return Rng(splitmix64(state));
+}
+
+}  // namespace
+
+Bytes AppModel::file_size_of(std::uint32_t item, std::uint64_t seed) const {
+  const Bytes mean = avg_file_size();
+  if (file_size_spread <= 0.0) return mean;
+  Rng rng = entity_rng(seed ^ 0xF11E5, item, 0);
+  const double factor = 1.0 + file_size_spread * (2.0 * rng.uniform() - 1.0);
+  return static_cast<Bytes>(static_cast<double>(mean) * factor);
+}
+
+double AppModel::parse_seconds(std::uint32_t item, std::uint64_t seed) const {
+  Rng rng = entity_rng(seed ^ 0x9A25E, item, 1);
+  return parse.sample(rng);
+}
+
+double AppModel::preprocess_seconds(std::uint32_t item,
+                                    std::uint64_t seed) const {
+  Rng rng = entity_rng(seed ^ 0x94E9, item, 2);
+  return preprocess.sample(rng);
+}
+
+double AppModel::comparison_seconds(std::uint32_t left, std::uint32_t right,
+                                    std::uint64_t seed) const {
+  Rng rng = entity_rng(seed ^ 0xC09A4E, left, right);
+  return comparison.sample(rng);
+}
+
+double AppModel::postprocess_seconds(std::uint32_t left, std::uint32_t right,
+                                     std::uint64_t seed) const {
+  if (postprocess.mean() <= 0.0) return 0.0;
+  Rng rng = entity_rng(seed ^ 0x90057, left, right);
+  return postprocess.sample(rng);
+}
+
+model::StageProfile AppModel::profile() const {
+  model::StageProfile p;
+  p.t_parse = parse.mean();
+  p.t_preprocess = preprocess.mean();
+  p.t_comparison = comparison.mean();
+  p.t_postprocess = postprocess.mean();
+  p.file_size = avg_file_size();
+  p.slot_size = slot_size;
+  return p;
+}
+
+AppModel forensics_model() {
+  AppModel m;
+  m.id = AppId::kForensics;
+  m.name = "forensics";
+  m.default_n = 4980;
+  m.total_raw_bytes = gigabytes(19.4);
+  m.slot_size = megabytes(38.1);
+  m.avg_item_memory = megabytes(38.1);  // PRNU patterns are uniform-sized
+  m.parse = DurationSampler(milliseconds(130.8), milliseconds(14.11));
+  m.preprocess = DurationSampler(milliseconds(20.5), milliseconds(0.02));
+  m.comparison = DurationSampler(milliseconds(1.1), milliseconds(0.01));
+  m.postprocess = DurationSampler(0.0, 0.0);
+  m.file_size_spread = 0.15;  // Dresden images are near-uniform JPEG sizes
+  return m;
+}
+
+AppModel bioinformatics_model(std::uint32_t n) {
+  AppModel m;
+  m.id = AppId::kBioinformatics;
+  m.name = "bioinformatics";
+  m.default_n = n;
+  // 1.8 GB for the 2500-proteome DAS-5 dataset; the Cartesius set keeps the
+  // same per-file mean (§6.6 uses all 6818 reference proteomes).
+  m.total_raw_bytes = static_cast<Bytes>(
+      static_cast<double>(gigabytes(1.8)) * n / 2500.0);
+  m.slot_size = megabytes(145.8);
+  m.avg_item_memory = megabytes(44.0);  // 110 GB / 2500 CVs (Table 1)
+  m.parse = DurationSampler(milliseconds(36.9), milliseconds(14.79));
+  m.preprocess = DurationSampler(milliseconds(27.0), milliseconds(4.90));
+  m.comparison = DurationSampler(milliseconds(2.1), milliseconds(0.79));
+  m.postprocess = DurationSampler(0.0, 0.0);
+  m.file_size_spread = 0.6;  // proteome sizes vary widely
+  return m;
+}
+
+AppModel microscopy_model() {
+  AppModel m;
+  m.id = AppId::kMicroscopy;
+  m.name = "microscopy";
+  m.default_n = 256;
+  m.total_raw_bytes = megabytes(150.0);
+  m.slot_size = kilobytes(6.0);
+  m.avg_item_memory = kilobytes(2.74);  // 0.7 MB / 256 particles (Table 1)
+  m.parse = DurationSampler(milliseconds(27.4), milliseconds(1.56));
+  m.preprocess = DurationSampler(0.0, 0.0);  // N/A in Table 1
+  m.comparison = DurationSampler(milliseconds(564.3), milliseconds(348.0));
+  m.postprocess = DurationSampler(0.0, 0.0);
+  m.file_size_spread = 0.3;  // 1000–2000 localisations per particle
+  return m;
+}
+
+AppModel model_by_name(const std::string& name) {
+  if (name == "forensics") return forensics_model();
+  if (name == "bioinformatics") return bioinformatics_model();
+  if (name == "microscopy") return microscopy_model();
+  throw std::invalid_argument("unknown application model: " + name);
+}
+
+AppModel scaled(AppModel model, std::uint32_t n) {
+  if (n == 0 || n == model.default_n) return model;
+  const Bytes per_file = model.avg_file_size();
+  model.total_raw_bytes = per_file * n;
+  model.default_n = n;
+  return model;
+}
+
+}  // namespace rocket::apps

@@ -1,0 +1,94 @@
+#pragma once
+
+// Calibrated workload models for the three applications (paper Table 1).
+//
+// The simulator executes kernels as virtual-time costs drawn from
+// distributions fitted to Table 1's "avg ± std" stage times (measured on a
+// TitanX Maxwell). Regular stages (tiny σ, e.g. the forensics comparison at
+// 1.1 ± 0.01 ms) become near-constant; irregular stages (microscopy at
+// 564.3 ± 348 ms) become heavy-tailed lognormals, matching the Fig 7
+// histograms. Sampling is *per-pair deterministic*: the duration of
+// comparing (i, j) is a pure function of (seed, i, j), so the total work is
+// identical across cluster sizes and cache configurations — exactly what a
+// real deterministic kernel would give — making speedup and efficiency
+// comparisons sound.
+//
+// The same constants feed the performance model (model::StageProfile), so
+// the Tmin baselines in the benches are consistent with the simulation.
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "model/performance_model.hpp"
+
+namespace rocket::apps {
+
+enum class AppId { kForensics, kBioinformatics, kMicroscopy };
+
+struct AppModel {
+  AppId id = AppId::kForensics;
+  std::string name;
+
+  /// Dataset scale as evaluated in the paper.
+  std::uint32_t default_n = 0;
+  Bytes total_raw_bytes = 0;        // "Size of raw data on disk"
+  Bytes slot_size = 0;              // "Cache Slot Size" (pre-processed item)
+  /// Average pre-processed item size in memory. The slot is sized for the
+  /// *largest* item; variable-sized items (composition vectors,
+  /// localisation sets) average well below it. Drives Table 1's
+  /// "size of preprocessed data in memory" and "total data processed".
+  Bytes avg_item_memory = 0;
+
+  /// Stage time distributions (baseline TitanX Maxwell), seconds.
+  DurationSampler parse;        // CPU
+  DurationSampler preprocess;   // GPU (zero mean = no pre-processing)
+  DurationSampler comparison;   // GPU
+  DurationSampler postprocess;  // CPU
+
+  /// Per-item file-size spread around the dataset mean (fraction, e.g. 0.2
+  /// = ±20% deterministic variation by item id).
+  double file_size_spread = 0.2;
+
+  Bytes avg_file_size() const {
+    return default_n ? total_raw_bytes / default_n : 0;
+  }
+
+  /// Deterministic per-item compressed file size.
+  Bytes file_size_of(std::uint32_t item, std::uint64_t seed = 1) const;
+
+  /// Deterministic per-load stage samples. Parse/preprocess vary per item;
+  /// comparison varies per pair. All are pure functions of (seed, ids).
+  double parse_seconds(std::uint32_t item, std::uint64_t seed) const;
+  double preprocess_seconds(std::uint32_t item, std::uint64_t seed) const;
+  double comparison_seconds(std::uint32_t left, std::uint32_t right,
+                            std::uint64_t seed) const;
+  double postprocess_seconds(std::uint32_t left, std::uint32_t right,
+                             std::uint64_t seed) const;
+
+  /// Mean-value profile for the analytic performance model.
+  model::StageProfile profile() const;
+
+  bool has_preprocess() const { return preprocess.mean() > 0.0; }
+};
+
+/// Common-source identification (PRNU), §5.1 / Table 1 column 1.
+AppModel forensics_model();
+
+/// Phylogeny tree construction (composition vectors), §5.2 / column 2.
+/// `n` defaults to the DAS-5 dataset (2500); the Cartesius experiment
+/// (§6.6) uses 6818.
+AppModel bioinformatics_model(std::uint32_t n = 2500);
+
+/// Localization-microscopy particle fusion, §5.3 / column 3.
+AppModel microscopy_model();
+
+AppModel model_by_name(const std::string& name);
+
+/// Scale a model to a smaller n (for fast CI runs): item count shrinks,
+/// per-item sizes and stage times stay identical so all intensive
+/// quantities (R, efficiency, hit ratios) keep their meaning.
+AppModel scaled(AppModel model, std::uint32_t n);
+
+}  // namespace rocket::apps

@@ -1,0 +1,298 @@
+#include "apps/bioinformatics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/compress.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace rocket::apps {
+
+namespace {
+
+constexpr char kAlphabet[] = "ACDEFGHIKLMNPQRSTVWY";
+constexpr std::uint32_t kAlphabetSize = 20;
+
+std::uint32_t residue_code(char c) {
+  const char* pos = std::strchr(kAlphabet, c);
+  if (pos == nullptr) throw std::runtime_error("bad residue in FASTA");
+  return static_cast<std::uint32_t>(pos - kAlphabet);
+}
+
+/// Mutate a proteome in place: per-site substitution at `rate`.
+void mutate(std::vector<std::string>& proteins, double rate, Rng& rng) {
+  for (auto& protein : proteins) {
+    for (auto& residue : protein) {
+      if (rng.uniform() < rate) {
+        residue = kAlphabet[rng.uniform_index(kAlphabetSize)];
+      }
+    }
+  }
+}
+
+std::string to_fasta(const std::vector<std::string>& proteins,
+                     std::uint32_t species) {
+  std::string out;
+  for (std::size_t p = 0; p < proteins.size(); ++p) {
+    out += ">sp" + std::to_string(species) + "_protein" + std::to_string(p) +
+           " synthetic\n";
+    const std::string& seq = proteins[p];
+    for (std::size_t i = 0; i < seq.size(); i += 60) {
+      out.append(seq, i, std::min<std::size_t>(60, seq.size() - i));
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+/// Packed CV buffer layout: [u32 count][count × u32 idx][count × f32 val].
+void pack_cv(const CompositionVector& cv, gpu::DeviceBuffer& data) {
+  const auto count = static_cast<std::uint32_t>(cv.size());
+  const std::size_t needed = sizeof(count) + count * (sizeof(std::uint32_t) +
+                                                      sizeof(float));
+  ROCKET_CHECK(data.size() >= needed, "CV exceeds slot size");
+  std::uint8_t* p = data.data();
+  std::memcpy(p, &count, sizeof(count));
+  p += sizeof(count);
+  std::memcpy(p, cv.indices.data(), count * sizeof(std::uint32_t));
+  p += count * sizeof(std::uint32_t);
+  std::memcpy(p, cv.values.data(), count * sizeof(float));
+}
+
+CompositionVector unpack_cv(const gpu::DeviceBuffer& data) {
+  std::uint32_t count = 0;
+  ROCKET_CHECK(data.size() >= sizeof(count), "corrupt CV buffer");
+  std::memcpy(&count, data.data(), sizeof(count));
+  CompositionVector cv;
+  cv.indices.resize(count);
+  cv.values.resize(count);
+  const std::uint8_t* p = data.data() + sizeof(count);
+  std::memcpy(cv.indices.data(), p, count * sizeof(std::uint32_t));
+  p += count * sizeof(std::uint32_t);
+  std::memcpy(cv.values.data(), p, count * sizeof(float));
+  return cv;
+}
+
+}  // namespace
+
+BioinformaticsDataset::BioinformaticsDataset(BioinformaticsConfig config,
+                                             storage::MemoryStore& store)
+    : config_(config) {
+  // Ancestral proteome.
+  Rng root_rng(mix64(config_.seed * 104729 + 1));
+  std::vector<std::string> ancestor(config_.proteins);
+  for (auto& protein : ancestor) {
+    const auto len = static_cast<std::size_t>(root_rng.uniform_int(
+        config_.protein_len_min, config_.protein_len_max));
+    protein.resize(len);
+    for (auto& residue : protein) {
+      residue = kAlphabet[root_rng.uniform_index(kAlphabetSize)];
+    }
+  }
+
+  // Mutate down a balanced binary clade tree: the proteome of species i is
+  // the ancestor mutated once per tree level, with the clade (= index
+  // range) sharing the mutations of the levels above the split.
+  std::vector<std::vector<std::string>> current{ancestor};
+  std::uint32_t levels = 0;
+  while ((1u << levels) < config_.species) ++levels;
+  for (std::uint32_t level = 0; level < levels; ++level) {
+    std::vector<std::vector<std::string>> next;
+    next.reserve(current.size() * 2);
+    for (std::size_t clade = 0; clade < current.size(); ++clade) {
+      for (int child = 0; child < 2; ++child) {
+        std::vector<std::string> genome = current[clade];
+        Rng rng(mix64(config_.seed ^ (level * 2654435761u + clade * 97 +
+                                      static_cast<std::uint64_t>(child) + 3)));
+        mutate(genome, config_.mutation_rate, rng);
+        next.push_back(std::move(genome));
+      }
+    }
+    current = std::move(next);
+  }
+
+  for (std::uint32_t species = 0; species < config_.species; ++species) {
+    const std::string fasta = to_fasta(current[species], species);
+    store.put(file_name(species),
+              lz_compress(ByteBuffer(fasta.begin(), fasta.end())));
+  }
+}
+
+std::string BioinformaticsDataset::file_name(runtime::ItemId item) const {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "proteome_%05u.fasta.lz", item);
+  return buf;
+}
+
+std::uint32_t BioinformaticsDataset::clade_depth(runtime::ItemId a,
+                                                 runtime::ItemId b) const {
+  if (a == b) return 32;
+  std::uint32_t levels = 0;
+  while ((1u << levels) < config_.species) ++levels;
+  // Species index bits (MSB-first over the tree levels) identify the path;
+  // the common prefix length is the depth of the deepest common clade.
+  std::uint32_t depth = 0;
+  for (std::uint32_t level = 0; level < levels; ++level) {
+    const std::uint32_t shift = levels - 1 - level;
+    if (((a >> shift) & 1u) != ((b >> shift) & 1u)) break;
+    ++depth;
+  }
+  return depth;
+}
+
+CompositionVector build_composition_vector(const std::string& residues,
+                                           std::uint32_t k) {
+  ROCKET_CHECK(k >= 2, "composition vectors require k >= 2");
+  const std::size_t n = residues.size();
+  CompositionVector cv;
+  if (n < k) return cv;
+
+  // Count k, k-1 and k-2 strings in one pass each, as packed base-20 codes.
+  std::unordered_map<std::uint32_t, std::uint32_t> count_k, count_k1, count_k2;
+  auto scan = [&](std::uint32_t len,
+                  std::unordered_map<std::uint32_t, std::uint32_t>& counts) {
+    if (n < len) return;
+    std::uint32_t code = 0;
+    std::uint32_t modulus = 1;
+    for (std::uint32_t i = 0; i + 1 < len; ++i) modulus *= kAlphabetSize;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t c = residue_code(residues[i]);
+      code = (code % modulus) * kAlphabetSize + c;
+      if (i + 1 >= len) ++counts[code];
+    }
+  };
+  scan(k, count_k);
+  scan(k - 1, count_k1);
+  scan(k - 2, count_k2);
+
+  const auto total_k = static_cast<double>(n - k + 1);
+  const auto total_k1 = static_cast<double>(n - (k - 1) + 1);
+  const auto total_k2 = static_cast<double>(n - (k - 2) + 1);
+
+  std::uint32_t suffix_modulus = 1;  // 20^(k-1)
+  for (std::uint32_t i = 0; i + 1 < k; ++i) suffix_modulus *= kAlphabetSize;
+  std::uint32_t mid_modulus = suffix_modulus / kAlphabetSize;  // 20^(k-2)
+
+  cv.indices.reserve(count_k.size());
+  cv.values.reserve(count_k.size());
+  for (const auto& [code, count] : count_k) {
+    // code = a1..ak packed base-20. Prefix = a1..a_{k-1}, suffix = a2..ak,
+    // middle = a2..a_{k-1}.
+    const std::uint32_t prefix = code / kAlphabetSize;
+    const std::uint32_t suffix = code % suffix_modulus;
+    const std::uint32_t middle = prefix % mid_modulus;
+
+    const double p = count / total_k;
+    const auto it_prefix = count_k1.find(prefix);
+    const auto it_suffix = count_k1.find(suffix);
+    const auto it_middle = count_k2.find(middle);
+    if (it_prefix == count_k1.end() || it_suffix == count_k1.end() ||
+        it_middle == count_k2.end() || it_middle->second == 0) {
+      continue;
+    }
+    const double p_prefix = it_prefix->second / total_k1;
+    const double p_suffix = it_suffix->second / total_k1;
+    const double p_middle = it_middle->second / total_k2;
+    const double p0 = p_prefix * p_suffix / p_middle;
+    if (p0 <= 0.0) continue;
+    cv.indices.push_back(code);
+    cv.values.push_back(static_cast<float>((p - p0) / p0));
+  }
+
+  // Sort by index for the merge-style dot product.
+  std::vector<std::size_t> order(cv.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return cv.indices[a] < cv.indices[b];
+  });
+  CompositionVector sorted;
+  sorted.indices.reserve(cv.size());
+  sorted.values.reserve(cv.size());
+  for (const auto idx : order) {
+    sorted.indices.push_back(cv.indices[idx]);
+    sorted.values.push_back(cv.values[idx]);
+  }
+  return sorted;
+}
+
+double cv_correlation(const CompositionVector& a, const CompositionVector& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (const auto v : a.values) na += static_cast<double>(v) * v;
+  for (const auto v : b.values) nb += static_cast<double>(v) * v;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a.indices[i] < b.indices[j]) {
+      ++i;
+    } else if (a.indices[i] > b.indices[j]) {
+      ++j;
+    } else {
+      dot += static_cast<double>(a.values[i]) * b.values[j];
+      ++i;
+      ++j;
+    }
+  }
+  const double denom = std::sqrt(na * nb);
+  return denom > 0.0 ? dot / denom : 0.0;
+}
+
+double cv_distance(const CompositionVector& a, const CompositionVector& b) {
+  return (1.0 - cv_correlation(a, b)) / 2.0;
+}
+
+void BioinformaticsApplication::parse(runtime::ItemId, const ByteBuffer& file,
+                                      runtime::HostBuffer& out) const {
+  const ByteBuffer fasta = lz_decompress(file);
+  // Strip headers and newlines; keep the concatenated residues.
+  out.clear();
+  out.reserve(fasta.size());
+  bool in_header = false;
+  for (const std::uint8_t byte : fasta) {
+    const char c = static_cast<char>(byte);
+    if (c == '>') {
+      in_header = true;
+    } else if (c == '\n') {
+      in_header = false;
+    } else if (!in_header && c != '\r') {
+      out.push_back(byte);
+    }
+  }
+}
+
+void BioinformaticsApplication::preprocess(runtime::ItemId,
+                                           gpu::DeviceBuffer& data) const {
+  // The buffer currently holds the residue string (parse output); replace
+  // it with the packed CV.
+  const std::string residues(reinterpret_cast<const char*>(data.data()),
+                             data.size());
+  // Residue data is padded up to the slot; trim trailing NULs.
+  const auto end = residues.find_last_not_of('\0');
+  const std::string trimmed =
+      end == std::string::npos ? std::string() : residues.substr(0, end + 1);
+  const CompositionVector cv =
+      build_composition_vector(trimmed, dataset_->config().k);
+  pack_cv(cv, data);
+}
+
+double BioinformaticsApplication::compare(
+    runtime::ItemId, const gpu::DeviceBuffer& left_data, runtime::ItemId,
+    const gpu::DeviceBuffer& right_data) const {
+  return cv_distance(unpack_cv(left_data), unpack_cv(right_data));
+}
+
+Bytes BioinformaticsApplication::slot_size() const {
+  const auto& cfg = dataset_->config();
+  // The slot must hold (a) the parse output: the concatenated residues, and
+  // (b) the packed CV that replaces it; CV entries ≤ distinct k-strings ≤
+  // residue count.
+  const std::uint64_t max_residues =
+      static_cast<std::uint64_t>(cfg.proteins) * cfg.protein_len_max;
+  const std::uint64_t cv_bytes =
+      sizeof(std::uint32_t) +
+      max_residues * (sizeof(std::uint32_t) + sizeof(float));
+  return std::max<std::uint64_t>(max_residues, cv_bytes);
+}
+
+}  // namespace rocket::apps

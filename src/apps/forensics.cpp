@@ -1,0 +1,126 @@
+#include "apps/forensics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace rocket::apps {
+
+namespace {
+
+/// Smooth random "scene": a sum of low-frequency sinusoidal gradients.
+Image random_scene(std::uint32_t width, std::uint32_t height, Rng& rng) {
+  Image scene = make_image(width, height, 128.0f);
+  for (int wave = 0; wave < 4; ++wave) {
+    const double fx = rng.uniform(0.2, 2.0) * 6.2831853 / width;
+    const double fy = rng.uniform(0.2, 2.0) * 6.2831853 / height;
+    const double phase = rng.uniform(0.0, 6.2831853);
+    const double amp = rng.uniform(10.0, 35.0);
+    for (std::uint32_t y = 0; y < height; ++y) {
+      for (std::uint32_t x = 0; x < width; ++x) {
+        scene.at(x, y) += static_cast<float>(
+            amp * std::sin(fx * x + fy * y + phase));
+      }
+    }
+  }
+  return scene;
+}
+
+/// Per-camera PRNU fingerprint: i.i.d. gaussian sensitivity deviations.
+std::vector<float> camera_fingerprint(std::uint32_t width,
+                                      std::uint32_t height,
+                                      std::uint64_t camera_seed) {
+  Rng rng(camera_seed);
+  std::vector<float> k(static_cast<std::size_t>(width) * height);
+  for (auto& v : k) v = static_cast<float>(rng.normal());
+  return k;
+}
+
+/// Header prepended to the parsed pixel plane so the device-side stages
+/// know the geometry without re-parsing the container.
+struct ParsedHeader {
+  std::uint32_t width;
+  std::uint32_t height;
+};
+
+}  // namespace
+
+ForensicsDataset::ForensicsDataset(ForensicsConfig config,
+                                   storage::MemoryStore& store)
+    : config_(config) {
+  ROCKET_CHECK(config_.width % 8 == 0 && config_.height % 8 == 0,
+               "image dimensions must be multiples of 8");
+  for (std::uint32_t cam = 0; cam < config_.cameras; ++cam) {
+    const auto fingerprint = camera_fingerprint(
+        config_.width, config_.height, mix64(config_.seed * 7919 + cam));
+    for (std::uint32_t shot = 0; shot < config_.images_per_camera; ++shot) {
+      const runtime::ItemId item = cam * config_.images_per_camera + shot;
+      Rng rng(mix64(config_.seed ^ (item * 0x9E3779B97F4A7C15ULL + 13)));
+      Image photo = random_scene(config_.width, config_.height, rng);
+      for (std::size_t i = 0; i < photo.size(); ++i) {
+        // Multiplicative PRNU + additive shot noise, clamped to 8-bit range.
+        const double value =
+            photo.pixels[i] *
+                (1.0 + config_.fingerprint_strength * fingerprint[i]) +
+            config_.shot_noise * rng.normal();
+        photo.pixels[i] = static_cast<float>(std::clamp(value, 0.0, 255.0));
+      }
+      store.put(file_name(item), encode_image(photo, config_.codec_quality));
+    }
+  }
+}
+
+std::string ForensicsDataset::file_name(runtime::ItemId item) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "img_%05u.rki", item);
+  return buf;
+}
+
+void ForensicsApplication::parse(runtime::ItemId, const ByteBuffer& file,
+                                 runtime::HostBuffer& out) const {
+  const Image image = decode_image(file);
+  const ParsedHeader header{image.width, image.height};
+  out.resize(sizeof(header) + image.size() * sizeof(float));
+  std::memcpy(out.data(), &header, sizeof(header));
+  std::memcpy(out.data() + sizeof(header), image.pixels.data(),
+              image.size() * sizeof(float));
+}
+
+void ForensicsApplication::preprocess(runtime::ItemId,
+                                      gpu::DeviceBuffer& data) const {
+  ParsedHeader header{};
+  ROCKET_CHECK(data.size() >= sizeof(header), "corrupt parsed image");
+  std::memcpy(&header, data.data(), sizeof(header));
+  Image image = make_image(header.width, header.height);
+  std::memcpy(image.pixels.data(), data.data() + sizeof(header),
+              image.size() * sizeof(float));
+  const std::vector<float> residual = noise_residual(image);
+  std::memcpy(data.data() + sizeof(header), residual.data(),
+              residual.size() * sizeof(float));
+}
+
+double ForensicsApplication::compare(runtime::ItemId,
+                                     const gpu::DeviceBuffer& left_data,
+                                     runtime::ItemId,
+                                     const gpu::DeviceBuffer& right_data) const {
+  ParsedHeader header{};
+  std::memcpy(&header, left_data.data(), sizeof(header));
+  const std::size_t count =
+      static_cast<std::size_t>(header.width) * header.height;
+  std::vector<float> left(count), right(count);
+  std::memcpy(left.data(), left_data.data() + sizeof(header),
+              count * sizeof(float));
+  std::memcpy(right.data(), right_data.data() + sizeof(header),
+              count * sizeof(float));
+  return normalized_cross_correlation(left, right);
+}
+
+Bytes ForensicsApplication::slot_size() const {
+  const auto& cfg = dataset_->config();
+  return sizeof(ParsedHeader) +
+         static_cast<Bytes>(cfg.width) * cfg.height * sizeof(float);
+}
+
+}  // namespace rocket::apps

@@ -1,0 +1,54 @@
+#pragma once
+
+// Grayscale float images and Rocket's own lossy block-transform codec.
+//
+// The forensics application ingests JPEG photographs; this offline
+// reproduction cannot ship libjpeg, so Rocket carries a self-contained
+// codec with the same computational anatomy: 8×8 block DCT-II, uniform
+// quantisation with a zigzag scan, and entropy coding (varint + LZ). The
+// parse stage therefore performs real, image-sized transform work, and —
+// crucially for PRNU — encoding is *lossy in the same way JPEG is*: block
+// transforms preserve the multiplicative sensor-noise signal that
+// common-source identification relies on.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/compress.hpp"
+#include "common/rng.hpp"
+
+namespace rocket::apps {
+
+struct Image {
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::vector<float> pixels;  // row-major, nominal range [0, 255]
+
+  float& at(std::uint32_t x, std::uint32_t y) { return pixels[y * width + x]; }
+  float at(std::uint32_t x, std::uint32_t y) const {
+    return pixels[y * width + x];
+  }
+  std::size_t size() const { return pixels.size(); }
+};
+
+Image make_image(std::uint32_t width, std::uint32_t height, float fill = 0.0f);
+
+/// Encode with the given quality in (0, 1]; higher = larger & more exact.
+ByteBuffer encode_image(const Image& image, double quality = 0.9);
+
+/// Decode; throws std::runtime_error on malformed input.
+Image decode_image(const ByteBuffer& bytes);
+
+/// Separable box blur with the given radius (edge-clamped). The forensics
+/// pipeline uses it as the denoising filter for PRNU extraction.
+Image box_blur(const Image& image, int radius);
+
+/// Zero-mean, unit-norm version of (image - blur(image)): the PRNU-style
+/// noise residual of one photo.
+std::vector<float> noise_residual(const Image& image, int blur_radius = 2);
+
+/// Normalised cross-correlation of two equal-length vectors.
+double normalized_cross_correlation(const std::vector<float>& a,
+                                    const std::vector<float>& b);
+
+}  // namespace rocket::apps

@@ -1,0 +1,265 @@
+#include "apps/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rocket::apps {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't': return parse_literal("true", JsonValue(true));
+      case 'f': return parse_literal("false", JsonValue(false));
+      case 'n': return parse_literal("null", JsonValue(nullptr));
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_literal(const char* word, JsonValue value) {
+    const std::size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) fail("bad literal");
+    pos_ += len;
+    return value;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double value = 0.0;
+    const auto result =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (result.ec != std::errc() || result.ptr != text_.data() + pos_ ||
+        pos_ == start) {
+      fail("bad number");
+    }
+    return JsonValue(value);
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          default: fail("unsupported escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue(std::move(items));
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      members[std::move(key)] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue(std::move(members));
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_value(const JsonValue& value, std::string& out);
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+void dump_value(const JsonValue& value, std::string& out) {
+  if (value.is_null()) {
+    out += "null";
+  } else if (value.is_bool()) {
+    out += value.as_bool() ? "true" : "false";
+  } else if (value.is_number()) {
+    char buf[32];
+    const double d = value.as_number();
+    if (d == std::floor(d) && std::abs(d) < 1e15) {
+      std::snprintf(buf, sizeof(buf), "%.0f", d);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.9g", d);
+    }
+    out += buf;
+  } else if (value.is_string()) {
+    dump_string(value.as_string(), out);
+  } else if (value.is_array()) {
+    out += '[';
+    bool first = true;
+    for (const auto& item : value.as_array()) {
+      if (!first) out += ',';
+      first = false;
+      dump_value(item, out);
+    }
+    out += ']';
+  } else {
+    out += '{';
+    bool first = true;
+    for (const auto& [key, member] : value.as_object()) {
+      if (!first) out += ',';
+      first = false;
+      dump_string(key, out);
+      out += ':';
+      dump_value(member, out);
+    }
+    out += '}';
+  }
+}
+
+}  // namespace
+
+double JsonValue::as_number() const {
+  if (!is_number()) throw std::runtime_error("json: not a number");
+  return std::get<double>(value_);
+}
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) throw std::runtime_error("json: not a boolean");
+  return std::get<bool>(value_);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) throw std::runtime_error("json: not a string");
+  return std::get<std::string>(value_);
+}
+
+const JsonArray& JsonValue::as_array() const {
+  if (!is_array()) throw std::runtime_error("json: not an array");
+  return std::get<JsonArray>(value_);
+}
+
+const JsonObject& JsonValue::as_object() const {
+  if (!is_object()) throw std::runtime_error("json: not an object");
+  return std::get<JsonObject>(value_);
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const auto& obj = as_object();
+  const auto it = obj.find(key);
+  if (it == obj.end()) throw std::runtime_error("json: missing key: " + key);
+  return it->second;
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+JsonValue json_parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+JsonValue json_parse(const std::vector<std::uint8_t>& bytes) {
+  return json_parse(std::string(bytes.begin(), bytes.end()));
+}
+
+}  // namespace rocket::apps

@@ -1,0 +1,63 @@
+#pragma once
+
+// Minimal JSON reader/writer — just enough for the microscopy particle
+// files (paper §5.3 stores particles as JSON localisation lists). Supports
+// objects, arrays, numbers, strings, booleans and null; parse errors throw
+// std::runtime_error with position information.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace rocket::apps {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  using Storage = std::variant<std::nullptr_t, bool, double, std::string,
+                               JsonArray, JsonObject>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(int i) : value_(static_cast<double>(i)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(const char* s) : value_(std::string(s)) {}
+  JsonValue(JsonArray a) : value_(std::move(a)) {}
+  JsonValue(JsonObject o) : value_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+
+  double as_number() const;
+  bool as_bool() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object member access; throws if not an object or key missing.
+  const JsonValue& at(const std::string& key) const;
+
+  /// Serialise (compact).
+  std::string dump() const;
+
+ private:
+  Storage value_;
+};
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+JsonValue json_parse(const std::string& text);
+JsonValue json_parse(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace rocket::apps

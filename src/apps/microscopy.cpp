@@ -1,0 +1,216 @@
+#include "apps/microscopy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "apps/json.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace rocket::apps {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+std::vector<Point2> unpack(const gpu::DeviceBuffer& data) {
+  std::uint32_t count = 0;
+  ROCKET_CHECK(data.size() >= sizeof(count), "corrupt particle buffer");
+  std::memcpy(&count, data.data(), sizeof(count));
+  std::vector<Point2> points(count);
+  ROCKET_CHECK(data.size() >= sizeof(count) + count * sizeof(Point2),
+               "short particle buffer");
+  std::memcpy(points.data(), data.data() + sizeof(count),
+              count * sizeof(Point2));
+  return points;
+}
+
+Point2 centroid(const std::vector<Point2>& pts) {
+  Point2 c;
+  for (const auto& p : pts) {
+    c.x += p.x;
+    c.y += p.y;
+  }
+  const double inv = pts.empty() ? 0.0 : 1.0 / static_cast<double>(pts.size());
+  return Point2{c.x * inv, c.y * inv};
+}
+
+}  // namespace
+
+MicroscopyDataset::MicroscopyDataset(MicroscopyConfig config,
+                                     storage::MemoryStore& store)
+    : config_(config) {
+  // Ground-truth template: binding sites on a ring.
+  std::vector<Point2> sites;
+  for (std::uint32_t s = 0; s < config_.binding_sites; ++s) {
+    const double angle = kTwoPi * s / config_.binding_sites;
+    sites.push_back(Point2{config_.ring_radius * std::cos(angle),
+                           config_.ring_radius * std::sin(angle)});
+  }
+
+  for (std::uint32_t particle = 0; particle < config_.particles; ++particle) {
+    Rng rng(mix64(config_.seed * 40487 + particle));
+    const double rotation = rng.uniform(0.0, kTwoPi);
+    const Point2 shift{rng.normal(0.0, 10.0), rng.normal(0.0, 10.0)};
+    const double cos_r = std::cos(rotation);
+    const double sin_r = std::sin(rotation);
+
+    JsonArray points;
+    for (const auto& site : sites) {
+      if (rng.uniform() > config_.labelling_efficiency) continue;  // unlabelled
+      const auto bursts = static_cast<std::uint32_t>(rng.uniform_int(
+          config_.localizations_per_site_min,
+          config_.localizations_per_site_max));
+      for (std::uint32_t b = 0; b < bursts; ++b) {
+        const double x = site.x + rng.normal(0.0, config_.localization_noise);
+        const double y = site.y + rng.normal(0.0, config_.localization_noise);
+        JsonArray coords;
+        coords.emplace_back(cos_r * x - sin_r * y + shift.x);
+        coords.emplace_back(sin_r * x + cos_r * y + shift.y);
+        points.emplace_back(std::move(coords));
+      }
+    }
+    JsonObject doc;
+    doc["particle"] = JsonValue(static_cast<double>(particle));
+    doc["sigma"] = JsonValue(config_.localization_noise);
+    doc["points"] = JsonValue(std::move(points));
+    const std::string text = JsonValue(std::move(doc)).dump();
+    store.put(file_name(particle), ByteBuffer(text.begin(), text.end()));
+  }
+}
+
+std::string MicroscopyDataset::file_name(runtime::ItemId item) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "particle_%04u.json", item);
+  return buf;
+}
+
+double gmm_overlap(const std::vector<Point2>& a, const std::vector<Point2>& b,
+                   double rotation, Point2 translation, double sigma) {
+  const double cos_r = std::cos(rotation);
+  const double sin_r = std::sin(rotation);
+  const double inv = 1.0 / (4.0 * sigma * sigma);
+  double total = 0.0;
+  for (const auto& pa : a) {
+    const double ax = cos_r * pa.x - sin_r * pa.y + translation.x;
+    const double ay = sin_r * pa.x + cos_r * pa.y + translation.y;
+    for (const auto& pb : b) {
+      const double dx = ax - pb.x;
+      const double dy = ay - pb.y;
+      total += std::exp(-(dx * dx + dy * dy) * inv);
+    }
+  }
+  // Normalise by the smaller cloud: a perfect alignment of equal clouds
+  // scores ~1 regardless of localisation counts.
+  return total / static_cast<double>(std::min(a.size(), b.size()));
+}
+
+RegistrationResult register_particles(const std::vector<Point2>& a,
+                                      const std::vector<Point2>& b,
+                                      double sigma) {
+  RegistrationResult best;
+  if (a.empty() || b.empty()) return best;
+
+  // Centre both clouds; the translation search then only refines the
+  // residual offset.
+  const Point2 ca = centroid(a);
+  const Point2 cb = centroid(b);
+  std::vector<Point2> a0(a), b0(b);
+  for (auto& p : a0) {
+    p.x -= ca.x;
+    p.y -= ca.y;
+  }
+  for (auto& p : b0) {
+    p.x -= cb.x;
+    p.y -= cb.y;
+  }
+
+  int iterations = 0;
+  // Multi-start over rotation (the GMM score is multi-modal), then local
+  // coordinate refinement with a shrinking step. Convergence is
+  // data-dependent — this is what makes comparison times irregular.
+  for (int start = 0; start < 12; ++start) {
+    double rot = kTwoPi * start / 12.0;
+    Point2 shift{0.0, 0.0};
+    double step_rot = kTwoPi / 24.0;
+    double step_shift = 4.0 * sigma;
+    double score = gmm_overlap(a0, b0, rot, shift, sigma);
+    ++iterations;
+    while (step_rot > 1e-3 || step_shift > 0.05 * sigma) {
+      bool improved = false;
+      const double rot_candidates[2] = {rot + step_rot, rot - step_rot};
+      for (const double candidate : rot_candidates) {
+        const double s = gmm_overlap(a0, b0, candidate, shift, sigma);
+        ++iterations;
+        if (s > score) {
+          score = s;
+          rot = candidate;
+          improved = true;
+        }
+      }
+      const Point2 shift_candidates[4] = {
+          {shift.x + step_shift, shift.y}, {shift.x - step_shift, shift.y},
+          {shift.x, shift.y + step_shift}, {shift.x, shift.y - step_shift}};
+      for (const auto& candidate : shift_candidates) {
+        const double s = gmm_overlap(a0, b0, rot, candidate, sigma);
+        ++iterations;
+        if (s > score) {
+          score = s;
+          shift = candidate;
+          improved = true;
+        }
+      }
+      if (!improved) {
+        step_rot *= 0.5;
+        step_shift *= 0.5;
+      }
+    }
+    if (score > best.score) {
+      best.score = score;
+      best.rotation = rot;
+    }
+  }
+  best.iterations = iterations;
+  return best;
+}
+
+void MicroscopyApplication::parse(runtime::ItemId, const ByteBuffer& file,
+                                  runtime::HostBuffer& out) const {
+  const JsonValue doc = json_parse(file);
+  const JsonArray& array = doc.at("points").as_array();
+  std::vector<Point2> points;
+  points.reserve(array.size());
+  for (const auto& entry : array) {
+    const JsonArray& coords = entry.as_array();
+    if (coords.size() != 2) {
+      throw std::runtime_error("particle: malformed localisation");
+    }
+    points.push_back(Point2{coords[0].as_number(), coords[1].as_number()});
+  }
+  const auto count = static_cast<std::uint32_t>(points.size());
+  out.resize(sizeof(count) + points.size() * sizeof(Point2));
+  std::memcpy(out.data(), &count, sizeof(count));
+  std::memcpy(out.data() + sizeof(count), points.data(),
+              points.size() * sizeof(Point2));
+}
+
+double MicroscopyApplication::compare(
+    runtime::ItemId, const gpu::DeviceBuffer& left_data, runtime::ItemId,
+    const gpu::DeviceBuffer& right_data) const {
+  const std::vector<Point2> left = unpack(left_data);
+  const std::vector<Point2> right = unpack(right_data);
+  return register_particles(left, right,
+                            dataset_->config().localization_noise)
+      .score;
+}
+
+Bytes MicroscopyApplication::slot_size() const {
+  const auto& cfg = dataset_->config();
+  const std::uint64_t max_locs =
+      static_cast<std::uint64_t>(cfg.binding_sites) *
+      cfg.localizations_per_site_max;
+  return sizeof(std::uint32_t) + max_locs * sizeof(Point2);
+}
+
+}  // namespace rocket::apps

@@ -1,0 +1,64 @@
+#pragma once
+
+// Third-level (cluster) cache directory — the mediator protocol of §4.1.3.
+//
+// Item `i` is mediated by node `i mod p`. The mediator keeps, per item, the
+// list of the `h` nodes that most recently *requested* the item — the
+// "candidates" most likely to hold it now. A request from node A is
+// answered with the current candidate chain C1..Ch, after which A is
+// prepended (A is about to obtain the item one way or another, so it is
+// the best future candidate). The requester then probes the chain hop by
+// hop; each miss forwards to the next candidate; an exhausted chain is a
+// distributed-cache miss and A falls back to executing the load locally.
+//
+// The directory itself is pure bookkeeping (this class); the message flow
+// (h + 2 messages per request) lives in the cluster layer.
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/slot_cache.hpp"
+
+namespace rocket::cache {
+
+using NodeId = std::uint32_t;
+
+struct DirectoryStats {
+  std::uint64_t requests = 0;         // mediator lookups served
+  std::uint64_t empty_responses = 0;  // no candidates were known
+};
+
+class DistributedDirectory {
+ public:
+  /// `max_candidates` is the paper's h: the chain length handed out and the
+  /// retention bound of the per-item list.
+  explicit DistributedDirectory(std::uint32_t max_candidates)
+      : max_candidates_(max_candidates) {}
+
+  /// Mediator-side handling of a request for `item` from `requester`:
+  /// returns the candidate chain (possibly empty) and records the requester
+  /// as the most recent candidate. The requester itself is excluded from
+  /// the returned chain (querying yourself is useless), mirroring the
+  /// paper's note that B or Cx may equal A without harming correctness.
+  std::vector<NodeId> on_request(ItemId item, NodeId requester);
+
+  /// Which node mediates `item` in a p-node cluster.
+  static NodeId mediator_of(ItemId item, std::uint32_t num_nodes) {
+    return static_cast<NodeId>(item % num_nodes);
+  }
+
+  std::uint32_t max_candidates() const { return max_candidates_; }
+  const DirectoryStats& stats() const { return stats_; }
+
+  /// Candidate list snapshot (testing).
+  std::vector<NodeId> candidates(ItemId item) const;
+
+ private:
+  std::uint32_t max_candidates_;
+  std::unordered_map<ItemId, std::deque<NodeId>> candidates_;
+  DirectoryStats stats_;
+};
+
+}  // namespace rocket::cache

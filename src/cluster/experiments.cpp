@@ -1,0 +1,100 @@
+#include "cluster/experiments.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace rocket::cluster {
+
+namespace {
+
+/// Shared DAS-5-like infrastructure parameters: 56 Gb/s FDR InfiniBand and
+/// a central MinIO storage server on the same fabric.
+void apply_das5_infra(ClusterConfig& cfg) {
+  cfg.fabric.latency = 1.5e-6;
+  cfg.fabric.link_bandwidth = gbit_per_sec(56);
+  cfg.storage.bandwidth = gbit_per_sec(56);
+  cfg.storage.request_overhead = 2e-4;
+}
+
+}  // namespace
+
+ClusterConfig das5_cluster(std::uint32_t num_nodes,
+                           std::uint32_t gpus_per_node) {
+  ClusterConfig cfg;
+  cfg.nodes = homogeneous_nodes(num_nodes, gpu::titanx_maxwell(),
+                                gpus_per_node, gigabytes(40));
+  apply_das5_infra(cfg);
+  return cfg;
+}
+
+ClusterConfig cartesius_cluster(std::uint32_t num_nodes) {
+  ClusterConfig cfg;
+  cfg.nodes = homogeneous_nodes(num_nodes, gpu::k40m(), 2, gigabytes(80));
+  // Cartesius: two ConnectX-3 adapters per node; model as one faster NIC.
+  apply_das5_infra(cfg);
+  cfg.fabric.link_bandwidth = gbit_per_sec(2 * 56);
+  return cfg;
+}
+
+ClusterConfig heterogeneous_cluster(std::vector<std::uint32_t> subset) {
+  std::vector<NodeConfig> all(4);
+  all[0].gpus = {gpu::k20m()};
+  all[1].gpus = {gpu::gtx980(), gpu::titanx_pascal()};
+  all[2].gpus = {gpu::rtx2080ti(), gpu::rtx2080ti()};
+  all[3].gpus = {gpu::gtx_titan(), gpu::titanx_pascal()};
+  for (auto& node : all) node.host_cache_capacity = gigabytes(40);
+
+  ClusterConfig cfg;
+  if (subset.empty()) {
+    cfg.nodes = std::move(all);
+  } else {
+    for (const auto idx : subset) {
+      ROCKET_CHECK(idx < all.size(), "heterogeneous node index out of range");
+      cfg.nodes.push_back(all[idx]);
+    }
+  }
+  apply_das5_infra(cfg);
+  return cfg;
+}
+
+std::string describe(const RunMetrics& m) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "makespan=%s pairs=%llu R=%.2f eff=%.1f%% io=%.1f MB/s "
+                "loads=%llu",
+                format_seconds(m.makespan).c_str(),
+                static_cast<unsigned long long>(m.pairs_done), m.reuse_factor,
+                m.efficiency * 100.0, m.avg_io_usage / 1e6,
+                static_cast<unsigned long long>(m.total_loads));
+  return buf;
+}
+
+WorkloadConfig scaled_workload(const apps::AppModel& app, std::uint32_t n,
+                               ClusterConfig& config) {
+  WorkloadConfig wl;
+  if (n == 0 || n >= app.default_n) {
+    wl.app = app;
+    wl.n = app.default_n;
+    return wl;
+  }
+  const double factor =
+      static_cast<double>(n) / static_cast<double>(app.default_n);
+  wl.app = apps::scaled(app, n);
+  wl.n = n;
+  for (auto& node : config.nodes) {
+    node.host_cache_capacity = static_cast<Bytes>(
+        static_cast<double>(node.host_cache_capacity) * factor);
+  }
+  // Device caches scale through the override knob so the GPU spec itself
+  // stays untouched.
+  const Bytes device_cap =
+      config.device_cache_capacity_override.value_or(
+          config.nodes.front().gpus.front().cache_capacity());
+  config.device_cache_capacity_override =
+      static_cast<Bytes>(static_cast<double>(device_cap) * factor);
+  return wl;
+}
+
+}  // namespace rocket::cluster

@@ -1,0 +1,44 @@
+#pragma once
+
+// Standard experiment configurations from the paper's evaluation (§6).
+//
+// These helpers pin down the platforms used by the figures so benches and
+// tests share one source of truth:
+//   * DAS-5 node: TitanX Maxwell, 40 GB host cache, 16 CPU threads.
+//   * Cartesius node: 2 × K40m, 80 GB host cache.
+//   * The four heterogeneous nodes of §6.5 (node I–IV).
+//   * Storage/fabric parameters (56 Gb/s InfiniBand, central MinIO server).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/sim_cluster.hpp"
+
+namespace rocket::cluster {
+
+/// DAS-5 (VU site) defaults used in §6.3–6.5.
+ClusterConfig das5_cluster(std::uint32_t num_nodes,
+                           std::uint32_t gpus_per_node = 1);
+
+/// Cartesius defaults used in §6.6 (2 GPUs and 80 GB host cache per node).
+ClusterConfig cartesius_cluster(std::uint32_t num_nodes);
+
+/// The heterogeneous §6.5 testbed:
+///   node I: K20m, node II: GTX980 + TitanX Pascal,
+///   node III: 2× RTX2080Ti, node IV: GTX Titan + TitanX Pascal.
+/// `subset` selects individual nodes (0-based); empty = all four.
+ClusterConfig heterogeneous_cluster(std::vector<std::uint32_t> subset = {});
+
+/// A quick summary line for logs/benches.
+std::string describe(const RunMetrics& metrics);
+
+/// Scale an experiment: shrink the item count to `n` while scaling the
+/// *cache capacities* by the same factor relative to the app's default n,
+/// preserving the dataset-to-cache ratio that drives R, efficiency and the
+/// super-linear speedup shapes. Returns the scaled workload and adjusts
+/// `config`'s host/device capacities in place.
+WorkloadConfig scaled_workload(const apps::AppModel& app, std::uint32_t n,
+                               ClusterConfig& config);
+
+}  // namespace rocket::cluster

@@ -1,0 +1,516 @@
+#include "cluster/sim_cluster.hpp"
+
+#include <algorithm>
+#include <coroutine>
+
+#include "cache/distributed_directory.hpp"
+#include "cache/slot_cache.hpp"
+#include "common/log.hpp"
+#include "dnc/pair_space.hpp"
+#include "sim/primitives.hpp"
+#include "sim/process.hpp"
+#include "sim/simulation.hpp"
+
+namespace rocket::cluster {
+
+std::vector<NodeConfig> homogeneous_nodes(std::uint32_t p,
+                                          const gpu::DeviceSpec& gpu,
+                                          std::uint32_t gpus_per_node,
+                                          Bytes host_cache) {
+  std::vector<NodeConfig> nodes(p);
+  for (auto& node : nodes) {
+    node.gpus.assign(gpus_per_node, gpu);
+    node.host_cache_capacity = host_cache;
+  }
+  return nodes;
+}
+
+namespace {
+
+/// Fabric message body — the cluster models protocol *costs* through
+/// control_cost/transfer_cost; no payload is delivered.
+struct NoBody {};
+
+/// One-shot future bridging SlotCache's callback API into a coroutine.
+///
+/// IMPORTANT: the co_await operand must be `cell.wait()`, never the cell
+/// itself. Compilers may materialise the awaited object into the coroutine
+/// frame by copy (observed with GCC 12); the cache's callback captures the
+/// *original* cell's address, so awaiting a copy would lose the wake-up.
+/// The Waiter below is identity-free (it holds a pointer), making any such
+/// copy harmless.
+struct GrantCell {
+  explicit GrantCell(sim::Simulation& s) : sim(&s) {}
+  GrantCell(const GrantCell&) = delete;
+  GrantCell& operator=(const GrantCell&) = delete;
+  sim::Simulation* sim;
+  std::optional<cache::SlotCache::Grant> value;
+  std::coroutine_handle<> waiter;
+
+  cache::SlotCache::Callback callback() {
+    return [this](cache::SlotCache::Grant grant) {
+      value = grant;
+      if (waiter) {
+        sim->schedule(0, waiter);
+        waiter = nullptr;
+      }
+    };
+  }
+
+  struct Waiter {
+    GrantCell* cell;
+    bool await_ready() const noexcept { return cell->value.has_value(); }
+    void await_suspend(std::coroutine_handle<> h) { cell->waiter = h; }
+    cache::SlotCache::Grant await_resume() {
+      ROCKET_CHECK(cell->value.has_value(), "GrantCell resumed without a grant");
+      return *cell->value;
+    }
+  };
+  Waiter wait() { return Waiter{this}; }
+};
+
+}  // namespace
+
+struct SimCluster::Impl {
+  struct Device {
+    gpu::DeviceSpec spec;
+    std::uint32_t node = 0;
+    std::uint32_t ordinal = 0;
+    steal::WorkerId worker_id = 0;
+    std::unique_ptr<cache::SlotCache> cache;
+    std::unique_ptr<sim::Resource> kernel;
+    std::unique_ptr<sim::SharedBandwidth> h2d;
+    std::unique_ptr<sim::SharedBandwidth> d2h;
+    double busy_preprocess = 0.0;
+    double busy_comparison = 0.0;
+    std::uint64_t pairs = 0;
+    std::vector<double> completions;
+  };
+
+  struct Node {
+    std::uint32_t id = 0;
+    std::unique_ptr<cache::SlotCache> host_cache;  // null if disabled
+    std::unique_ptr<sim::Resource> cpu;
+    std::unique_ptr<cache::DistributedDirectory> directory;
+    std::vector<std::unique_ptr<Device>> devices;
+  };
+
+  ClusterConfig cfg;
+  WorkloadConfig wl;
+  std::uint32_t n = 0;
+  std::uint64_t total_pairs = 0;
+
+  sim::Simulation sim;
+  std::unique_ptr<net::Fabric<NoBody>> fabric;
+  std::unique_ptr<storage::SimulatedStore> store;
+  std::vector<std::unique_ptr<Node>> nodes;
+  std::vector<Device*> workers;  // indexed by worker_id
+  std::unique_ptr<steal::RegionScheduler> scheduler;
+  std::vector<std::unique_ptr<sim::Resource>> job_limits;  // per worker
+  std::unique_ptr<sim::Event> all_done;
+
+  std::uint64_t pairs_done = 0;
+  std::uint64_t total_loads = 0;
+  double makespan = 0.0;
+  DistCacheMetrics dc;
+
+  Impl(ClusterConfig config, WorkloadConfig workload)
+      : cfg(std::move(config)), wl(std::move(workload)) {
+    n = wl.n != 0 ? wl.n : wl.app.default_n;
+    total_pairs = model::pair_count(n);
+    if (cfg.event_limit != 0) sim.set_event_limit(cfg.event_limit);
+
+    ROCKET_CHECK(!cfg.nodes.empty(), "cluster needs at least one node");
+    fabric = std::make_unique<net::Fabric<NoBody>>(
+        sim, static_cast<std::uint32_t>(cfg.nodes.size()), cfg.fabric);
+    store = std::make_unique<storage::SimulatedStore>(sim, cfg.storage);
+    all_done = std::make_unique<sim::Event>(sim);
+    dc.hits_at_hop.assign(cfg.hop_limit, 0);
+
+    std::vector<std::uint32_t> workers_per_node;
+    for (std::uint32_t node_id = 0; node_id < cfg.nodes.size(); ++node_id) {
+      const NodeConfig& nc = cfg.nodes[node_id];
+      ROCKET_CHECK(!nc.gpus.empty(), "node without GPUs");
+      auto node = std::make_unique<Node>();
+      node->id = node_id;
+      node->cpu = std::make_unique<sim::Resource>(sim, nc.cpu_threads);
+      node->directory =
+          std::make_unique<cache::DistributedDirectory>(cfg.hop_limit);
+      if (cfg.host_cache_enabled) {
+        const auto slots = cache::slots_for_capacity(
+            nc.host_cache_capacity, wl.app.slot_size, n);
+        if (slots > 0) {
+          node->host_cache = std::make_unique<cache::SlotCache>(
+              cache::SlotCache::Config{slots, wl.app.slot_size, "host"});
+        }
+      }
+      for (std::uint32_t g = 0; g < nc.gpus.size(); ++g) {
+        auto device = std::make_unique<Device>();
+        device->spec = nc.gpus[g];
+        device->node = node_id;
+        device->ordinal = g;
+        const Bytes capacity = cfg.device_cache_capacity_override
+                                   ? std::min(*cfg.device_cache_capacity_override,
+                                              device->spec.cache_capacity())
+                                   : device->spec.cache_capacity();
+        const auto slots =
+            std::max(2u, cache::slots_for_capacity(capacity, wl.app.slot_size, n));
+        device->cache = std::make_unique<cache::SlotCache>(
+            cache::SlotCache::Config{slots, wl.app.slot_size, "device"});
+        device->kernel = std::make_unique<sim::Resource>(sim, 1);
+        device->h2d = std::make_unique<sim::SharedBandwidth>(
+            sim, device->spec.pcie_bandwidth);
+        device->d2h = std::make_unique<sim::SharedBandwidth>(
+            sim, device->spec.pcie_bandwidth);
+        node->devices.push_back(std::move(device));
+      }
+      workers_per_node.push_back(static_cast<std::uint32_t>(nc.gpus.size()));
+      nodes.push_back(std::move(node));
+    }
+
+    steal::RegionScheduler::Config sched_cfg;
+    sched_cfg.workers_per_node = workers_per_node;
+    sched_cfg.max_leaf_pairs = cfg.max_leaf_pairs;
+    sched_cfg.seed = cfg.seed;
+    sched_cfg.steal_smallest = cfg.steal_smallest;
+    sched_cfg.flat_victim_selection = cfg.flat_victim_selection;
+    scheduler = std::make_unique<steal::RegionScheduler>(sched_cfg);
+
+    steal::WorkerId worker_id = 0;
+    for (auto& node : nodes) {
+      for (auto& device : node->devices) {
+        device->worker_id = worker_id++;
+        workers.push_back(device.get());
+        // Two pins per job: keep 2·limit ≤ device slots to guarantee
+        // progress under allocation pressure.
+        const auto max_jobs =
+            std::max<std::uint32_t>(1, device->cache->num_slots() / 2);
+        job_limits.push_back(std::make_unique<sim::Resource>(
+            sim, std::min(cfg.job_limit_per_worker, max_jobs)));
+      }
+    }
+  }
+
+  // ---- pipelines -------------------------------------------------------
+
+  /// Load pipeline §3: remote I/O → CPU parse → H2D → GPU pre-process.
+  /// Leaves the pre-processed item in the (already WRITE-locked) device
+  /// slot; the caller publishes.
+  sim::Process load_into_device(Device& dev, std::uint32_t item) {
+    Node& node = *nodes[dev.node];
+    ++total_loads;
+    co_await store->read(wl.app.file_size_of(item, cfg.seed));
+    co_await node.cpu->acquire();
+    co_await sim::delay(wl.app.parse_seconds(item, cfg.seed));
+    node.cpu->release();
+    co_await dev.h2d->transfer(wl.app.slot_size);
+    if (wl.app.has_preprocess()) {
+      co_await dev.kernel->acquire();
+      const double t =
+          dev.spec.scale_kernel_time(wl.app.preprocess_seconds(item, cfg.seed));
+      co_await sim::delay(t);
+      dev.kernel->release();
+      dev.busy_preprocess += t;
+    }
+  }
+
+  /// Third-level cache lookup (§4.1.3): ask the mediator, walk the
+  /// candidate chain, ship the data from the first peer that has it.
+  sim::Process remote_fetch(Node& requester, std::uint32_t item, bool* ok) {
+    *ok = false;
+    ++dc.requests;
+    const auto p = static_cast<std::uint32_t>(nodes.size());
+    const auto mediator = cache::DistributedDirectory::mediator_of(item, p);
+    co_await fabric->control_cost(requester.id, mediator,
+                                  net::Tag::kCacheRequest);
+    const auto chain =
+        nodes[mediator]->directory->on_request(item, requester.id);
+    std::uint32_t hop = 0;
+    std::uint32_t prev = mediator;
+    for (const auto candidate : chain) {
+      if (hop >= cfg.hop_limit) break;
+      ++hop;
+      co_await fabric->control_cost(prev, candidate, net::Tag::kCacheForward);
+      prev = candidate;
+      Node& peer = *nodes[candidate];
+      if (!peer.host_cache) continue;
+      if (auto pin = peer.host_cache->try_pin(item)) {
+        co_await fabric->transfer_cost(candidate, requester.id,
+                                       net::Tag::kCacheData, wl.app.slot_size);
+        peer.host_cache->release(*pin);
+        ++dc.hits_at_hop[hop - 1];
+        *ok = true;
+        co_return;
+      }
+    }
+    co_await fabric->control_cost(prev, requester.id, net::Tag::kCacheFailure);
+    ++dc.misses;
+  }
+
+  /// Fill a WRITE-locked device slot for `item` and publish it, following
+  /// the Fig 4 policy (host hit → copy; host miss → distributed cache →
+  /// load). On every fresh load the result is written to *both* levels
+  /// (§4.1.2).
+  sim::Process fill_device(Device& dev, std::uint32_t item,
+                           cache::SlotId dev_slot) {
+    Node& node = *nodes[dev.node];
+    if (!node.host_cache) {
+      co_await load_into_device(dev, item);
+      dev.cache->publish(dev_slot);
+      co_return;
+    }
+    for (;;) {
+      GrantCell cell(sim);
+      auto grant = node.host_cache->acquire(item, cell.callback());
+      if (grant.outcome == cache::SlotCache::Outcome::kQueued) {
+        grant = co_await cell.wait();
+      }
+      switch (grant.outcome) {
+        case cache::SlotCache::Outcome::kHit: {
+          co_await dev.h2d->transfer(wl.app.slot_size);
+          dev.cache->publish(dev_slot);
+          node.host_cache->release(grant.slot);
+          co_return;
+        }
+        case cache::SlotCache::Outcome::kFill: {
+          bool fetched = false;
+          if (cfg.distributed_cache && nodes.size() > 1) {
+            co_await remote_fetch(node, item, &fetched);
+          }
+          if (fetched) {
+            // Remote data landed in the host slot; publish, then stage to
+            // the device.
+            node.host_cache->publish(grant.slot);
+            co_await dev.h2d->transfer(wl.app.slot_size);
+            dev.cache->publish(dev_slot);
+          } else {
+            // Local load: pre-processed result materialises in the device
+            // slot, then is copied back so peers can fetch it (§4.1.2).
+            co_await load_into_device(dev, item);
+            dev.cache->publish(dev_slot);
+            co_await dev.d2h->transfer(wl.app.slot_size);
+            node.host_cache->publish(grant.slot);
+          }
+          node.host_cache->release(grant.slot);
+          co_return;
+        }
+        case cache::SlotCache::Outcome::kFailed:
+          continue;  // writer aborted; retry the host level
+        case cache::SlotCache::Outcome::kQueued:
+          ROCKET_CHECK(false, "queued grant after wait");
+      }
+    }
+  }
+
+  /// One comparison job (i, j): pin both items on the device (driving
+  /// loads on miss), run the comparison kernel, release.
+  sim::Process run_job(Device& dev, dnc::Pair pair) {
+    cache::SlotId pins[2] = {cache::kInvalidSlot, cache::kInvalidSlot};
+    const std::uint32_t items[2] = {pair.left, pair.right};
+    for (int k = 0; k < 2; ++k) {
+      for (;;) {
+        GrantCell cell(sim);
+        auto grant = dev.cache->acquire(items[k], cell.callback());
+        if (grant.outcome == cache::SlotCache::Outcome::kQueued) {
+          grant = co_await cell.wait();
+        }
+        if (grant.outcome == cache::SlotCache::Outcome::kHit) {
+          pins[k] = grant.slot;
+          break;
+        }
+        if (grant.outcome == cache::SlotCache::Outcome::kFill) {
+          co_await fill_device(dev, items[k], grant.slot);
+          pins[k] = grant.slot;  // publish grants the writer a read pin
+          break;
+        }
+        // kFailed: retry.
+      }
+    }
+
+    co_await dev.kernel->acquire();
+    const double t = dev.spec.scale_kernel_time(
+        wl.app.comparison_seconds(pair.left, pair.right, cfg.seed));
+    co_await sim::delay(t);
+    dev.kernel->release();
+    dev.busy_comparison += t;
+
+    const double t_post =
+        wl.app.postprocess_seconds(pair.left, pair.right, cfg.seed);
+    if (t_post > 0.0) {
+      Node& node = *nodes[dev.node];
+      co_await node.cpu->acquire();
+      co_await sim::delay(t_post);
+      node.cpu->release();
+    }
+
+    dev.cache->release(pins[0]);
+    dev.cache->release(pins[1]);
+    ++dev.pairs;
+    if (cfg.record_completions) dev.completions.push_back(sim.now());
+
+    job_limits[dev.worker_id]->release();
+    if (++pairs_done == total_pairs) {
+      makespan = sim.now();
+      all_done->trigger();
+    }
+  }
+
+  /// Worker (one per GPU): pull leaves from the scheduler, submit jobs
+  /// asynchronously under the concurrent-job limit (§4.2/§4.3).
+  sim::Process worker_loop(Device& dev) {
+    auto& limit = *job_limits[dev.worker_id];
+    double backoff = milliseconds(1);
+    while (pairs_done < total_pairs) {
+      auto grant = scheduler->next_leaf(dev.worker_id);
+      if (!grant) {
+        if (pairs_done >= total_pairs) break;
+        co_await sim::delay(backoff);
+        backoff = std::min(backoff * 2.0, milliseconds(64));
+        continue;
+      }
+      backoff = milliseconds(1);
+      if (grant->origin == steal::Origin::kRemote) {
+        const auto victim_node = scheduler->node_of(grant->victim);
+        co_await fabric->control_cost(dev.node, victim_node,
+                                      net::Tag::kStealRequest);
+        co_await fabric->control_cost(victim_node, dev.node,
+                                      net::Tag::kStealReply);
+      }
+      const dnc::Region region = grant->region;
+      for (std::uint32_t i = region.row_begin; i < region.row_end; ++i) {
+        const std::uint32_t j_start = std::max(i + 1, region.col_begin);
+        for (std::uint32_t j = j_start; j < region.col_end; ++j) {
+          co_await limit.acquire();
+          spawn(sim, run_job(dev, dnc::Pair{i, j}));
+        }
+      }
+    }
+  }
+
+  /// Diagnostic dump used when the event-limit guard trips.
+  void dump_state() const {
+    ROCKET_ERROR("cluster stalled at t=%.3f: pairs %llu/%llu loads=%llu",
+                 sim.now(), static_cast<unsigned long long>(pairs_done),
+                 static_cast<unsigned long long>(total_pairs),
+                 static_cast<unsigned long long>(total_loads));
+    for (const auto& node : nodes) {
+      for (const auto& dev : node->devices) {
+        const auto& s = dev->cache->stats();
+        ROCKET_ERROR(
+            "  node %u gpu %u: jobs_avail=%llu kernel_q=%zu devcache "
+            "hits=%llu fills=%llu stalls=%llu pending? resident=%u slots=%u",
+            node->id, dev->ordinal,
+            static_cast<unsigned long long>(
+                job_limits[dev->worker_id]->available()),
+            dev->kernel->queue_length(),
+            static_cast<unsigned long long>(s.hits),
+            static_cast<unsigned long long>(s.fills),
+            static_cast<unsigned long long>(s.alloc_stalls),
+            dev->cache->resident_items(), dev->cache->num_slots());
+        ROCKET_ERROR("  kernel in_use=%llu h2d_active=%zu d2h_active=%zu\n%s",
+                     static_cast<unsigned long long>(dev->kernel->in_use()),
+                     dev->h2d->active_transfers(),
+                     dev->d2h->active_transfers(),
+                     dev->cache->debug_dump().c_str());
+      }
+      if (node->host_cache) {
+        const auto& s = node->host_cache->stats();
+        ROCKET_ERROR("  node %u host: hits=%llu fills=%llu stalls=%llu "
+                     "waits=%llu resident=%u/%u",
+                     node->id, static_cast<unsigned long long>(s.hits),
+                     static_cast<unsigned long long>(s.fills),
+                     static_cast<unsigned long long>(s.alloc_stalls),
+                     static_cast<unsigned long long>(s.write_waits),
+                     node->host_cache->resident_items(),
+                     node->host_cache->num_slots());
+        ROCKET_ERROR("%s", node->host_cache->debug_dump().c_str());
+      }
+      ROCKET_ERROR("  node %u cpu in_use=%llu q=%zu", node->id,
+                   static_cast<unsigned long long>(node->cpu->in_use()),
+                   node->cpu->queue_length());
+    }
+    {
+      ROCKET_ERROR("  store active=%zu bytes=%llu; fabric msgs=%llu",
+                   store->active_reads(),
+                   static_cast<unsigned long long>(store->bytes_read()),
+                   static_cast<unsigned long long>(
+                       fabric->counters().total_messages()));
+    }
+  }
+
+  RunMetrics run() {
+    if (total_pairs > 0) {
+      scheduler->seed_root(n);
+      for (Device* device : workers) {
+        spawn(sim, worker_loop(*device));
+      }
+    } else {
+      makespan = 0.0;
+      all_done->trigger();
+    }
+    try {
+      sim.run();
+    } catch (const std::exception&) {
+      dump_state();
+      throw;
+    }
+    ROCKET_CHECK(pairs_done == total_pairs, "cluster lost pairs");
+
+    RunMetrics out;
+    out.makespan = makespan;
+    out.pairs_done = pairs_done;
+    out.total_loads = total_loads;
+    out.reuse_factor =
+        n > 0 ? static_cast<double>(total_loads) / static_cast<double>(n) : 0.0;
+
+    const model::PerformanceModel pm(wl.app.profile(), n);
+    out.t_min = pm.t_min();
+    for (const Device* device : workers) {
+      out.effective_p += device->spec.relative_speed;
+    }
+    if (makespan > 0.0 && out.effective_p > 0.0) {
+      out.efficiency = (out.t_min / out.effective_p) / makespan;
+    }
+
+    for (const auto& node : nodes) {
+      out.busy_cpu += node->cpu->busy_time();
+      for (const auto& device : node->devices) {
+        out.busy_gpu_preprocess += device->busy_preprocess;
+        out.busy_gpu_comparison += device->busy_comparison;
+        out.busy_h2d += device->h2d->busy_time();
+        out.busy_d2h += device->d2h->busy_time();
+      }
+    }
+    out.busy_io = store->busy_time();
+    out.storage_bytes = store->bytes_read();
+    out.avg_io_usage = makespan > 0.0
+                           ? static_cast<double>(out.storage_bytes) / makespan
+                           : 0.0;
+    out.dist_cache = dc;
+    out.steal_stats = scheduler->stats();
+    out.traffic = fabric->counters();
+
+    for (const Device* device : workers) {
+      GpuMetrics gm;
+      gm.node = device->node;
+      gm.ordinal = device->ordinal;
+      gm.device_name = device->spec.name;
+      gm.relative_speed = device->spec.relative_speed;
+      gm.pairs_done = device->pairs;
+      gm.busy_preprocess = device->busy_preprocess;
+      gm.busy_comparison = device->busy_comparison;
+      gm.completion_times = device->completions;
+      out.gpus.push_back(std::move(gm));
+    }
+    return out;
+  }
+};
+
+SimCluster::SimCluster(ClusterConfig config, WorkloadConfig workload)
+    : impl_(std::make_unique<Impl>(std::move(config), std::move(workload))) {}
+
+SimCluster::~SimCluster() = default;
+
+RunMetrics SimCluster::run() { return impl_->run(); }
+
+}  // namespace rocket::cluster

@@ -1,0 +1,159 @@
+#pragma once
+
+// Virtual-time cluster running the full Rocket stack.
+//
+// A SimCluster instantiates p nodes — each with a host-level slot cache, a
+// CPU pool and one or more (virtual) GPUs with device-level slot caches,
+// kernel engines and PCIe transfer links — connected by a fabric and a
+// shared storage server. One worker coroutine per GPU drives the
+// divide-and-conquer / work-stealing scheduler; each leaf becomes an
+// asynchronous comparison job flowing through the paper's Fig 4 cache
+// policy: device cache → host cache → distributed cache (mediator protocol,
+// §4.1.3) → load pipeline (I/O → parse → H2D → pre-process).
+//
+// The cache, scheduler and directory objects are the identical policy
+// classes the live runtime uses; the simulator supplies time. Everything is
+// deterministic given ClusterConfig::seed.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/app_model.hpp"
+#include "common/units.hpp"
+#include "gpu/device_spec.hpp"
+#include "model/performance_model.hpp"
+#include "net/fabric.hpp"
+#include "steal/scheduler.hpp"
+#include "storage/sim_store.hpp"
+
+namespace rocket::cluster {
+
+struct NodeConfig {
+  std::vector<gpu::DeviceSpec> gpus;
+  Bytes host_cache_capacity = gigabytes(40);  // DAS-5: 40 of 64 GB
+  std::uint32_t cpu_threads = 16;
+};
+
+/// Convenience: p identical nodes (the paper's homogeneous experiments).
+std::vector<NodeConfig> homogeneous_nodes(std::uint32_t p,
+                                          const gpu::DeviceSpec& gpu,
+                                          std::uint32_t gpus_per_node = 1,
+                                          Bytes host_cache = gigabytes(40));
+
+struct ClusterConfig {
+  std::vector<NodeConfig> nodes;
+
+  /// Third-level (distributed) cache on/off and its hop limit h (§4.1.3).
+  bool distributed_cache = true;
+  std::uint32_t hop_limit = 1;  // paper: h=1 after the Fig 11 study
+
+  /// Back-pressure: concurrent jobs per worker (§4.2). Clamped internally
+  /// so that 2 × jobs ≤ device slots (two pins per job → no deadlock).
+  std::uint32_t job_limit_per_worker = 32;
+
+  std::uint64_t max_leaf_pairs = 1;
+  std::uint64_t seed = 1;
+
+  /// Scheduler ablations (see steal::RegionScheduler::Config).
+  bool steal_smallest = false;
+  bool flat_victim_selection = false;
+
+  net::FabricConfig fabric;
+  storage::SimulatedStoreConfig storage;
+
+  /// Fig 9 knobs: override device cache capacity / disable host cache.
+  std::optional<Bytes> device_cache_capacity_override;
+  bool host_cache_enabled = true;
+
+  /// Record per-pair completion timestamps (Fig 14 timelines); costs memory.
+  bool record_completions = false;
+
+  /// Safety valve for tests: abort after this many simulation events.
+  std::uint64_t event_limit = 0;
+};
+
+struct WorkloadConfig {
+  apps::AppModel app;
+  std::uint32_t n = 0;  // 0 → app.default_n
+};
+
+/// Per-GPU results (Fig 13/14).
+struct GpuMetrics {
+  std::uint32_t node = 0;
+  std::uint32_t ordinal = 0;  // within the node
+  std::string device_name;
+  double relative_speed = 1.0;
+  std::uint64_t pairs_done = 0;
+  double busy_preprocess = 0.0;
+  double busy_comparison = 0.0;
+  std::vector<double> completion_times;  // if record_completions
+};
+
+struct DistCacheMetrics {
+  std::uint64_t requests = 0;
+  std::vector<std::uint64_t> hits_at_hop;  // index 0 = first hop
+  std::uint64_t misses = 0;
+
+  std::uint64_t total_hits() const {
+    std::uint64_t sum = 0;
+    for (const auto h : hits_at_hop) sum += h;
+    return sum;
+  }
+};
+
+struct RunMetrics {
+  double makespan = 0.0;       // virtual seconds start-to-finish
+  std::uint64_t pairs_done = 0;
+  std::uint64_t total_loads = 0;  // load-pipeline executions (R·n)
+  double reuse_factor = 0.0;      // R
+  double efficiency = 0.0;        // Eq. 5, p = aggregate relative GPU speed
+  double t_min = 0.0;             // Eq. 4 for the workload
+
+  // Aggregate per-resource busy seconds (Fig 8/10 bars).
+  double busy_cpu = 0.0;
+  double busy_gpu_preprocess = 0.0;
+  double busy_gpu_comparison = 0.0;
+  double busy_h2d = 0.0;
+  double busy_d2h = 0.0;
+  double busy_io = 0.0;
+
+  // Storage (Fig 12 bottom row).
+  Bytes storage_bytes = 0;
+  double avg_io_usage = 0.0;  // bytes/s over the makespan
+
+  // Third-level cache (Fig 11).
+  DistCacheMetrics dist_cache;
+
+  // Scheduler behaviour.
+  steal::SchedulerStats steal_stats;
+
+  // Network traffic.
+  net::TrafficCounters traffic;
+
+  std::vector<GpuMetrics> gpus;
+
+  /// Sum of relative GPU speeds: the "p" used for the efficiency metric
+  /// (equals the node count in the paper's homogeneous experiments).
+  double effective_p = 0.0;
+};
+
+class SimCluster {
+ public:
+  SimCluster(ClusterConfig config, WorkloadConfig workload);
+  ~SimCluster();
+
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
+
+  /// Execute the full all-pairs workload; returns the collected metrics.
+  RunMetrics run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rocket::cluster

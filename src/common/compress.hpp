@@ -1,0 +1,28 @@
+#pragma once
+
+// A small self-contained LZSS-style byte compressor.
+//
+// The bioinformatics application stores proteome files "in compressed FASTA
+// format" (paper §5.2); decompression is part of its CPU parse stage. We
+// cannot ship zlib in this offline reproduction, so Rocket carries its own
+// codec: LZ77 matching with a hash-chain searcher and a token stream of
+// literal runs and (length, distance) copies, varint-encoded. It is not
+// meant to rival zlib's ratio — it is meant to make the parse stage do real,
+// data-dependent decompression work, like the original application's.
+
+#include <cstdint>
+#include <vector>
+
+namespace rocket {
+
+using ByteBuffer = std::vector<std::uint8_t>;
+
+/// Compress `input`. Output begins with an 8-byte little-endian header
+/// holding the uncompressed size.
+ByteBuffer lz_compress(const ByteBuffer& input);
+
+/// Decompress a buffer produced by lz_compress. Throws std::runtime_error
+/// on malformed input.
+ByteBuffer lz_decompress(const ByteBuffer& input);
+
+}  // namespace rocket

@@ -1,0 +1,39 @@
+#include "common/log.hpp"
+
+#include <cstdarg>
+#include <cstdlib>
+
+namespace rocket {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, const std::string& msg) {
+  static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  const auto idx = static_cast<int>(level);
+  if (idx < 0 || idx > 3) return;
+  std::scoped_lock lock(mutex_);
+  std::fprintf(stderr, "[rocket %-5s] %s\n", kNames[idx], msg.c_str());
+}
+
+namespace detail {
+std::string log_format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+}  // namespace detail
+
+}  // namespace rocket

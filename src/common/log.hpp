@@ -1,0 +1,59 @@
+#pragma once
+
+// Minimal levelled logger. Rocket is a library: logging defaults to WARN so
+// that embedding applications stay quiet; benches flip it to INFO.
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace rocket {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void log(LogLevel level, const std::string& msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+};
+
+namespace detail {
+std::string log_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+#define ROCKET_LOG(lvl, ...)                                                \
+  do {                                                                      \
+    if (static_cast<int>(lvl) >=                                            \
+        static_cast<int>(::rocket::Logger::instance().level())) {           \
+      ::rocket::Logger::instance().log(lvl,                                 \
+                                       ::rocket::detail::log_format(__VA_ARGS__)); \
+    }                                                                       \
+  } while (0)
+
+#define ROCKET_DEBUG(...) ROCKET_LOG(::rocket::LogLevel::kDebug, __VA_ARGS__)
+#define ROCKET_INFO(...) ROCKET_LOG(::rocket::LogLevel::kInfo, __VA_ARGS__)
+#define ROCKET_WARN(...) ROCKET_LOG(::rocket::LogLevel::kWarn, __VA_ARGS__)
+#define ROCKET_ERROR(...) ROCKET_LOG(::rocket::LogLevel::kError, __VA_ARGS__)
+
+/// Invariant check that stays on in release builds: Rocket is a runtime
+/// system, silent corruption is worse than an abort.
+#define ROCKET_CHECK(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::rocket::Logger::instance().log(::rocket::LogLevel::kError,       \
+                                       std::string("CHECK failed: ") +   \
+                                           #cond + " — " + (msg));       \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+}  // namespace rocket

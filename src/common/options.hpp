@@ -1,0 +1,32 @@
+#pragma once
+
+// Tiny command-line option parser for the bench/example binaries.
+// Supports `--name value`, `--name=value` and boolean `--flag`.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rocket {
+
+class Options {
+ public:
+  Options(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rocket

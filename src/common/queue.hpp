@@ -1,0 +1,152 @@
+#pragma once
+
+// Thread-safe queues for the live runtime. Mutex + condition-variable based
+// (per C++ Core Guidelines CP.42: never wait without a condition). The hot
+// producer/consumer paths in Rocket move pointers or small closures, so a
+// lock-based MPMC queue is entirely adequate; lock-free structures are
+// reserved for the work-stealing deque where contention patterns demand it.
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace rocket {
+
+/// Unbounded multi-producer/multi-consumer FIFO. `close()` wakes all
+/// blocked consumers; after close, pop() drains remaining items and then
+/// returns nullopt.
+template <typename T>
+class MpmcQueue {
+ public:
+  void push(T value) {
+    {
+      std::scoped_lock lock(mutex_);
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocking pop; returns nullopt only once the queue is closed and empty.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::scoped_lock lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  void close() {
+    {
+      std::scoped_lock lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::scoped_lock lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lock(mutex_);
+    return items_.size();
+  }
+
+  bool empty() const {
+    std::scoped_lock lock(mutex_);
+    return items_.empty();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+/// Counting semaphore with blocking acquire. Used for Rocket's
+/// concurrent-job-limit back-pressure (paper §4.2). std::counting_semaphore
+/// lacks a portable "wait for k" and introspection, hence this small class.
+class Semaphore {
+ public:
+  explicit Semaphore(std::size_t initial) : count_(initial) {}
+
+  void acquire() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return count_ > 0; });
+    --count_;
+  }
+
+  bool try_acquire() {
+    std::scoped_lock lock(mutex_);
+    if (count_ == 0) return false;
+    --count_;
+    return true;
+  }
+
+  void release() {
+    {
+      std::scoped_lock lock(mutex_);
+      ++count_;
+    }
+    cv_.notify_one();
+  }
+
+  std::size_t available() const {
+    std::scoped_lock lock(mutex_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t count_;
+};
+
+/// One-shot completion latch: count_down() until zero releases waiters.
+/// (std::latch exists in C++20 but lacks try_wait-with-timeout on all
+/// toolchains we target; this also tracks the count for assertions.)
+class CountdownLatch {
+ public:
+  explicit CountdownLatch(std::size_t count) : count_(count) {}
+
+  void count_down() {
+    std::size_t remaining;
+    {
+      std::scoped_lock lock(mutex_);
+      if (count_ > 0) --count_;
+      remaining = count_;
+    }
+    if (remaining == 0) cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return count_ == 0; });
+  }
+
+  std::size_t remaining() const {
+    std::scoped_lock lock(mutex_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t count_;
+};
+
+}  // namespace rocket

@@ -1,0 +1,156 @@
+#pragma once
+
+// Deterministic random number generation for Rocket.
+//
+// All stochastic behaviour in the simulator and the synthetic data
+// generators flows through these generators so that every experiment is
+// exactly reproducible from a seed. We use xoshiro256** (public-domain
+// algorithm by Blackman & Vigna) seeded through splitmix64, which has far
+// better statistical behaviour than std::minstd and, unlike the standard
+// distributions, produces identical streams across standard libraries.
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace rocket {
+
+/// splitmix64 — used for seeding and for cheap stateless hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix, handy for hashing ids into independent seeds.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = static_cast<__uint128_t>((*this)()) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>((*this)()) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    uniform_index(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box–Muller (no cached spare: deterministic stream).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  double exponential(double mean) {
+    double u = uniform();
+    while (u <= 1e-300) u = uniform();
+    return -mean * std::log(u);
+  }
+
+  /// Lognormal parameterised by the *target* mean and standard deviation of
+  /// the resulting distribution (not of the underlying normal). This is the
+  /// fit used to turn the paper's "avg ± std" stage times into sampling
+  /// distributions.
+  double lognormal_from_moments(double mean, double stddev) {
+    if (stddev <= 0.0 || mean <= 0.0) return mean;
+    const double cv2 = (stddev / mean) * (stddev / mean);
+    const double sigma2 = std::log1p(cv2);
+    const double mu = std::log(mean) - 0.5 * sigma2;
+    return std::exp(mu + std::sqrt(sigma2) * normal());
+  }
+
+  /// Fisher–Yates shuffle of an indexable container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      const std::size_t j = uniform_index(i);
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// A positive duration sampler fitted to mean ± stddev. Regular stages
+/// (tiny stddev) become near-constant; irregular stages heavy-tailed.
+class DurationSampler {
+ public:
+  DurationSampler() = default;
+  DurationSampler(double mean, double stddev) : mean_(mean), stddev_(stddev) {}
+
+  double mean() const { return mean_; }
+  double stddev() const { return stddev_; }
+
+  double sample(Rng& rng) const {
+    if (mean_ <= 0.0) return 0.0;
+    if (stddev_ <= 0.0) return mean_;
+    return rng.lognormal_from_moments(mean_, stddev_);
+  }
+
+ private:
+  double mean_ = 0.0;
+  double stddev_ = 0.0;
+};
+
+}  // namespace rocket

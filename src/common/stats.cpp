@@ -1,0 +1,91 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rocket {
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram requires hi > lo and bins > 0");
+  }
+}
+
+void Histogram::add(double x) {
+  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar =
+        static_cast<std::size_t>(static_cast<double>(counts_[b]) /
+                                 static_cast<double>(peak) *
+                                 static_cast<double>(width));
+    std::snprintf(line, sizeof(line), "%12.4g | %-*s %zu\n", bin_center(b),
+                  static_cast<int>(width),
+                  std::string(bar, '#').c_str(), counts_[b]);
+    out += line;
+  }
+  return out;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double RollingThroughput::rate_at(double t) const {
+  if (window_ <= 0.0) return 0.0;
+  // stamps_ is sorted; count entries in (t - window_, t].
+  const auto hi = std::upper_bound(stamps_.begin(), stamps_.end(), t);
+  const auto lo = std::upper_bound(stamps_.begin(), stamps_.end(), t - window_);
+  const auto n = static_cast<double>(hi - lo);
+  // For early times the window is partially filled; normalise by the
+  // covered span so the ramp-up is not understated.
+  const double span = std::min(window_, t);
+  return span > 0.0 ? n / span : 0.0;
+}
+
+std::vector<std::pair<double, double>> RollingThroughput::series(
+    double horizon, double step) const {
+  std::vector<std::pair<double, double>> out;
+  if (step <= 0.0) return out;
+  out.reserve(static_cast<std::size_t>(horizon / step) + 1);
+  for (double t = step; t <= horizon + 1e-12; t += step) {
+    out.emplace_back(t, rate_at(t));
+  }
+  return out;
+}
+
+}  // namespace rocket

@@ -1,0 +1,136 @@
+#pragma once
+
+// Online statistics and histograms used by the profiler, the simulator's
+// metric collection, and the benchmark harness.
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace rocket {
+
+/// Welford's online mean/variance accumulator. Numerically stable; O(1)
+/// per observation, no sample storage.
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  void merge(const OnlineStats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(count_ + other.count_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                           static_cast<double>(other.count_) / total;
+    mean_ = (mean_ * static_cast<double>(count_) +
+             other.mean_ * static_cast<double>(other.count_)) /
+            total;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-range linear-bin histogram (values outside the range clamp to the
+/// first/last bin). Used to regenerate the paper's Fig 7.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_[bin]; }
+  std::size_t total() const { return total_; }
+  double bin_center(std::size_t bin) const;
+  double bin_width() const { return width_; }
+
+  /// ASCII rendering: one row per bin, bar scaled to `width` chars.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Exact quantile over stored samples. Only for modest sample counts.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// q in [0,1]; linear interpolation between order statistics.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Rolling-average throughput tracker: record event timestamps, then query
+/// events/second over a trailing window (the paper's Fig 14 uses a one
+/// minute rolling average).
+class RollingThroughput {
+ public:
+  explicit RollingThroughput(double window_seconds)
+      : window_(window_seconds) {}
+
+  void record(double t) { stamps_.push_back(t); }
+  std::size_t total() const { return stamps_.size(); }
+
+  /// Events per second in (t - window, t]. Timestamps must have been
+  /// recorded in nondecreasing order.
+  double rate_at(double t) const;
+
+  /// Sample the rolling rate on a regular grid [0, horizon] with `step`.
+  std::vector<std::pair<double, double>> series(double horizon,
+                                                double step) const;
+
+ private:
+  double window_;
+  std::vector<double> stamps_;
+};
+
+}  // namespace rocket

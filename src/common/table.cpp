@@ -1,0 +1,97 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace rocket {
+
+void TableWriter::set_header(std::vector<std::string> columns) {
+  header_ = std::move(columns);
+}
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TableWriter::integer(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string TableWriter::percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string TableWriter::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      out.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+
+  std::string out;
+  if (!title_.empty()) {
+    out += "== " + title_ + " ==\n";
+  }
+  emit_row(header_, out);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  out.append(total > 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void TableWriter::write_csv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    throw std::runtime_error("TableWriter: cannot open " + path);
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) file << ',';
+      file << csv_escape(row[c]);
+    }
+    file << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace rocket

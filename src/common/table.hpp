@@ -1,0 +1,40 @@
+#pragma once
+
+// Aligned-text table writer used by the benchmark harness to print the
+// paper's tables/figure series, with a CSV sidecar for plotting.
+
+#include <string>
+#include <vector>
+
+namespace rocket {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the header row. Must be called before any add_row.
+  void set_header(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(long long v);
+  static std::string percent(double fraction, int precision = 1);
+
+  /// Render to an aligned monospace table.
+  std::string render() const;
+
+  /// Write CSV (header + rows) to `path`. Throws std::runtime_error on
+  /// failure.
+  void write_csv(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rocket

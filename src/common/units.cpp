@@ -1,0 +1,43 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace rocket {
+
+std::string format_bytes(Bytes b) {
+  static constexpr std::array<const char*, 5> kSuffix{"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(b);
+  std::size_t idx = 0;
+  while (v >= 1000.0 && idx + 1 < kSuffix.size()) {
+    v /= 1000.0;
+    ++idx;
+  }
+  char buf[32];
+  if (idx == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", v, kSuffix[idx]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, kSuffix[idx]);
+  }
+  return buf;
+}
+
+std::string format_seconds(double s) {
+  char buf[32];
+  if (s < 0) {
+    std::snprintf(buf, sizeof(buf), "-%s", format_seconds(-s).c_str());
+  } else if (s < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+  } else if (s < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", s);
+  } else if (s < 2.0 * 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", s / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f h", s / 3600.0);
+  }
+  return buf;
+}
+
+}  // namespace rocket

@@ -1,0 +1,53 @@
+#pragma once
+
+// Strongly-typed byte-size helpers and time units used across Rocket.
+//
+// Simulated time is represented as double seconds (sim::Time); wall-clock
+// time uses std::chrono. These helpers keep the unit conversions in one
+// place so magnitudes in configs stay readable (e.g. `40_GB`, `56_Gbps`).
+
+#include <cstdint>
+#include <string>
+
+namespace rocket {
+
+/// Number of bytes; an explicit alias used for all capacities and sizes.
+using Bytes = std::uint64_t;
+
+constexpr Bytes operator""_B(unsigned long long v) { return static_cast<Bytes>(v); }
+constexpr Bytes operator""_KB(unsigned long long v) { return static_cast<Bytes>(v) * 1000ULL; }
+constexpr Bytes operator""_MB(unsigned long long v) { return static_cast<Bytes>(v) * 1000ULL * 1000ULL; }
+constexpr Bytes operator""_GB(unsigned long long v) { return static_cast<Bytes>(v) * 1000ULL * 1000ULL * 1000ULL; }
+constexpr Bytes operator""_KiB(unsigned long long v) { return static_cast<Bytes>(v) << 10; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return static_cast<Bytes>(v) << 20; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return static_cast<Bytes>(v) << 30; }
+
+/// Fractional megabytes/gigabytes for configuration values taken from the
+/// paper (e.g. a 38.1 MB cache slot).
+constexpr Bytes megabytes(double v) { return static_cast<Bytes>(v * 1e6); }
+constexpr Bytes gigabytes(double v) { return static_cast<Bytes>(v * 1e9); }
+constexpr Bytes kilobytes(double v) { return static_cast<Bytes>(v * 1e3); }
+
+constexpr double as_mb(Bytes b) { return static_cast<double>(b) / 1e6; }
+constexpr double as_gb(Bytes b) { return static_cast<double>(b) / 1e9; }
+
+/// Bandwidths are bytes per (virtual) second.
+using Bandwidth = double;
+
+constexpr Bandwidth gbit_per_sec(double gbits) { return gbits * 1e9 / 8.0; }
+constexpr Bandwidth mb_per_sec(double mb) { return mb * 1e6; }
+constexpr Bandwidth gb_per_sec(double gb) { return gb * 1e9; }
+
+/// Virtual-time durations in seconds.
+constexpr double milliseconds(double ms) { return ms * 1e-3; }
+constexpr double microseconds(double us) { return us * 1e-6; }
+constexpr double minutes(double m) { return m * 60.0; }
+constexpr double hours(double h) { return h * 3600.0; }
+
+/// Render a byte count with a human-friendly suffix ("38.1 MB").
+std::string format_bytes(Bytes b);
+
+/// Render a duration in seconds as "1.23 ms" / "4.5 s" / "2.1 h".
+std::string format_seconds(double s);
+
+}  // namespace rocket

@@ -1,0 +1,79 @@
+#include "dnc/pair_space.hpp"
+
+#include <algorithm>
+
+namespace rocket::dnc {
+
+Region root_region(ItemIndex n) { return Region{0, n, 0, n, 0}; }
+
+PairCount count_pairs(const Region& r) {
+  if (r.row_begin >= r.row_end || r.col_begin >= r.col_end) return 0;
+  // Rows fully inside the rectangle's column span: i + 1 <= col_begin.
+  const std::uint64_t cols = r.col_end - r.col_begin;
+  const std::uint64_t full_rows_end = std::min<std::uint64_t>(r.row_end, r.col_begin);
+  std::uint64_t total = 0;
+  if (full_rows_end > r.row_begin) {
+    total += (full_rows_end - r.row_begin) * cols;
+  }
+  // Partial rows: i >= col_begin contribute (col_end - 1 - i) pairs while
+  // positive, i.e. for i in [lo, hi) with hi = min(row_end, col_end - 1).
+  const std::uint64_t lo = std::max<std::uint64_t>(r.row_begin, r.col_begin);
+  const std::uint64_t hi =
+      std::min<std::uint64_t>(r.row_end, r.col_end > 0 ? r.col_end - 1 : 0);
+  if (hi > lo) {
+    const std::uint64_t count = hi - lo;
+    const std::uint64_t first = r.col_end - 1 - lo;   // largest term
+    const std::uint64_t last = r.col_end - hi;        // smallest term
+    total += count * (first + last) / 2;
+  }
+  return total;
+}
+
+bool is_empty(const Region& region) { return count_pairs(region) == 0; }
+
+std::vector<Region> split(const Region& r) {
+  std::vector<Region> out;
+  if (count_pairs(r) <= 1) {
+    out.push_back(r);
+    return out;
+  }
+  const ItemIndex row_mid = r.row_begin + (r.row_end - r.row_begin) / 2;
+  const ItemIndex col_mid = r.col_begin + (r.col_end - r.col_begin) / 2;
+  const std::array<Region, 4> quadrants{{
+      {r.row_begin, row_mid, r.col_begin, col_mid, r.depth + 1},
+      {r.row_begin, row_mid, col_mid, r.col_end, r.depth + 1},
+      {row_mid, r.row_end, r.col_begin, col_mid, r.depth + 1},
+      {row_mid, r.row_end, col_mid, r.col_end, r.depth + 1},
+  }};
+  for (const auto& q : quadrants) {
+    if (!is_empty(q)) out.push_back(q);
+  }
+  return out;
+}
+
+std::vector<Pair> pairs_of(const Region& region) {
+  std::vector<Pair> out;
+  out.reserve(static_cast<std::size_t>(count_pairs(region)));
+  for_each_pair(region, [&](Pair p) { out.push_back(p); });
+  return out;
+}
+
+std::uint64_t working_set_size(const Region& r) {
+  if (is_empty(r)) return 0;
+  // Rows that contribute at least one pair: [row_begin, min(row_end, col_end-1)).
+  const std::uint64_t row_lo = r.row_begin;
+  const std::uint64_t row_hi =
+      std::min<std::uint64_t>(r.row_end, r.col_end > 0 ? r.col_end - 1 : 0);
+  // Columns that contribute: [max(col_begin, row_begin+1), col_end).
+  const std::uint64_t col_lo = std::max<std::uint64_t>(r.col_begin, row_lo + 1);
+  const std::uint64_t col_hi = r.col_end;
+  const std::uint64_t rows = row_hi > row_lo ? row_hi - row_lo : 0;
+  const std::uint64_t cols = col_hi > col_lo ? col_hi - col_lo : 0;
+  // Overlap between the row range and column range counts once.
+  const std::uint64_t overlap_lo = std::max(row_lo, col_lo);
+  const std::uint64_t overlap_hi = std::min(row_hi, col_hi);
+  const std::uint64_t overlap = overlap_hi > overlap_lo ? overlap_hi - overlap_lo : 0;
+  return rows + cols - overlap;
+}
+
+}  // namespace rocket::dnc

@@ -1,0 +1,64 @@
+#include "gpu/device_spec.hpp"
+
+#include <stdexcept>
+
+namespace rocket::gpu {
+
+DeviceSpec k20m() {
+  return DeviceSpec{"K20m", Generation::kKepler, gigabytes(5.0), 0.45,
+                    gb_per_sec(10)};
+}
+
+DeviceSpec gtx980() {
+  return DeviceSpec{"GTX980", Generation::kMaxwell, gigabytes(4.0), 0.80,
+                    gb_per_sec(12)};
+}
+
+DeviceSpec gtx_titan() {
+  return DeviceSpec{"GTX Titan", Generation::kKepler, gigabytes(6.0), 0.55,
+                    gb_per_sec(10)};
+}
+
+DeviceSpec titanx_maxwell() {
+  return DeviceSpec{"TitanX Maxwell", Generation::kMaxwell, gigabytes(12.0),
+                    1.00, gb_per_sec(12)};
+}
+
+DeviceSpec titanx_pascal() {
+  return DeviceSpec{"TitanX Pascal", Generation::kPascal, gigabytes(12.0),
+                    1.80, gb_per_sec(12)};
+}
+
+DeviceSpec k40m() {
+  return DeviceSpec{"K40m", Generation::kKepler, gigabytes(12.0), 0.55,
+                    gb_per_sec(10)};
+}
+
+DeviceSpec rtx2080ti() {
+  return DeviceSpec{"RTX2080Ti", Generation::kTuring, gigabytes(11.0), 2.40,
+                    gb_per_sec(13)};
+}
+
+std::vector<DeviceSpec> known_devices() {
+  return {k20m(),           gtx980(),        gtx_titan(), titanx_maxwell(),
+          titanx_pascal(),  k40m(),          rtx2080ti()};
+}
+
+DeviceSpec device_by_name(const std::string& name) {
+  for (const auto& spec : known_devices()) {
+    if (spec.name == name) return spec;
+  }
+  throw std::invalid_argument("unknown GPU: " + name);
+}
+
+const char* generation_name(Generation generation) {
+  switch (generation) {
+    case Generation::kKepler: return "Kepler";
+    case Generation::kMaxwell: return "Maxwell";
+    case Generation::kPascal: return "Pascal";
+    case Generation::kTuring: return "Turing";
+  }
+  return "unknown";
+}
+
+}  // namespace rocket::gpu

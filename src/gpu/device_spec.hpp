@@ -1,0 +1,70 @@
+#pragma once
+
+// GPU device catalogue.
+//
+// The paper's platforms span four GPU generations (§6.5): Kepler (K20m,
+// GTX Titan, K40m), Maxwell (GTX980, TitanX Maxwell), Pascal (TitanX
+// Pascal) and Turing (RTX2080Ti). Rocket treats application kernels as
+// black boxes, so for reproduction purposes a device is characterised by
+// (a) its memory capacity, which bounds the device-level cache, and
+// (b) a relative compute throughput used to scale kernel durations.
+//
+// Throughput ratios are calibration constants relative to the TitanX
+// Maxwell (the paper's Table 1 baseline card), estimated from the cards'
+// single-precision peak FLOPS and memory bandwidth; DESIGN.md documents
+// this substitution. Absolute correctness is not required — the evaluation
+// shapes depend only on the *relative ordering* (RTX2080Ti fastest, Kepler
+// slowest), which these preserve.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace rocket::gpu {
+
+enum class Generation { kKepler, kMaxwell, kPascal, kTuring };
+
+struct DeviceSpec {
+  std::string name;
+  Generation generation = Generation::kMaxwell;
+  Bytes memory = 0;
+  /// Kernel throughput relative to TitanX Maxwell (1.0). A comparison that
+  /// takes t seconds on the baseline takes t / relative_speed here.
+  double relative_speed = 1.0;
+  /// Host<->device transfer bandwidth (PCIe gen3 x16 unless noted).
+  Bandwidth pcie_bandwidth = gb_per_sec(12);
+
+  /// Fraction of device memory usable for the slot cache (the rest is
+  /// reserved for kernels, buffers and the CUDA context). 291 slots of
+  /// 38.1 MB on a 12 GB TitanX Maxwell (Table 1) implies ~0.92.
+  static constexpr double kCacheFraction = 0.925;
+  Bytes cache_capacity() const {
+    return static_cast<Bytes>(static_cast<double>(memory) * kCacheFraction);
+  }
+
+  /// Scale a baseline-kernel duration to this device.
+  double scale_kernel_time(double baseline_seconds) const {
+    return baseline_seconds / relative_speed;
+  }
+};
+
+/// Catalogue of the cards used in the paper's evaluation.
+DeviceSpec k20m();            // node I (Kepler, 5 GB)
+DeviceSpec gtx980();          // node II (Maxwell, 4 GB)
+DeviceSpec gtx_titan();       // node IV (Kepler, 6 GB)
+DeviceSpec titanx_maxwell();  // DAS-5 baseline (Maxwell, 12 GB)
+DeviceSpec titanx_pascal();   // nodes II & IV (Pascal, 12 GB)
+DeviceSpec k40m();            // Cartesius (Kepler, 12 GB)
+DeviceSpec rtx2080ti();       // node III (Turing, 11 GB)
+
+/// Lookup by name; throws std::invalid_argument for unknown cards.
+DeviceSpec device_by_name(const std::string& name);
+
+/// All known specs (testing / documentation).
+std::vector<DeviceSpec> known_devices();
+
+const char* generation_name(Generation generation);
+
+}  // namespace rocket::gpu

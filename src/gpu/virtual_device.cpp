@@ -1,0 +1,50 @@
+#include "gpu/virtual_device.hpp"
+
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace rocket::gpu {
+
+DeviceBuffer::DeviceBuffer(VirtualDevice* owner, std::size_t size)
+    : owner_(owner), bytes_(size) {}
+
+DeviceBuffer::DeviceBuffer(DeviceBuffer&& other) noexcept
+    : owner_(std::exchange(other.owner_, nullptr)),
+      bytes_(std::move(other.bytes_)) {
+  other.bytes_.clear();
+}
+
+DeviceBuffer& DeviceBuffer::operator=(DeviceBuffer&& other) noexcept {
+  if (this != &other) {
+    release();
+    owner_ = std::exchange(other.owner_, nullptr);
+    bytes_ = std::move(other.bytes_);
+    other.bytes_.clear();
+  }
+  return *this;
+}
+
+DeviceBuffer::~DeviceBuffer() { release(); }
+
+void DeviceBuffer::release() {
+  if (owner_ != nullptr && !bytes_.empty()) {
+    owner_->deallocate(bytes_.size());
+  }
+  owner_ = nullptr;
+  bytes_.clear();
+  bytes_.shrink_to_fit();
+}
+
+DeviceBuffer VirtualDevice::allocate(std::size_t size) {
+  const Bytes before = allocated_.fetch_add(size, std::memory_order_relaxed);
+  if (before + size > spec_.memory) {
+    allocated_.fetch_sub(size, std::memory_order_relaxed);
+    throw DeviceOutOfMemory(spec_.name + ": allocation of " +
+                            format_bytes(size) + " exceeds budget (" +
+                            format_bytes(spec_.memory - before) + " free)");
+  }
+  return DeviceBuffer(this, size);
+}
+
+}  // namespace rocket::gpu

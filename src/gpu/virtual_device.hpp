@@ -1,0 +1,86 @@
+#pragma once
+
+// Live-backend "GPU": a software device with real buffers.
+//
+// The live runtime runs application kernels as real CPU code, but the
+// memory discipline of a GPU is preserved: buffers are allocated from a
+// fixed device budget (allocation beyond capacity throws, exactly the
+// failure the device cache exists to avoid), and transfers between host
+// and device buffers are explicit copies performed by the runtime's
+// dedicated H2D/D2H threads. The device's relative speed is exposed so the
+// runtime can emulate heterogeneity (a Kepler-class virtual device can be
+// throttled relative to a Turing-class one).
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/units.hpp"
+#include "gpu/device_spec.hpp"
+
+namespace rocket::gpu {
+
+class VirtualDevice;
+
+/// A buffer resident in (virtual) device memory. Movable, not copyable;
+/// returns its bytes to the device budget on destruction.
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  DeviceBuffer(DeviceBuffer&& other) noexcept;
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept;
+  ~DeviceBuffer();
+
+  std::uint8_t* data() { return bytes_.data(); }
+  const std::uint8_t* data() const { return bytes_.data(); }
+  std::size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+
+  std::vector<std::uint8_t>& bytes() { return bytes_; }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  friend class VirtualDevice;
+  DeviceBuffer(VirtualDevice* owner, std::size_t size);
+  void release();
+
+  VirtualDevice* owner_ = nullptr;
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Thrown when a device allocation exceeds the memory budget.
+class DeviceOutOfMemory : public std::runtime_error {
+ public:
+  explicit DeviceOutOfMemory(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class VirtualDevice {
+ public:
+  VirtualDevice(int ordinal, DeviceSpec spec)
+      : ordinal_(ordinal), spec_(std::move(spec)) {}
+
+  int ordinal() const { return ordinal_; }
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Allocate a device buffer; throws DeviceOutOfMemory if over budget.
+  DeviceBuffer allocate(std::size_t size);
+
+  Bytes allocated() const { return allocated_.load(std::memory_order_relaxed); }
+  Bytes free_memory() const { return spec_.memory - allocated(); }
+
+ private:
+  friend class DeviceBuffer;
+  void deallocate(std::size_t size) {
+    allocated_.fetch_sub(size, std::memory_order_relaxed);
+  }
+
+  int ordinal_;
+  DeviceSpec spec_;
+  std::atomic<Bytes> allocated_{0};
+};
+
+}  // namespace rocket::gpu

@@ -1,0 +1,41 @@
+#include "model/performance_model.hpp"
+
+#include <algorithm>
+
+namespace rocket::model {
+
+double PerformanceModel::t_gpu(double R) const {
+  return R * static_cast<double>(n_) * profile_.t_preprocess +
+         static_cast<double>(pairs()) * profile_.t_comparison;
+}
+
+double PerformanceModel::t_cpu(double R) const {
+  return R * static_cast<double>(n_) * profile_.t_parse +
+         static_cast<double>(pairs()) * profile_.t_postprocess;
+}
+
+double PerformanceModel::t_io(double R, Bandwidth io_bandwidth) const {
+  if (io_bandwidth <= 0.0) return 0.0;
+  return R * static_cast<double>(n_) *
+         static_cast<double>(profile_.file_size) / io_bandwidth;
+}
+
+double PerformanceModel::t_min() const { return t_gpu(1.0); }
+
+double PerformanceModel::efficiency(double measured_seconds,
+                                    std::uint64_t p) const {
+  if (measured_seconds <= 0.0 || p == 0) return 0.0;
+  return (t_min() / static_cast<double>(p)) / measured_seconds;
+}
+
+double PerformanceModel::reuse_factor(std::uint64_t total_loads) const {
+  return n_ == 0 ? 0.0
+                 : static_cast<double>(total_loads) / static_cast<double>(n_);
+}
+
+double PerformanceModel::predicted_runtime(double R,
+                                           Bandwidth io_bandwidth) const {
+  return std::max({t_gpu(R), t_cpu(R), t_io(R, io_bandwidth)});
+}
+
+}  // namespace rocket::model

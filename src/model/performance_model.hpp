@@ -1,0 +1,72 @@
+#pragma once
+
+// The paper's performance model (§6.1, equations 1–5).
+//
+// Given n items, the comparison pipeline runs C(n,2) times and the load
+// pipeline R·n times, where R >= 1 measures data reuse (R = loads / n).
+//
+//   TGPU = R·n·t_pre  + C(n,2)·t_cmp                       (1)
+//   TCPU = R·n·t_parse + C(n,2)·t_post                     (2)
+//   TIO  ≈ R·n·file_size / io_bandwidth                    (3)
+//   Tmin = n·t_pre + C(n,2)·t_cmp        (R = 1, TIO = 0)  (4)
+//   system efficiency = (Tmin / p) / T_measured            (5)
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace rocket::model {
+
+/// Average stage durations (seconds) and data sizes for one application,
+/// i.e. one column of the paper's Table 1.
+struct StageProfile {
+  double t_parse = 0.0;        // CPU, per load
+  double t_preprocess = 0.0;   // GPU, per load
+  double t_comparison = 0.0;   // GPU, per pair
+  double t_postprocess = 0.0;  // CPU, per pair
+  Bytes file_size = 0;         // average compressed input file
+  Bytes slot_size = 0;         // pre-processed item (cache slot) size
+};
+
+constexpr std::uint64_t pair_count(std::uint64_t n) {
+  return n * (n - 1) / 2;
+}
+
+class PerformanceModel {
+ public:
+  PerformanceModel(StageProfile profile, std::uint64_t n)
+      : profile_(profile), n_(n) {}
+
+  std::uint64_t n() const { return n_; }
+  std::uint64_t pairs() const { return pair_count(n_); }
+  const StageProfile& profile() const { return profile_; }
+
+  /// Equation (1): total GPU seconds given data reuse factor R.
+  double t_gpu(double R) const;
+
+  /// Equation (2): total CPU seconds.
+  double t_cpu(double R) const;
+
+  /// Equation (3): total I/O seconds at the given aggregate bandwidth.
+  double t_io(double R, Bandwidth io_bandwidth) const;
+
+  /// Equation (4): lower bound on the single-GPU run time.
+  double t_min() const;
+
+  /// Equation (5): efficiency of a measured run on p GPUs. Values > 1 are
+  /// possible (super-linear speedup) exactly as in the paper's Fig 12/15.
+  double efficiency(double measured_seconds, std::uint64_t p) const;
+
+  /// R from an observed number of load-pipeline executions.
+  double reuse_factor(std::uint64_t total_loads) const;
+
+  /// Predicted run time on one GPU for a given R and I/O bandwidth: the
+  /// max of the three overlapped resource times (perfect overlap).
+  double predicted_runtime(double R, Bandwidth io_bandwidth) const;
+
+ private:
+  StageProfile profile_;
+  std::uint64_t n_;
+};
+
+}  // namespace rocket::model

@@ -1,0 +1,164 @@
+#pragma once
+
+// Simulated cluster interconnect.
+//
+// Models the message layer Rocket needs from Ibis (paper §4): typed
+// point-to-point messages between p nodes over a full-bisection fabric
+// (DAS-5: 56 Gb/s InfiniBand FDR). Control messages cost one network
+// latency; bulk messages additionally serialise through the *sender's* NIC,
+// which is modelled as a processor-sharing link so concurrent outgoing
+// transfers contend realistically.
+//
+// The fabric is templated on the message body so each protocol layer keeps
+// its own strongly-typed envelopes; traffic accounting (messages/bytes per
+// tag) is shared and non-templated.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/units.hpp"
+#include "sim/primitives.hpp"
+#include "sim/process.hpp"
+#include "sim/simulation.hpp"
+
+namespace rocket::net {
+
+using NodeId = std::uint32_t;
+
+/// Message classes for traffic accounting.
+enum class Tag : std::uint32_t {
+  kCacheRequest = 0,   // A → mediator: "who has item i?"
+  kCacheForward = 1,   // mediator/candidate → next candidate
+  kCacheData = 2,      // candidate → A: the item payload
+  kCacheFailure = 3,   // exhausted chain → A
+  kStealRequest = 4,   // idle worker → victim
+  kStealReply = 5,     // victim → thief (task or empty)
+  kResult = 6,         // worker → master (result delivery)
+  kControl = 7,        // everything else
+  kCount
+};
+
+/// Human-readable tag name for traffic reports.
+const char* tag_name(Tag tag);
+
+struct TrafficCounters {
+  struct PerTag {
+    std::uint64_t messages = 0;
+    Bytes bytes = 0;
+  };
+  PerTag per_tag[static_cast<std::size_t>(Tag::kCount)] = {};
+
+  void record(Tag tag, Bytes bytes) {
+    auto& t = per_tag[static_cast<std::size_t>(tag)];
+    ++t.messages;
+    t.bytes += bytes;
+  }
+  std::uint64_t total_messages() const {
+    std::uint64_t sum = 0;
+    for (const auto& t : per_tag) sum += t.messages;
+    return sum;
+  }
+  Bytes total_bytes() const {
+    Bytes sum = 0;
+    for (const auto& t : per_tag) sum += t.bytes;
+    return sum;
+  }
+};
+
+struct FabricConfig {
+  double latency = 1.5e-6;                    // per-message one-way latency
+  Bandwidth link_bandwidth = gbit_per_sec(56);  // per-NIC serialisation rate
+  Bytes control_message_size = 128;           // wire size of control messages
+};
+
+template <typename Body>
+class Fabric {
+ public:
+  struct Envelope {
+    NodeId from;
+    NodeId to;
+    Tag tag;
+    Body body;
+  };
+
+  Fabric(sim::Simulation& sim, std::uint32_t num_nodes, FabricConfig config)
+      : sim_(&sim), config_(config) {
+    nics_.reserve(num_nodes);
+    mailboxes_.reserve(num_nodes);
+    for (std::uint32_t i = 0; i < num_nodes; ++i) {
+      nics_.push_back(
+          std::make_unique<sim::SharedBandwidth>(sim, config.link_bandwidth));
+      mailboxes_.push_back(std::make_unique<sim::Mailbox<Envelope>>(sim));
+    }
+  }
+
+  std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(mailboxes_.size());
+  }
+
+  /// Fire-and-forget control message: latency only (plus accounting).
+  /// Local messages (src == dst) are delivered with zero latency.
+  void send(NodeId src, NodeId dst, Tag tag, Body body) {
+    counters_.record(tag, config_.control_message_size);
+    const double latency = (src == dst) ? 0.0 : config_.latency;
+    // Capture by value; deliver through the event queue.
+    sim_->schedule_fn(latency, [this, src, dst, tag, body = std::move(body)]() mutable {
+      mailboxes_[dst]->send(Envelope{src, dst, tag, std::move(body)});
+    });
+  }
+
+  /// Awaitable bulk send: serialises `payload_bytes` through the sender's
+  /// NIC, then delivers after the propagation latency. The co_await
+  /// completes when the message has been *handed to the network* (i.e.
+  /// after serialisation), modelling a send that frees the sender's buffer.
+  sim::Process send_bulk(NodeId src, NodeId dst, Tag tag, Body body,
+                         Bytes payload_bytes) {
+    counters_.record(tag, payload_bytes + config_.control_message_size);
+    if (src != dst) {
+      co_await nics_[src]->transfer(payload_bytes);
+    }
+    const double latency = (src == dst) ? 0.0 : config_.latency;
+    sim_->schedule_fn(latency, [this, src, dst, tag, body = std::move(body)]() mutable {
+      mailboxes_[dst]->send(Envelope{src, dst, tag, std::move(body)});
+    });
+  }
+
+  /// Awaitable pure transfer (no message delivery): used when the receiving
+  /// coroutine is already waiting and just needs the time cost of moving
+  /// `payload_bytes` from src's NIC.
+  sim::Process transfer_cost(NodeId src, NodeId dst, Tag tag,
+                             Bytes payload_bytes) {
+    counters_.record(tag, payload_bytes);
+    if (src != dst) {
+      co_await nics_[src]->transfer(payload_bytes);
+      co_await sim::delay(config_.latency);
+    }
+  }
+
+  /// Awaitable control-message cost (latency only, plus accounting); the
+  /// protocol state transition happens in the caller.
+  sim::Process control_cost(NodeId src, NodeId dst, Tag tag) {
+    counters_.record(tag, config_.control_message_size);
+    if (src != dst) {
+      co_await sim::delay(config_.latency);
+    }
+  }
+
+  sim::Mailbox<Envelope>& mailbox(NodeId node) { return *mailboxes_[node]; }
+  sim::SharedBandwidth& nic(NodeId node) { return *nics_[node]; }
+
+  const TrafficCounters& counters() const { return counters_; }
+  const FabricConfig& config() const { return config_; }
+
+ private:
+  sim::Simulation* sim_;
+  FabricConfig config_;
+  std::vector<std::unique_ptr<sim::SharedBandwidth>> nics_;
+  std::vector<std::unique_ptr<sim::Mailbox<Envelope>>> mailboxes_;
+  TrafficCounters counters_;
+};
+
+}  // namespace rocket::net

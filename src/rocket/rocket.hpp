@@ -1,0 +1,62 @@
+#pragma once
+
+// Rocket — efficient and scalable all-pairs computations.
+//
+// Public umbrella header. A downstream user implements
+// rocket::Application (the four functions of the paper's Fig 3) and calls
+// rocket::Rocket::run_all_pairs; the runtime handles I/O, multi-level
+// caching, transfers, scheduling, load balancing and overlap.
+//
+//   class MyApp final : public rocket::Application { ... };
+//
+//   rocket::Rocket engine;                      // default: one virtual GPU
+//   engine.run_all_pairs(app, store, [](const rocket::PairResult& r) {
+//     std::printf("(%u,%u) -> %f\n", r.left, r.right, r.score);
+//   });
+//
+// Cluster-scale behaviour (multi-node runs, the distributed cache, the
+// paper's figures) is exposed through rocket::cluster::SimCluster — a
+// deterministic virtual-time backend driving the same cache and scheduling
+// policies (see DESIGN.md).
+
+#include "apps/app_model.hpp"
+#include "cache/slot_cache.hpp"
+#include "cluster/experiments.hpp"
+#include "cluster/sim_cluster.hpp"
+#include "common/units.hpp"
+#include "dnc/pair_space.hpp"
+#include "gpu/device_spec.hpp"
+#include "model/performance_model.hpp"
+#include "runtime/application.hpp"
+#include "runtime/node_runtime.hpp"
+#include "steal/executor.hpp"
+#include "storage/object_store.hpp"
+
+namespace rocket {
+
+using runtime::Application;
+using runtime::ItemId;
+using runtime::PairResult;
+
+/// The live engine: all-pairs execution on this machine's resources.
+class Rocket {
+ public:
+  using Config = runtime::NodeRuntime::Config;
+  using Report = runtime::NodeRuntime::Report;
+
+  explicit Rocket(Config config = {}) : runtime_(std::move(config)) {}
+
+  /// Evaluate every pair (i, j), i < j, of `app`'s items. Blocks until all
+  /// results have been delivered to `on_result`.
+  Report run_all_pairs(const Application& app, storage::ObjectStore& store,
+                       const runtime::NodeRuntime::ResultFn& on_result) {
+    return runtime_.run(app, store, on_result);
+  }
+
+  const Config& config() const { return runtime_.config(); }
+
+ private:
+  runtime::NodeRuntime runtime_;
+};
+
+}  // namespace rocket

@@ -1,0 +1,77 @@
+#pragma once
+
+// The user-facing application interface (paper Fig 3).
+//
+// The user supplies exactly four application-specific functions plus the
+// key → file mapping:
+//   parse        — CPU: raw file bytes → pre-processed-input format
+//   preprocess   — GPU: finalise the item in device memory (optional)
+//   compare      — GPU: score one pair of pre-processed items
+//   postprocess  — CPU: turn the raw score into the final result
+//
+// Rocket owns everything else: I/O, caching at all levels, transfers,
+// scheduling and load balancing. In this (CUDA-free) live backend, "GPU"
+// stages execute as real CPU code against device-resident buffers of a
+// gpu::VirtualDevice; their placement, memory discipline and overlap
+// behaviour are identical to the CUDA original.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/compress.hpp"
+#include "common/units.hpp"
+#include "gpu/virtual_device.hpp"
+
+namespace rocket::runtime {
+
+using ItemId = std::uint32_t;
+using HostBuffer = std::vector<std::uint8_t>;
+
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Number of items n; Rocket evaluates all C(n,2) pairs.
+  virtual std::uint32_t item_count() const = 0;
+
+  /// Object-store name of the i-th input file (Fig 3's getFilePathForKey).
+  virtual std::string file_name(ItemId item) const = 0;
+
+  /// CPU: parse raw file content into the device-upload format.
+  virtual void parse(ItemId item, const ByteBuffer& file,
+                     HostBuffer& out) const = 0;
+
+  /// GPU: pre-process the uploaded item in place. Default: no-op (the
+  /// microscopy application has no pre-processing).
+  virtual void preprocess(ItemId item, gpu::DeviceBuffer& data) const {
+    (void)item;
+    (void)data;
+  }
+
+  /// GPU: compare two pre-processed items; returns the raw score.
+  virtual double compare(ItemId left, const gpu::DeviceBuffer& left_data,
+                         ItemId right,
+                         const gpu::DeviceBuffer& right_data) const = 0;
+
+  /// CPU: post-process the raw score (threshold, normalise, ...).
+  virtual double postprocess(ItemId left, ItemId right, double score) const {
+    (void)left;
+    (void)right;
+    return score;
+  }
+
+  /// Upper bound on a pre-processed item's size: the cache slot size.
+  virtual Bytes slot_size() const = 0;
+};
+
+/// One completed comparison.
+struct PairResult {
+  ItemId left;
+  ItemId right;
+  double score;
+};
+
+}  // namespace rocket::runtime

@@ -1,0 +1,497 @@
+#include "runtime/node_runtime.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/log.hpp"
+#include "common/queue.hpp"
+
+namespace rocket::runtime {
+
+namespace {
+
+using Task = std::function<void()>;
+using Grant = cache::SlotCache::Grant;
+using Outcome = cache::SlotCache::Outcome;
+
+/// Worker thread body: drain a queue, recording each task on a profiler
+/// lane. The queue closes at shutdown.
+void drain(MpmcQueue<Task>& queue) {
+  while (auto task = queue.pop()) {
+    (*task)();
+  }
+}
+
+struct Engine;
+
+/// Per-device state: virtual GPU, device-level cache + buffers, and the
+/// three dedicated threads' queues (kernel, H2D, D2H).
+struct DeviceState {
+  gpu::VirtualDevice vdev;
+  std::unique_ptr<cache::SlotCache> cache;
+  std::mutex cache_mutex;
+  std::vector<gpu::DeviceBuffer> slots;
+  MpmcQueue<Task> gpu_q, h2d_q, d2h_q;
+  std::size_t gpu_lane = 0, h2d_lane = 0, d2h_lane = 0;
+  double stretch = 0.0;  // extra sleep per kernel second (heterogeneity)
+  std::atomic<std::uint64_t> pairs{0};
+
+  DeviceState(int ordinal, const gpu::DeviceSpec& spec)
+      : vdev(ordinal, spec) {}
+};
+
+struct Engine {
+  const NodeRuntime::Config& cfg;
+  const Application& app;
+  storage::ObjectStore& store;
+  const NodeRuntime::ResultFn& on_result;
+  Profiler profiler;
+
+  std::vector<std::unique_ptr<DeviceState>> devices;
+  std::unique_ptr<cache::SlotCache> host_cache;  // null if disabled
+  std::mutex host_mutex;
+  std::vector<HostBuffer> host_slots;
+
+  MpmcQueue<Task> io_q, cpu_q;
+  std::size_t io_lane = 0;
+  std::vector<std::size_t> cpu_lanes;
+
+  std::vector<std::unique_ptr<Semaphore>> job_limits;  // per worker/device
+  std::unique_ptr<CountdownLatch> done;
+  std::atomic<std::uint64_t> loads{0};
+  std::mutex result_mutex;
+
+  Engine(const NodeRuntime::Config& config, const Application& application,
+         storage::ObjectStore& object_store,
+         const NodeRuntime::ResultFn& result_fn)
+      : cfg(config), app(application), store(object_store),
+        on_result(result_fn), profiler(config.trace) {}
+
+  /// Defer a continuation out of a cache-callback context (callbacks run
+  /// under the cache mutex; continuations must not re-enter it inline).
+  void post_control(Task task) { cpu_q.push(std::move(task)); }
+};
+
+/// One in-flight comparison job: pin both items on the device (driving the
+/// load pipeline on miss), compare on the GPU thread, post-process on the
+/// CPU pool, release.
+struct Job : std::enable_shared_from_this<Job> {
+  Engine& eng;
+  DeviceState& dev;
+  std::uint32_t worker;
+  ItemId items[2];
+  cache::SlotId pins[2] = {cache::kInvalidSlot, cache::kInvalidSlot};
+  int next_pin = 0;
+
+  Job(Engine& engine, DeviceState& device, std::uint32_t worker_id,
+      dnc::Pair pair)
+      : eng(engine), dev(device), worker(worker_id),
+        items{pair.left, pair.right} {}
+
+  void start() { pin_next(); }
+
+  void pin_next() {
+    if (next_pin == 2) {
+      compare();
+      return;
+    }
+    auto self = shared_from_this();
+    Grant grant;
+    {
+      std::scoped_lock lock(dev.cache_mutex);
+      grant = dev.cache->acquire(items[next_pin], [self](Grant g) {
+        // Invoked under dev.cache_mutex from publish/release: defer.
+        self->eng.post_control([self, g] { self->handle_grant(g); });
+      });
+    }
+    if (grant.outcome != Outcome::kQueued) handle_grant(grant);
+  }
+
+  void handle_grant(Grant grant) {
+    switch (grant.outcome) {
+      case Outcome::kHit:
+        pins[next_pin++] = grant.slot;
+        pin_next();
+        return;
+      case Outcome::kFill:
+        fill_device(grant.slot);
+        return;
+      case Outcome::kFailed:
+        pin_next();  // writer aborted; retry the acquisition
+        return;
+      case Outcome::kQueued:
+        ROCKET_CHECK(false, "queued grant delivered as queued");
+    }
+  }
+
+  /// The item is now readable in `slot`; the writer's read pin is ours.
+  void device_ready(cache::SlotId slot) {
+    pins[next_pin++] = slot;
+    pin_next();
+  }
+
+  // --- load pipeline (Fig 2 / Fig 4) -----------------------------------
+
+  void fill_device(cache::SlotId dslot) {
+    if (!eng.host_cache) {
+      load_item(dslot, cache::kInvalidSlot);
+      return;
+    }
+    auto self = shared_from_this();
+    Grant grant;
+    {
+      std::scoped_lock lock(eng.host_mutex);
+      grant = eng.host_cache->acquire(items[next_pin], [self, dslot](Grant g) {
+        self->eng.post_control([self, g, dslot] { self->handle_host(g, dslot); });
+      });
+    }
+    if (grant.outcome != Outcome::kQueued) handle_host(grant, dslot);
+  }
+
+  void handle_host(Grant grant, cache::SlotId dslot) {
+    switch (grant.outcome) {
+      case Outcome::kHit:
+        stage_h2d_from_host(grant.slot, dslot);
+        return;
+      case Outcome::kFill:
+        load_item(dslot, grant.slot);
+        return;
+      case Outcome::kFailed:
+        fill_device(dslot);  // retry host level
+        return;
+      case Outcome::kQueued:
+        ROCKET_CHECK(false, "queued grant delivered as queued");
+    }
+  }
+
+  /// Host hit: copy host slot → device slot, publish device, drop host pin.
+  void stage_h2d_from_host(cache::SlotId hslot, cache::SlotId dslot) {
+    auto self = shared_from_this();
+    dev.h2d_q.push([self, hslot, dslot] {
+      ScopedTask span(self->eng.profiler, self->dev.h2d_lane, TaskKind::kH2D);
+      const HostBuffer& src = self->eng.host_slots[hslot];
+      self->ensure_device_buffer(dslot, src.size());
+      std::copy(src.begin(), src.end(), self->dev.slots[dslot].data());
+      {
+        std::scoped_lock lock(self->dev.cache_mutex);
+        self->dev.cache->publish(dslot);
+      }
+      {
+        std::scoped_lock lock(self->eng.host_mutex);
+        self->eng.host_cache->release(hslot);
+      }
+      self->device_ready(dslot);
+    });
+  }
+
+  /// Full load: I/O → parse (CPU pool) → H2D → pre-process (GPU) →
+  /// publish device → (if host enabled) D2H copy-back → publish host.
+  void load_item(cache::SlotId dslot, cache::SlotId hslot) {
+    auto self = shared_from_this();
+    const ItemId item = items[next_pin];
+    eng.loads.fetch_add(1, std::memory_order_relaxed);
+    eng.io_q.push([self, item, dslot, hslot] {
+      ByteBuffer file;
+      try {
+        ScopedTask span(self->eng.profiler, self->eng.io_lane, TaskKind::kIo);
+        file = self->eng.store.read(self->eng.app.file_name(item));
+      } catch (const std::exception& e) {
+        self->abort_load(dslot, hslot, e.what());
+        return;
+      }
+      self->eng.cpu_q.push([self, item, dslot, hslot,
+                            file = std::move(file)]() mutable {
+        auto parsed = std::make_shared<HostBuffer>();
+        try {
+          // CPU lane busy time is recorded by the pool thread wrapper.
+          self->eng.app.parse(item, file, *parsed);
+        } catch (const std::exception& e) {
+          self->abort_load(dslot, hslot, e.what());
+          return;
+        }
+        self->dev.h2d_q.push([self, item, dslot, hslot, parsed] {
+          try {
+            ScopedTask span(self->eng.profiler, self->dev.h2d_lane,
+                            TaskKind::kH2D);
+            self->ensure_device_buffer(dslot, parsed->size());
+            auto& buffer = self->dev.slots[dslot];
+            std::copy(parsed->begin(), parsed->end(), buffer.data());
+            // Slot-sized transfer: clear the tail so variable-sized items
+            // never see a previous occupant's bytes.
+            std::fill(buffer.data() + parsed->size(),
+                      buffer.data() + buffer.size(), std::uint8_t{0});
+          } catch (const std::exception& e) {
+            self->abort_load(dslot, hslot, e.what());
+            return;
+          }
+          self->dev.gpu_q.push([self, item, dslot, hslot] {
+            try {
+              ScopedTask span(self->eng.profiler, self->dev.gpu_lane,
+                              TaskKind::kPreprocess);
+              const auto t0 = Profiler::Clock::now();
+              self->eng.app.preprocess(item, self->dev.slots[dslot]);
+              self->stretch_kernel(t0);
+            } catch (const std::exception& e) {
+              self->abort_load(dslot, hslot, e.what());
+              return;
+            }
+            {
+              std::scoped_lock lock(self->dev.cache_mutex);
+              self->dev.cache->publish(dslot);
+            }
+            if (hslot != cache::kInvalidSlot) {
+              self->dev.d2h_q.push([self, dslot, hslot] {
+                {
+                  ScopedTask span(self->eng.profiler, self->dev.d2h_lane,
+                                  TaskKind::kD2H);
+                  const auto& buf = self->dev.slots[dslot];
+                  self->eng.host_slots[hslot].assign(
+                      buf.data(), buf.data() + buf.size());
+                }
+                {
+                  std::scoped_lock lock(self->eng.host_mutex);
+                  self->eng.host_cache->publish(hslot);
+                  self->eng.host_cache->release(hslot);
+                }
+                self->device_ready(dslot);
+              });
+            } else {
+              self->device_ready(dslot);
+            }
+          });
+        });
+      });
+    });
+  }
+
+  // --- comparison pipeline ---------------------------------------------
+
+  void compare() {
+    auto self = shared_from_this();
+    dev.gpu_q.push([self] {
+      double score = 0.0;
+      try {
+        ScopedTask span(self->eng.profiler, self->dev.gpu_lane,
+                        TaskKind::kCompare);
+        const auto t0 = Profiler::Clock::now();
+        score = self->eng.app.compare(
+            self->items[0], self->dev.slots[self->pins[0]], self->items[1],
+            self->dev.slots[self->pins[1]]);
+        self->stretch_kernel(t0);
+      } catch (const std::exception& e) {
+        ROCKET_ERROR("comparison (%u,%u) failed: %s", self->items[0],
+                     self->items[1], e.what());
+        self->next_pin = 2;
+        self->fail_pair();
+        return;
+      }
+      self->eng.cpu_q.push([self, score] {
+        const double final_score = self->eng.app.postprocess(
+            self->items[0], self->items[1], score);
+        {
+          std::scoped_lock lock(self->eng.result_mutex);
+          self->eng.on_result(
+              PairResult{self->items[0], self->items[1], final_score});
+        }
+        {
+          std::scoped_lock lock(self->dev.cache_mutex);
+          self->dev.cache->release(self->pins[0]);
+          self->dev.cache->release(self->pins[1]);
+        }
+        self->dev.pairs.fetch_add(1, std::memory_order_relaxed);
+        self->eng.job_limits[self->worker]->release();
+        self->eng.done->count_down();
+      });
+    });
+  }
+
+  // --- failure handling ---------------------------------------------------
+
+  /// A load stage failed while we held WRITE locks: abort them (waiters
+  /// get kFailed and re-drive their own loads) and fail this pair.
+  void abort_load(cache::SlotId dslot, cache::SlotId hslot,
+                  const char* what) {
+    ROCKET_ERROR("load of item %u failed: %s", items[next_pin], what);
+    {
+      std::scoped_lock lock(dev.cache_mutex);
+      dev.cache->abort(dslot);
+    }
+    if (hslot != cache::kInvalidSlot && eng.host_cache) {
+      std::scoped_lock lock(eng.host_mutex);
+      eng.host_cache->abort(hslot);
+    }
+    fail_pair();
+  }
+
+  /// Complete this pair with a NaN score after an unrecoverable error so
+  /// the run always terminates (paper leaves fault tolerance to future
+  /// work; we guarantee no hangs and surface the failure in the result).
+  void fail_pair() {
+    {
+      std::scoped_lock lock(dev.cache_mutex);
+      for (int k = 0; k < next_pin; ++k) {
+        if (pins[k] != cache::kInvalidSlot) dev.cache->release(pins[k]);
+      }
+    }
+    {
+      std::scoped_lock lock(eng.result_mutex);
+      eng.on_result(PairResult{items[0], items[1],
+                               std::numeric_limits<double>::quiet_NaN()});
+    }
+    eng.job_limits[worker]->release();
+    eng.done->count_down();
+  }
+
+  // --- helpers -----------------------------------------------------------
+
+  /// Cache slots are fixed-size (§4.1.1): allocate the full slot so an
+  /// item may legally grow in place (bioinformatics replaces the residue
+  /// string with its larger composition vector during pre-processing).
+  void ensure_device_buffer(cache::SlotId dslot, std::size_t content_size) {
+    auto& buffer = dev.slots[dslot];
+    const std::size_t want =
+        std::max<std::size_t>({content_size, eng.app.slot_size(), 1});
+    if (buffer.size() < want) {
+      buffer = dev.vdev.allocate(want);
+    }
+  }
+
+  /// Emulate a slower device by stretching kernel wall time.
+  void stretch_kernel(Profiler::Clock::time_point start) {
+    if (dev.stretch <= 0.0) return;
+    const auto elapsed = Profiler::Clock::now() - start;
+    std::this_thread::sleep_for(
+        std::chrono::duration_cast<Profiler::Clock::duration>(
+            elapsed * dev.stretch));
+  }
+};
+
+}  // namespace
+
+NodeRuntime::Report NodeRuntime::run(const Application& app,
+                                     storage::ObjectStore& store,
+                                     const ResultFn& on_result) {
+  ROCKET_CHECK(!config_.devices.empty(), "runtime needs at least one device");
+  const std::uint32_t n = app.item_count();
+  const std::uint64_t total_pairs = dnc::count_pairs(dnc::root_region(n));
+
+  Engine eng(config_, app, store, on_result);
+  eng.done = std::make_unique<CountdownLatch>(total_pairs);
+
+  // Host cache.
+  const auto host_slots =
+      cache::slots_for_capacity(config_.host_cache_capacity, app.slot_size(), n);
+  if (host_slots > 0) {
+    eng.host_cache = std::make_unique<cache::SlotCache>(
+        cache::SlotCache::Config{host_slots, app.slot_size(), "host"});
+    eng.host_slots.resize(host_slots);
+  }
+
+  // Devices: speed-normalise so the fastest runs unstretched.
+  double max_speed = 0.0;
+  for (const auto& spec : config_.devices) {
+    max_speed = std::max(max_speed, spec.relative_speed);
+  }
+  for (std::size_t d = 0; d < config_.devices.size(); ++d) {
+    const auto& spec = config_.devices[d];
+    auto dev = std::make_unique<DeviceState>(static_cast<int>(d), spec);
+    const Bytes budget = config_.device_cache_capacity != 0
+                             ? std::min(config_.device_cache_capacity,
+                                        spec.cache_capacity())
+                             : spec.cache_capacity();
+    const auto slots = std::max(
+        2u, cache::slots_for_capacity(budget, app.slot_size(), n));
+    dev->cache = std::make_unique<cache::SlotCache>(
+        cache::SlotCache::Config{slots, app.slot_size(), "device"});
+    dev->slots.resize(slots);
+    if (config_.emulate_heterogeneity && spec.relative_speed > 0.0) {
+      dev->stretch = max_speed / spec.relative_speed - 1.0;
+    }
+    dev->gpu_lane = eng.profiler.add_lane("gpu" + std::to_string(d) + " (" +
+                                          spec.name + ")");
+    dev->h2d_lane = eng.profiler.add_lane("h2d" + std::to_string(d));
+    dev->d2h_lane = eng.profiler.add_lane("d2h" + std::to_string(d));
+    eng.devices.push_back(std::move(dev));
+
+    const auto max_jobs = std::max<std::uint32_t>(1, slots / 2);
+    eng.job_limits.push_back(std::make_unique<Semaphore>(
+        std::min(config_.job_limit_per_worker, max_jobs)));
+  }
+  eng.io_lane = eng.profiler.add_lane("io");
+  for (std::uint32_t c = 0; c < config_.cpu_threads; ++c) {
+    eng.cpu_lanes.push_back(eng.profiler.add_lane("cpu" + std::to_string(c)));
+  }
+
+  // Resource threads (§4.3): I/O, CPU pool, and per-device GPU/H2D/D2H.
+  std::vector<std::thread> threads;
+  threads.emplace_back([&eng] { drain(eng.io_q); });
+  for (std::uint32_t c = 0; c < config_.cpu_threads; ++c) {
+    threads.emplace_back([&eng, c] {
+      const std::size_t lane = eng.cpu_lanes[c];
+      while (auto task = eng.cpu_q.pop()) {
+        ScopedTask span(eng.profiler, lane, TaskKind::kParse);
+        (*task)();
+      }
+    });
+  }
+  for (auto& dev : eng.devices) {
+    threads.emplace_back([&dev] { drain(dev->gpu_q); });
+    threads.emplace_back([&dev] { drain(dev->h2d_q); });
+    threads.emplace_back([&dev] { drain(dev->d2h_q); });
+  }
+
+  const auto wall_start = Profiler::Clock::now();
+
+  // The divide-and-conquer work-stealing executor (§4.2): one worker per
+  // GPU; leaves become jobs, throttled per worker.
+  steal::StealExecutor::Config exec_cfg;
+  exec_cfg.num_workers = static_cast<std::uint32_t>(eng.devices.size());
+  exec_cfg.max_leaf_pairs = config_.max_leaf_pairs;
+  exec_cfg.seed = config_.seed;
+  steal::StealExecutor executor(exec_cfg);
+  const auto steal_stats =
+      executor.run(n, [&eng](const dnc::Region& region, std::uint32_t worker) {
+        dnc::for_each_pair(region, [&](dnc::Pair pair) {
+          eng.job_limits[worker]->acquire();  // back-pressure (§4.2)
+          auto job = std::make_shared<Job>(eng, *eng.devices[worker], worker,
+                                           pair);
+          job->start();
+        });
+      });
+
+  eng.done->wait();
+  const double wall =
+      std::chrono::duration<double>(Profiler::Clock::now() - wall_start)
+          .count();
+
+  eng.io_q.close();
+  eng.cpu_q.close();
+  for (auto& dev : eng.devices) {
+    dev->gpu_q.close();
+    dev->h2d_q.close();
+    dev->d2h_q.close();
+  }
+  for (auto& t : threads) t.join();
+
+  Report report;
+  report.pairs = total_pairs;
+  report.loads = eng.loads.load();
+  report.reuse_factor =
+      n > 0 ? static_cast<double>(report.loads) / static_cast<double>(n) : 0.0;
+  report.wall_seconds = wall;
+  if (eng.host_cache) report.host_cache = eng.host_cache->stats();
+  for (const auto& dev : eng.devices) {
+    report.device_caches.push_back(dev->cache->stats());
+    report.pairs_per_device.push_back(dev->pairs.load());
+  }
+  report.steal = steal_stats;
+  report.lane_busy = eng.profiler.busy_per_lane();
+  if (config_.trace) report.timeline = eng.profiler.render_timeline();
+  return report;
+}
+
+}  // namespace rocket::runtime

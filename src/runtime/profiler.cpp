@@ -1,0 +1,93 @@
+#include "runtime/profiler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rocket::runtime {
+
+const char* task_kind_name(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kIo: return "io";
+    case TaskKind::kParse: return "parse";
+    case TaskKind::kH2D: return "h2d";
+    case TaskKind::kPreprocess: return "preprocess";
+    case TaskKind::kCompare: return "compare";
+    case TaskKind::kD2H: return "d2h";
+    case TaskKind::kPostprocess: return "postprocess";
+    case TaskKind::kOther: return "other";
+  }
+  return "unknown";
+}
+
+std::size_t Profiler::add_lane(std::string name) {
+  std::scoped_lock lock(mutex_);
+  lanes_.push_back(Lane{std::move(name), {}, 0.0});
+  return lanes_.size() - 1;
+}
+
+void Profiler::record(std::size_t lane, TaskKind kind, Clock::time_point start,
+                      Clock::time_point end) {
+  const double t0 = seconds_since_epoch(start);
+  const double t1 = seconds_since_epoch(end);
+  std::scoped_lock lock(mutex_);
+  Lane& l = lanes_[lane];
+  l.busy += t1 - t0;
+  if (enabled_) {
+    l.spans.push_back(Span{kind, t0, t1});
+  }
+}
+
+std::vector<std::pair<std::string, double>> Profiler::busy_per_lane() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(lanes_.size());
+  for (const auto& lane : lanes_) out.emplace_back(lane.name, lane.busy);
+  return out;
+}
+
+double Profiler::busy_for_kind(TaskKind kind) const {
+  std::scoped_lock lock(mutex_);
+  double total = 0.0;
+  for (const auto& lane : lanes_) {
+    for (const auto& span : lane.spans) {
+      if (span.kind == kind) total += span.end - span.start;
+    }
+  }
+  return total;
+}
+
+std::string Profiler::render_timeline(std::size_t width) const {
+  std::scoped_lock lock(mutex_);
+  double horizon = 0.0;
+  for (const auto& lane : lanes_) {
+    for (const auto& span : lane.spans) horizon = std::max(horizon, span.end);
+  }
+  if (horizon <= 0.0 || width == 0) return "(no trace)\n";
+
+  static constexpr char kGlyphs[] = {'I', 'P', '>', 'R', 'C', '<', 'T', '.'};
+  std::string out;
+  std::size_t name_width = 0;
+  for (const auto& lane : lanes_) name_width = std::max(name_width, lane.name.size());
+  for (const auto& lane : lanes_) {
+    std::string row(width, ' ');
+    for (const auto& span : lane.spans) {
+      auto lo = static_cast<std::size_t>(span.start / horizon * width);
+      auto hi = static_cast<std::size_t>(std::ceil(span.end / horizon * width));
+      lo = std::min(lo, width - 1);
+      hi = std::clamp<std::size_t>(hi, lo + 1, width);
+      for (std::size_t i = lo; i < hi; ++i) {
+        row[i] = kGlyphs[static_cast<int>(span.kind)];
+      }
+    }
+    out += lane.name;
+    out.append(name_width - lane.name.size() + 2, ' ');
+    out += '|';
+    out += row;
+    out += "|\n";
+  }
+  out += "legend: I=io P=parse >=h2d R=preprocess C=compare <=d2h "
+         "T=postprocess\n";
+  return out;
+}
+
+}  // namespace rocket::runtime

@@ -1,0 +1,98 @@
+#pragma once
+
+// Wall-clock task profiler for the live runtime (the paper's §4.3 trace
+// facility, Fig 6). Each runtime thread registers a lane; tasks record
+// spans (kind + label + start/end). The profiler renders an ASCII timeline
+// and aggregates busy time per lane — the live counterpart of Fig 8's bars.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rocket::runtime {
+
+enum class TaskKind : std::uint8_t {
+  kIo,
+  kParse,
+  kH2D,
+  kPreprocess,
+  kCompare,
+  kD2H,
+  kPostprocess,
+  kOther,
+};
+
+const char* task_kind_name(TaskKind kind);
+
+class Profiler {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Span {
+    TaskKind kind;
+    double start;  // seconds since profiler epoch
+    double end;
+  };
+
+  struct Lane {
+    std::string name;
+    std::vector<Span> spans;
+    double busy = 0.0;
+  };
+
+  explicit Profiler(bool enabled = true) : enabled_(enabled), epoch_(Clock::now()) {}
+
+  /// Register a lane (thread); returns its id. Thread-safe.
+  std::size_t add_lane(std::string name);
+
+  /// Record a completed span on `lane`. Thread-safe per lane contract:
+  /// only the owning thread records to its lane.
+  void record(std::size_t lane, TaskKind kind, Clock::time_point start,
+              Clock::time_point end);
+
+  double seconds_since_epoch(Clock::time_point t) const {
+    return std::chrono::duration<double>(t - epoch_).count();
+  }
+
+  bool enabled() const { return enabled_; }
+
+  /// Aggregate busy seconds per lane.
+  std::vector<std::pair<std::string, double>> busy_per_lane() const;
+
+  /// Total busy seconds for a task kind across lanes.
+  double busy_for_kind(TaskKind kind) const;
+
+  /// ASCII timeline (Fig 6 style): one row per lane, `width` buckets.
+  std::string render_timeline(std::size_t width = 80) const;
+
+  const std::vector<Lane>& lanes() const { return lanes_; }
+
+ private:
+  bool enabled_;
+  Clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<Lane> lanes_;
+};
+
+/// RAII span recorder.
+class ScopedTask {
+ public:
+  ScopedTask(Profiler& profiler, std::size_t lane, TaskKind kind)
+      : profiler_(&profiler), lane_(lane), kind_(kind),
+        start_(Profiler::Clock::now()) {}
+  ScopedTask(const ScopedTask&) = delete;
+  ScopedTask& operator=(const ScopedTask&) = delete;
+  ~ScopedTask() {
+    profiler_->record(lane_, kind_, start_, Profiler::Clock::now());
+  }
+
+ private:
+  Profiler* profiler_;
+  std::size_t lane_;
+  TaskKind kind_;
+  Profiler::Clock::time_point start_;
+};
+
+}  // namespace rocket::runtime

@@ -1,0 +1,71 @@
+#include "sim/primitives.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace rocket::sim {
+
+namespace {
+// Completion tolerance in bytes: processor-sharing arithmetic accumulates
+// floating-point error; anything below half a byte is complete.
+constexpr double kEpsilonBytes = 0.5;
+}  // namespace
+
+void SharedBandwidth::begin(Bytes bytes, std::coroutine_handle<> h) {
+  progress();
+  if (flows_.empty()) busy_since_ = sim_->now();
+  flows_.push_back(Flow{static_cast<double>(bytes), h});
+  total_bytes_ += bytes;
+  reschedule();
+}
+
+void SharedBandwidth::progress() {
+  const Time now = sim_->now();
+  if (flows_.empty() || now <= last_update_) {
+    last_update_ = now;
+    return;
+  }
+  const double rate_per_flow =
+      capacity_ / static_cast<double>(flows_.size());
+  const double served = (now - last_update_) * rate_per_flow;
+  for (auto& flow : flows_) flow.remaining -= served;
+  last_update_ = now;
+}
+
+void SharedBandwidth::reschedule() {
+  ++generation_;
+  if (flows_.empty()) return;
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& flow : flows_) {
+    min_remaining = std::min(min_remaining, flow.remaining);
+  }
+  min_remaining = std::max(min_remaining, 0.0);
+  const double dt =
+      min_remaining * static_cast<double>(flows_.size()) / capacity_;
+  const std::uint64_t generation = generation_;
+  sim_->schedule_fn(dt, [this, generation] { on_completion_event(generation); });
+}
+
+void SharedBandwidth::on_completion_event(std::uint64_t generation) {
+  if (generation != generation_) return;  // superseded by a newer arrival
+  progress();
+  // Collect completed flows first, then resume: resumption may start new
+  // transfers re-entrantly.
+  std::vector<std::coroutine_handle<>> finished;
+  auto it = flows_.begin();
+  while (it != flows_.end()) {
+    if (it->remaining <= kEpsilonBytes) {
+      finished.push_back(it->handle);
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (flows_.empty()) {
+    busy_integral_ += sim_->now() - busy_since_;
+  }
+  reschedule();
+  for (const auto handle : finished) sim_->schedule(0, handle);
+}
+
+}  // namespace rocket::sim

@@ -1,0 +1,301 @@
+#pragma once
+
+// Synchronisation and resource-model primitives for simulation processes.
+//
+//  * Event           — one-shot broadcast (trigger wakes all waiters).
+//  * WaitGroup       — join N children (arrive() counts down, wait() blocks).
+//  * Resource        — counted FCFS resource with utilisation accounting;
+//                      models CPU pools, GPU kernel engines, job limits.
+//  * Mailbox<T>      — typed FIFO channel; models message endpoints.
+//  * SharedBandwidth — processor-sharing link; concurrent transfers split
+//                      the capacity equally (models a storage server NIC or
+//                      a PCIe link with competing DMA streams).
+//
+// All primitives wake waiters through the event queue (never inline) so
+// process interleaving is strictly timestamp+FIFO ordered.
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/units.hpp"
+#include "sim/process.hpp"
+#include "sim/simulation.hpp"
+
+namespace rocket::sim {
+
+/// One-shot broadcast event.
+class Event {
+ public:
+  explicit Event(Simulation& sim) : sim_(&sim) {}
+
+  void trigger() {
+    if (triggered_) return;
+    triggered_ = true;
+    for (const auto waiter : waiters_) sim_->schedule(0, waiter);
+    waiters_.clear();
+  }
+
+  bool triggered() const { return triggered_; }
+
+  struct Awaiter {
+    Event* event;
+    bool await_ready() const noexcept { return event->triggered_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      event->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  Awaiter operator co_await() { return Awaiter{this}; }
+
+ private:
+  Simulation* sim_;
+  bool triggered_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Join-counter for fan-out/fan-in: arrive() must be called `count` times.
+class WaitGroup {
+ public:
+  WaitGroup(Simulation& sim, std::size_t count)
+      : remaining_(count), done_(sim) {
+    if (remaining_ == 0) done_.trigger();
+  }
+
+  void add(std::size_t n = 1) { remaining_ += n; }
+
+  void arrive() {
+    ROCKET_CHECK(remaining_ > 0, "WaitGroup::arrive underflow");
+    if (--remaining_ == 0) done_.trigger();
+  }
+
+  std::size_t remaining() const { return remaining_; }
+
+  auto operator co_await() { return done_.operator co_await(); }
+
+ private:
+  std::size_t remaining_;
+  Event done_;
+};
+
+/// Counted FCFS resource. acquire(k) suspends until k units are free *and*
+/// every earlier request has been served (no overtaking). Utilisation is
+/// integrated over time for the per-resource busy-time reports (Fig 8).
+class Resource {
+ public:
+  Resource(Simulation& sim, std::uint64_t capacity)
+      : sim_(&sim), capacity_(capacity), available_(capacity) {}
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t available() const { return available_; }
+  std::uint64_t in_use() const { return capacity_ - available_; }
+  std::size_t queue_length() const { return waiters_.size(); }
+
+  /// Total resource-seconds consumed so far (integral of in_use over time).
+  double busy_time() const {
+    return busy_integral_ + static_cast<double>(in_use()) *
+                                (sim_->now() - last_change_);
+  }
+
+  struct AcquireAwaiter {
+    Resource* resource;
+    std::uint64_t amount;
+    bool await_ready() const noexcept {
+      return resource->waiters_.empty() && resource->available_ >= amount;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      resource->waiters_.push_back({h, amount});
+    }
+    void await_resume() const {
+      // If we never suspended, the units are taken here; if we were woken
+      // by release(), the units were reserved on our behalf already and
+      // `reserved_` tells us not to double-take.
+      if (!resource->woke_reserved_) {
+        resource->take(amount);
+      } else {
+        resource->woke_reserved_ = false;
+      }
+    }
+  };
+
+  /// Awaitable acquisition of `amount` units.
+  AcquireAwaiter acquire(std::uint64_t amount = 1) {
+    ROCKET_CHECK(amount <= capacity_, "Resource::acquire amount > capacity");
+    return AcquireAwaiter{this, amount};
+  }
+
+  void release(std::uint64_t amount = 1) {
+    give_back(amount);
+    // Serve the FIFO head(s) that now fit. Units are reserved immediately
+    // (so no later arrival can steal them) and the waiter is scheduled.
+    while (!waiters_.empty() && waiters_.front().amount <= available_) {
+      const Waiter waiter = waiters_.front();
+      waiters_.pop_front();
+      take(waiter.amount);
+      sim_->schedule_fn(0, [this, waiter] {
+        woke_reserved_ = true;
+        waiter.handle.resume();
+      });
+    }
+  }
+
+  /// Convenience: run `co_await use(dt)` to occupy one unit for dt.
+  Process use(Time dt) {
+    co_await acquire();
+    co_await delay(dt);
+    release();
+  }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::uint64_t amount;
+  };
+
+  void integrate() {
+    busy_integral_ +=
+        static_cast<double>(in_use()) * (sim_->now() - last_change_);
+    last_change_ = sim_->now();
+  }
+  void take(std::uint64_t amount) {
+    integrate();
+    ROCKET_CHECK(available_ >= amount, "Resource::take underflow");
+    available_ -= amount;
+  }
+  void give_back(std::uint64_t amount) {
+    integrate();
+    available_ += amount;
+    ROCKET_CHECK(available_ <= capacity_, "Resource::release overflow");
+  }
+
+  Simulation* sim_;
+  std::uint64_t capacity_;
+  std::uint64_t available_;
+  std::deque<Waiter> waiters_;
+  double busy_integral_ = 0.0;
+  Time last_change_ = 0.0;
+  bool woke_reserved_ = false;
+};
+
+/// RAII guard for one Resource unit within a coroutine scope.
+class ResourceGuard {
+ public:
+  explicit ResourceGuard(Resource& r) : resource_(&r) {}
+  ResourceGuard(const ResourceGuard&) = delete;
+  ResourceGuard& operator=(const ResourceGuard&) = delete;
+  ~ResourceGuard() {
+    if (resource_) resource_->release();
+  }
+  void dismiss() { resource_ = nullptr; }
+
+ private:
+  Resource* resource_;
+};
+
+/// Typed FIFO channel. send() never blocks (unbounded); recv() suspends
+/// until a message is available.
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Simulation& sim) : sim_(&sim) {}
+
+  void send(T value) {
+    if (!receivers_.empty()) {
+      Receiver r = receivers_.front();
+      receivers_.pop_front();
+      *r.slot = std::move(value);
+      sim_->schedule(0, r.handle);
+    } else {
+      items_.push_back(std::move(value));
+    }
+  }
+
+  std::size_t size() const { return items_.size(); }
+  bool has_waiting_receiver() const { return !receivers_.empty(); }
+
+  struct RecvAwaiter {
+    Mailbox* box;
+    std::optional<T> slot;
+    bool await_ready() noexcept {
+      if (!box->items_.empty()) {
+        slot = std::move(box->items_.front());
+        box->items_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      box->receivers_.push_back({&slot, h});
+    }
+    T await_resume() {
+      ROCKET_CHECK(slot.has_value(), "Mailbox: resumed without value");
+      return std::move(*slot);
+    }
+  };
+
+  RecvAwaiter recv() { return RecvAwaiter{this, std::nullopt}; }
+
+ private:
+  struct Receiver {
+    std::optional<T>* slot;
+    std::coroutine_handle<> handle;
+  };
+
+  Simulation* sim_;
+  std::deque<T> items_;
+  std::deque<Receiver> receivers_;
+};
+
+/// Processor-sharing bandwidth model: N concurrent transfers each progress
+/// at capacity/N. Completion times are recomputed whenever the active set
+/// changes; stale completion events are invalidated by a generation counter.
+class SharedBandwidth {
+ public:
+  SharedBandwidth(Simulation& sim, Bandwidth bytes_per_second)
+      : sim_(&sim), capacity_(bytes_per_second) {}
+
+  Bandwidth capacity() const { return capacity_; }
+  std::size_t active_transfers() const { return flows_.size(); }
+  Bytes total_transferred() const { return total_bytes_; }
+  double busy_time() const {
+    // Time during which at least one transfer was active.
+    return busy_integral_ +
+           (flows_.empty() ? 0.0 : sim_->now() - busy_since_);
+  }
+
+  struct TransferAwaiter {
+    SharedBandwidth* link;
+    Bytes bytes;
+    bool await_ready() const noexcept { return bytes == 0; }
+    void await_suspend(std::coroutine_handle<> h) { link->begin(bytes, h); }
+    void await_resume() const noexcept {}
+  };
+
+  /// Awaitable transfer of `bytes` over the shared link.
+  TransferAwaiter transfer(Bytes bytes) { return TransferAwaiter{this, bytes}; }
+
+ private:
+  struct Flow {
+    double remaining;  // bytes left
+    std::coroutine_handle<> handle;
+  };
+
+  void begin(Bytes bytes, std::coroutine_handle<> h);
+  void progress();
+  void reschedule();
+  void on_completion_event(std::uint64_t generation);
+
+  Simulation* sim_;
+  Bandwidth capacity_;
+  std::vector<Flow> flows_;
+  Time last_update_ = 0.0;
+  std::uint64_t generation_ = 0;
+  Bytes total_bytes_ = 0;
+  double busy_integral_ = 0.0;
+  Time busy_since_ = 0.0;
+};
+
+}  // namespace rocket::sim

@@ -1,0 +1,174 @@
+#pragma once
+
+// Coroutine process type for the DES kernel.
+//
+// A `Process` is a coroutine that advances in virtual time. Inside a
+// process, `co_await delay(dt)` sleeps, `co_await other_process` joins a
+// child, and the primitives in sim/primitives.hpp (Event, Resource,
+// Mailbox, SharedBandwidth) provide synchronisation. Awaitables that need
+// the clock expose `bind(Simulation&)`; the promise's await_transform
+// injects the simulation automatically, so process bodies never thread a
+// context parameter through.
+//
+// Lifetime: the coroutine frame is reference-counted by Process handles.
+// A process dropped by all handles while still running becomes detached
+// and self-destructs at completion. Waiters are woken through the event
+// queue (same timestamp, FIFO order) rather than resumed inline, keeping
+// run-to-completion semantics and bounded stacks.
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace rocket::sim {
+
+class Process;
+
+namespace detail {
+
+struct ProcessPromise {
+  Simulation* sim = nullptr;
+  int refs = 0;
+  bool started = false;
+  bool done = false;
+  std::exception_ptr error;
+  std::vector<std::coroutine_handle<>> waiters;
+
+  Process get_return_object();
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<ProcessPromise> h) noexcept {
+      auto& p = h.promise();
+      p.done = true;
+      // Wake joiners through the queue: deterministic FIFO at this instant.
+      for (const auto waiter : p.waiters) p.sim->schedule(0, waiter);
+      p.waiters.clear();
+      if (p.refs == 0) h.destroy();  // detached process: self-destruct
+    }
+    void await_resume() const noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void return_void() {}
+  void unhandled_exception() { error = std::current_exception(); }
+
+  /// Inject the simulation into awaitables that want it (delay(), child
+  /// processes, ...), then pass them through untouched.
+  template <typename A>
+  decltype(auto) await_transform(A&& awaitable) {
+    if constexpr (requires(A& a, Simulation& s) { a.bind(s); }) {
+      awaitable.bind(*sim);
+    }
+    return std::forward<A>(awaitable);
+  }
+};
+
+}  // namespace detail
+
+/// Handle to a simulation process (see file comment for semantics).
+class Process {
+ public:
+  using promise_type = detail::ProcessPromise;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Process() = default;
+  explicit Process(Handle h) : handle_(h) {
+    if (handle_) ++handle_.promise().refs;
+  }
+  Process(const Process& other) : handle_(other.handle_) {
+    if (handle_) ++handle_.promise().refs;
+  }
+  Process(Process&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Process& operator=(Process other) noexcept {
+    std::swap(handle_, other.handle_);
+    return *this;
+  }
+  ~Process() { release(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.promise().done; }
+
+  /// Start the process on `simulation` (first resume happens at the current
+  /// virtual time, through the event queue). Idempotent.
+  void start(Simulation& simulation) {
+    if (!handle_ || handle_.promise().started) return;
+    auto& promise = handle_.promise();
+    promise.sim = &simulation;
+    promise.started = true;
+    simulation.schedule(0, handle_);
+  }
+
+  /// await_transform hook: awaiting a process starts it if necessary.
+  void bind(Simulation& simulation) { start(simulation); }
+
+  /// Rethrow the process's failure, if any. Only meaningful once done.
+  void rethrow_if_failed() const {
+    if (handle_ && handle_.promise().error) {
+      std::rethrow_exception(handle_.promise().error);
+    }
+  }
+
+  bool failed() const {
+    return handle_ && handle_.promise().done &&
+           handle_.promise().error != nullptr;
+  }
+
+  struct Awaiter {
+    Handle handle;
+    bool await_ready() const noexcept { return handle.promise().done; }
+    void await_suspend(std::coroutine_handle<> cont) const {
+      handle.promise().waiters.push_back(cont);
+    }
+    void await_resume() const {
+      if (handle.promise().error) {
+        std::rethrow_exception(handle.promise().error);
+      }
+    }
+  };
+
+  Awaiter operator co_await() const { return Awaiter{handle_}; }
+
+ private:
+  void release() {
+    if (!handle_) return;
+    auto& promise = handle_.promise();
+    if (--promise.refs == 0 && (promise.done || !promise.started)) {
+      handle_.destroy();
+    }
+    handle_ = nullptr;
+  }
+
+  Handle handle_;
+};
+
+namespace detail {
+inline Process ProcessPromise::get_return_object() {
+  return Process(Process::Handle::from_promise(*this));
+}
+}  // namespace detail
+
+/// Start a process and return a joinable handle to it.
+inline Process spawn(Simulation& simulation, Process process) {
+  process.start(simulation);
+  return process;
+}
+
+/// Virtual-time sleep. `co_await delay(0)` yields (requeues at the same
+/// timestamp behind already-scheduled events).
+struct Delay {
+  Time dt;
+  Simulation* sim = nullptr;
+  void bind(Simulation& s) { sim = &s; }
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const { sim->schedule(dt, h); }
+  void await_resume() const noexcept {}
+};
+
+inline Delay delay(Time dt) { return Delay{dt}; }
+
+}  // namespace rocket::sim

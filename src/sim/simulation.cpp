@@ -1,0 +1,38 @@
+#include "sim/simulation.hpp"
+
+#include <stdexcept>
+
+namespace rocket::sim {
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ = entry.t;
+  ++executed_;
+  if (event_limit_ != 0 && executed_ > event_limit_) {
+    throw std::runtime_error("Simulation: event limit exceeded (livelock?)");
+  }
+  if (entry.handle) {
+    entry.handle.resume();
+  } else if (entry.fn) {
+    entry.fn();
+  }
+  return true;
+}
+
+Time Simulation::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+Time Simulation::run_until(Time t) {
+  while (!queue_.empty() && queue_.top().t <= t) {
+    step();
+  }
+  if (now_ < t) now_ = t;
+  return now_;
+}
+
+}  // namespace rocket::sim

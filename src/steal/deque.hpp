@@ -1,0 +1,135 @@
+#pragma once
+
+// Chase–Lev work-stealing deque (Chase & Lev, SPAA'05; memory orderings per
+// Lê, Pop, Cocchini, Guatto, PPoPP'13).
+//
+// Single owner pushes/pops at the *bottom* (LIFO → the owner always works
+// on the deepest, most recently split region: best locality); thieves
+// steal from the *top* (FIFO → a thief takes the shallowest = largest
+// available task, "the most work per steal request" exactly as §4.2
+// prescribes).
+//
+// The deque stores pointers. Growth allocates a larger ring and retires
+// the old one until destruction (safe reclamation without hazard pointers,
+// standard for this structure).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rocket::steal {
+
+template <typename T>
+class ChaseLevDeque {
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 1024)
+      : buffer_(new Ring(round_up(initial_capacity))) {}
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  ~ChaseLevDeque() {
+    delete buffer_.load(std::memory_order_relaxed);
+    for (Ring* ring : retired_) delete ring;
+  }
+
+  /// Owner only: push an item at the bottom.
+  void push(T* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* ring = buffer_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(ring->capacity) - 1) {
+      ring = grow(ring, t, b);
+    }
+    ring->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only: pop the most recently pushed item (deepest task).
+  T* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* ring = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Deque was empty; restore.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T* item = ring->get(b);
+    if (t != b) return item;  // more than one element: uncontended
+    // Last element: race with thieves via CAS on top.
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      item = nullptr;  // a thief won
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return item;
+  }
+
+  /// Any thread: steal the oldest item (shallowest / largest task).
+  T* steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;  // empty
+    Ring* ring = buffer_.load(std::memory_order_consume);
+    T* item = ring->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // lost the race; caller may retry elsewhere
+    }
+    return item;
+  }
+
+  /// Approximate size (racy; for victim selection heuristics only).
+  std::size_t size_hint() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty_hint() const { return size_hint() == 0; }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap) : capacity(cap), mask(cap - 1),
+                                     slots(new std::atomic<T*>[cap]) {}
+    std::size_t capacity;
+    std::size_t mask;
+    std::unique_ptr<std::atomic<T*>[]> slots;
+
+    T* get(std::int64_t index) const {
+      return slots[static_cast<std::size_t>(index) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t index, T* item) {
+      slots[static_cast<std::size_t>(index) & mask].store(
+          item, std::memory_order_relaxed);
+    }
+  };
+
+  static std::size_t round_up(std::size_t v) {
+    std::size_t cap = 64;
+    while (cap < v) cap <<= 1;
+    return cap;
+  }
+
+  Ring* grow(Ring* old, std::int64_t top, std::int64_t bottom) {
+    auto* bigger = new Ring(old->capacity * 2);
+    for (std::int64_t i = top; i < bottom; ++i) bigger->put(i, old->get(i));
+    buffer_.store(bigger, std::memory_order_release);
+    retired_.push_back(old);  // reclaimed at destruction
+    return bigger;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Ring*> buffer_;
+  std::vector<Ring*> retired_;  // owner-only
+};
+
+}  // namespace rocket::steal

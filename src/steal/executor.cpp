@@ -1,0 +1,96 @@
+#include "steal/executor.hpp"
+
+#include <thread>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace rocket::steal {
+
+ExecutorStats StealExecutor::run(dnc::ItemIndex n, const LeafFn& leaf) {
+  const auto total = static_cast<std::int64_t>(
+      dnc::count_pairs(dnc::root_region(n)));
+  std::atomic<std::int64_t> pairs_remaining{total};
+  std::atomic<std::uint64_t> steals{0}, failed_sweeps{0}, leaves{0};
+
+  std::vector<std::unique_ptr<ChaseLevDeque<dnc::Region>>> owned;
+  std::vector<ChaseLevDeque<dnc::Region>*> deques;
+  for (std::uint32_t w = 0; w < config_.num_workers; ++w) {
+    owned.push_back(std::make_unique<ChaseLevDeque<dnc::Region>>());
+    deques.push_back(owned.back().get());
+  }
+  if (total > 0) {
+    deques[0]->push(new dnc::Region(dnc::root_region(n)));
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(config_.num_workers);
+  for (std::uint32_t w = 0; w < config_.num_workers; ++w) {
+    threads.emplace_back([&, w] {
+      worker_loop(w, leaf, deques, pairs_remaining, steals, failed_sweeps,
+                  leaves);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  ROCKET_CHECK(pairs_remaining.load() == 0, "executor lost pairs");
+  ExecutorStats stats;
+  stats.leaves = leaves.load();
+  stats.steals = steals.load();
+  stats.failed_steal_sweeps = failed_sweeps.load();
+  return stats;
+}
+
+void StealExecutor::worker_loop(
+    std::uint32_t id, const LeafFn& leaf,
+    std::vector<ChaseLevDeque<dnc::Region>*>& deques,
+    std::atomic<std::int64_t>& pairs_remaining,
+    std::atomic<std::uint64_t>& steals,
+    std::atomic<std::uint64_t>& failed_sweeps,
+    std::atomic<std::uint64_t>& leaves) {
+  Rng rng(config_.seed * 0x9E3779B97F4A7C15ULL + id + 1);
+  ChaseLevDeque<dnc::Region>& mine = *deques[id];
+
+  std::vector<std::uint32_t> victims;
+  for (std::uint32_t w = 0; w < deques.size(); ++w) {
+    if (w != id) victims.push_back(w);
+  }
+
+  while (pairs_remaining.load(std::memory_order_acquire) > 0) {
+    dnc::Region* region = mine.pop();
+    if (region == nullptr && !victims.empty()) {
+      // Random-order sweep over all victims; steal the largest available.
+      rng.shuffle(victims);
+      for (const std::uint32_t victim : victims) {
+        region = deques[victim]->steal();
+        if (region != nullptr) {
+          steals.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+      }
+    }
+    if (region == nullptr) {
+      failed_sweeps.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+      continue;
+    }
+
+    // Depth-first descent to a leaf; siblings become stealable.
+    dnc::Region current = *region;
+    delete region;
+    while (dnc::count_pairs(current) > config_.max_leaf_pairs) {
+      auto children = dnc::split(current);
+      current = children.front();
+      for (std::size_t i = children.size(); i > 1; --i) {
+        mine.push(new dnc::Region(children[i - 1]));
+      }
+    }
+    leaf(current, id);
+    leaves.fetch_add(1, std::memory_order_relaxed);
+    pairs_remaining.fetch_sub(
+        static_cast<std::int64_t>(dnc::count_pairs(current)),
+        std::memory_order_acq_rel);
+  }
+}
+
+}  // namespace rocket::steal

@@ -1,0 +1,58 @@
+#pragma once
+
+// Live multithreaded divide-and-conquer executor (the Constellation role).
+//
+// Spawns one worker thread per configured worker (the runtime launches one
+// per GPU, as the paper does). Worker 0 seeds the root region; workers
+// descend depth-first over their own Chase–Lev deque and steal the largest
+// region from random victims when idle. The leaf callback is invoked on
+// the worker's thread — Rocket's runtime uses it to submit comparison
+// jobs, and its back-pressure (concurrent job limit) naturally throttles
+// the executor, exactly as §4.2 describes.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dnc/pair_space.hpp"
+#include "steal/deque.hpp"
+
+namespace rocket::steal {
+
+struct ExecutorStats {
+  std::uint64_t leaves = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t failed_steal_sweeps = 0;
+};
+
+class StealExecutor {
+ public:
+  struct Config {
+    std::uint32_t num_workers = 1;
+    std::uint64_t max_leaf_pairs = 1;
+    std::uint64_t seed = 1;
+  };
+
+  /// leaf(region, worker) is called once for every leaf; the union of all
+  /// leaf regions is exactly the root pair set.
+  using LeafFn = std::function<void(const dnc::Region&, std::uint32_t)>;
+
+  explicit StealExecutor(Config config) : config_(config) {}
+
+  /// Execute the full n-item all-pairs decomposition. Blocks until every
+  /// pair has been handed to `leaf`. Returns aggregate stats.
+  ExecutorStats run(dnc::ItemIndex n, const LeafFn& leaf);
+
+ private:
+  void worker_loop(std::uint32_t id, const LeafFn& leaf,
+                   std::vector<ChaseLevDeque<dnc::Region>*>& deques,
+                   std::atomic<std::int64_t>& pairs_remaining,
+                   std::atomic<std::uint64_t>& steals,
+                   std::atomic<std::uint64_t>& failed_sweeps,
+                   std::atomic<std::uint64_t>& leaves);
+
+  Config config_;
+};
+
+}  // namespace rocket::steal

@@ -1,0 +1,139 @@
+#include "steal/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace rocket::steal {
+
+RegionScheduler::RegionScheduler(Config config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  ROCKET_CHECK(!config_.workers_per_node.empty(),
+               "scheduler needs at least one node");
+  for (std::uint32_t node = 0; node < config_.workers_per_node.size(); ++node) {
+    std::vector<WorkerId> members;
+    for (std::uint32_t g = 0; g < config_.workers_per_node[node]; ++g) {
+      const auto id = static_cast<WorkerId>(deques_.size());
+      deques_.emplace_back();
+      worker_node_.push_back(node);
+      members.push_back(id);
+    }
+    node_workers_.push_back(std::move(members));
+  }
+  ROCKET_CHECK(!deques_.empty(), "scheduler needs at least one worker");
+}
+
+void RegionScheduler::seed_root(dnc::ItemIndex n) {
+  const dnc::Region root = dnc::root_region(n);
+  if (!dnc::is_empty(root)) deques_[0].push_back(root);
+}
+
+void RegionScheduler::push(WorkerId worker, const dnc::Region& region) {
+  if (!dnc::is_empty(region)) deques_[worker].push_back(region);
+}
+
+dnc::Region RegionScheduler::descend(WorkerId worker, dnc::Region region) {
+  auto& deque = deques_[worker];
+  while (dnc::count_pairs(region) > config_.max_leaf_pairs) {
+    auto children = dnc::split(region);
+    ++stats_.splits;
+    ROCKET_CHECK(!children.empty(), "split produced no children");
+    // Descend the first child; siblings become stealable work. Push them
+    // in reverse so the deque's *back* (owner side) holds the next sibling
+    // in natural order.
+    region = children.front();
+    for (std::size_t i = children.size(); i > 1; --i) {
+      deque.push_back(children[i - 1]);
+    }
+  }
+  return region;
+}
+
+std::optional<std::pair<dnc::Region, WorkerId>> RegionScheduler::try_steal(
+    WorkerId thief, const std::vector<WorkerId>& victims) {
+  // Random victim order, deterministic from the scheduler seed.
+  std::vector<WorkerId> order;
+  order.reserve(victims.size());
+  for (const WorkerId v : victims) {
+    if (v != thief) order.push_back(v);
+  }
+  rng_.shuffle(order);
+  for (const WorkerId victim : order) {
+    auto& deque = deques_[victim];
+    if (deque.empty()) continue;
+    if (config_.steal_smallest) {
+      // Ablation: take the deepest (smallest) region instead.
+      const dnc::Region region = deque.back();
+      deque.pop_back();
+      return std::pair{region, victim};
+    }
+    // Steal the *front*: the shallowest (largest) region — most work per
+    // steal request.
+    const dnc::Region region = deque.front();
+    deque.pop_front();
+    return std::pair{region, victim};
+  }
+  return std::nullopt;
+}
+
+std::optional<LeafGrant> RegionScheduler::next_leaf(WorkerId worker) {
+  auto& deque = deques_[worker];
+  if (!deque.empty()) {
+    // Owner side: the *back* is the deepest, most local region.
+    const dnc::Region region = deque.back();
+    deque.pop_back();
+    ++stats_.local_pops;
+    return LeafGrant{descend(worker, region), Origin::kLocal, worker};
+  }
+
+  if (config_.flat_victim_selection) {
+    // Ablation: one flat victim pool; every successful steal is charged as
+    // remote unless the victim happens to share the node.
+    std::vector<WorkerId> all;
+    for (WorkerId w = 0; w < deques_.size(); ++w) all.push_back(w);
+    if (auto hit = try_steal(worker, all)) {
+      const bool same_node = worker_node_[hit->second] == worker_node_[worker];
+      if (same_node) {
+        ++stats_.intra_node_steals;
+      } else {
+        ++stats_.remote_steals;
+      }
+      return LeafGrant{descend(worker, hit->first),
+                       same_node ? Origin::kIntraNode : Origin::kRemote,
+                       hit->second};
+    }
+    return std::nullopt;
+  }
+
+  // Hierarchical stealing: same-node victims first.
+  const std::uint32_t node = worker_node_[worker];
+  if (auto hit = try_steal(worker, node_workers_[node])) {
+    ++stats_.intra_node_steals;
+    return LeafGrant{descend(worker, hit->first), Origin::kIntraNode,
+                     hit->second};
+  }
+
+  // Remote: visit other nodes in random order, stealing from a random
+  // worker on each.
+  std::vector<std::uint32_t> nodes;
+  nodes.reserve(node_workers_.size());
+  for (std::uint32_t other = 0; other < node_workers_.size(); ++other) {
+    if (other != node) nodes.push_back(other);
+  }
+  rng_.shuffle(nodes);
+  for (const std::uint32_t victim_node : nodes) {
+    if (auto hit = try_steal(worker, node_workers_[victim_node])) {
+      ++stats_.remote_steals;
+      return LeafGrant{descend(worker, hit->first), Origin::kRemote,
+                       hit->second};
+    }
+  }
+  return std::nullopt;
+}
+
+bool RegionScheduler::all_empty() const {
+  return std::all_of(deques_.begin(), deques_.end(),
+                     [](const auto& d) { return d.empty(); });
+}
+
+}  // namespace rocket::steal

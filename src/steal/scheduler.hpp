@@ -1,0 +1,107 @@
+#pragma once
+
+// Deterministic locality-aware work-stealing scheduler (policy object).
+//
+// Implements §4.2's discipline over the dnc quadrant decomposition:
+//   * each worker owns a deque of regions; owners work depth-first (pop the
+//     deepest region, split, descend the first child, push the siblings) —
+//     "workers always prioritize local tasks at the lowest level";
+//   * idle workers steal the *front* (shallowest = largest) region,
+//     hierarchically: victims on the same node are tried before random
+//     remote nodes ("workers first attempt to steal from a worker on the
+//     same node before selecting a remote node");
+//   * the master worker seeds the root region ("the master node spawns a
+//     single root task representing the entire matrix").
+//
+// This class is single-threaded and deterministic (seeded victim
+// selection); it is the scheduling brain of the DES cluster. The live
+// runtime uses the same splitting discipline over Chase–Lev deques
+// (steal/executor.hpp), whose concurrent semantics match this policy.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dnc/pair_space.hpp"
+
+namespace rocket::steal {
+
+using WorkerId = std::uint32_t;
+
+enum class Origin { kLocal, kIntraNode, kRemote };
+
+struct LeafGrant {
+  dnc::Region region;
+  Origin origin = Origin::kLocal;
+  WorkerId victim = 0;  // meaningful for steals
+};
+
+struct SchedulerStats {
+  std::uint64_t local_pops = 0;
+  std::uint64_t intra_node_steals = 0;
+  std::uint64_t remote_steals = 0;
+  std::uint64_t splits = 0;
+};
+
+class RegionScheduler {
+ public:
+  struct Config {
+    /// workers_per_node[i] = number of workers (GPUs) on node i.
+    std::vector<std::uint32_t> workers_per_node;
+    std::uint64_t max_leaf_pairs = 1;
+    std::uint64_t seed = 1;
+
+    /// Ablation knobs (benchmarked in bench_ablation):
+    /// steal the *deepest* region instead of the largest — degrades the
+    /// work-per-steal ratio the paper's policy optimises for.
+    bool steal_smallest = false;
+    /// ignore the node hierarchy when choosing victims — degrades
+    /// intra-node locality.
+    bool flat_victim_selection = false;
+  };
+
+  explicit RegionScheduler(Config config);
+
+  /// Seed the root region (whole n×n upper triangle) on worker 0.
+  void seed_root(dnc::ItemIndex n);
+
+  /// Push an arbitrary region onto a worker's deque (testing / restarts).
+  void push(WorkerId worker, const dnc::Region& region);
+
+  /// Get the next leaf for `worker`: pops locally, splitting down to a
+  /// leaf; steals hierarchically when the local deque is empty. Returns
+  /// nullopt when no work exists anywhere right now (more may appear if
+  /// other workers split later — callers should re-poll).
+  std::optional<LeafGrant> next_leaf(WorkerId worker);
+
+  bool all_empty() const;
+  std::uint32_t num_workers() const {
+    return static_cast<std::uint32_t>(deques_.size());
+  }
+  std::uint32_t node_of(WorkerId worker) const { return worker_node_[worker]; }
+  const SchedulerStats& stats() const { return stats_; }
+  std::size_t deque_size(WorkerId worker) const {
+    return deques_[worker].size();
+  }
+
+ private:
+  /// Depth-first descent: split region until it is a leaf, pushing siblings
+  /// onto the worker's deque.
+  dnc::Region descend(WorkerId worker, dnc::Region region);
+
+  /// Try to steal the largest region from any worker in `victims`
+  /// (excluding the thief), in random order. Returns the victim on success.
+  std::optional<std::pair<dnc::Region, WorkerId>> try_steal(
+      WorkerId thief, const std::vector<WorkerId>& victims);
+
+  Config config_;
+  std::vector<std::deque<dnc::Region>> deques_;
+  std::vector<std::uint32_t> worker_node_;
+  std::vector<std::vector<WorkerId>> node_workers_;
+  Rng rng_;
+  SchedulerStats stats_;
+};
+
+}  // namespace rocket::steal

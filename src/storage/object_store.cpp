@@ -1,0 +1,109 @@
+#include "storage/object_store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace rocket::storage {
+
+namespace fs = std::filesystem;
+
+void MemoryStore::put(const std::string& name, ByteBuffer data) {
+  objects_[name] = std::move(data);
+}
+
+ByteBuffer MemoryStore::read(const std::string& name) {
+  const auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    throw std::runtime_error("MemoryStore: no such object: " + name);
+  }
+  ++stats_.reads;
+  stats_.bytes_read += it->second.size();
+  return it->second;
+}
+
+bool MemoryStore::exists(const std::string& name) const {
+  return objects_.count(name) != 0;
+}
+
+Bytes MemoryStore::size_of(const std::string& name) const {
+  const auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    throw std::runtime_error("MemoryStore: no such object: " + name);
+  }
+  return it->second.size();
+}
+
+std::vector<std::string> MemoryStore::list() const {
+  std::vector<std::string> names;
+  names.reserve(objects_.size());
+  for (const auto& [name, data] : objects_) names.push_back(name);
+  return names;
+}
+
+Bytes MemoryStore::total_bytes() const {
+  Bytes total = 0;
+  for (const auto& [name, data] : objects_) total += data.size();
+  return total;
+}
+
+DirectoryStore::DirectoryStore(std::string root) : root_(std::move(root)) {
+  fs::create_directories(root_);
+}
+
+std::string DirectoryStore::path_of(const std::string& name) const {
+  return (fs::path(root_) / name).string();
+}
+
+ByteBuffer DirectoryStore::read(const std::string& name) {
+  std::ifstream file(path_of(name), std::ios::binary);
+  if (!file) {
+    throw std::runtime_error("DirectoryStore: cannot open " + path_of(name));
+  }
+  file.seekg(0, std::ios::end);
+  const auto size = static_cast<std::size_t>(file.tellg());
+  file.seekg(0, std::ios::beg);
+  ByteBuffer data(size);
+  file.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(size));
+  if (!file) {
+    throw std::runtime_error("DirectoryStore: short read on " + name);
+  }
+  ++stats_.reads;
+  stats_.bytes_read += size;
+  return data;
+}
+
+bool DirectoryStore::exists(const std::string& name) const {
+  return fs::exists(path_of(name));
+}
+
+Bytes DirectoryStore::size_of(const std::string& name) const {
+  std::error_code ec;
+  const auto size = fs::file_size(path_of(name), ec);
+  if (ec) {
+    throw std::runtime_error("DirectoryStore: no such object: " + name);
+  }
+  return size;
+}
+
+std::vector<std::string> DirectoryStore::list() const {
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(root_)) {
+    if (entry.is_regular_file()) names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void DirectoryStore::put(const std::string& name, const ByteBuffer& data) {
+  std::ofstream file(path_of(name), std::ios::binary | std::ios::trunc);
+  if (!file) {
+    throw std::runtime_error("DirectoryStore: cannot create " + path_of(name));
+  }
+  file.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size()));
+}
+
+}  // namespace rocket::storage

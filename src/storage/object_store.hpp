@@ -1,0 +1,83 @@
+#pragma once
+
+// Input-file storage abstractions.
+//
+// The paper serves input files from a central MinIO server over InfiniBand
+// (§6.2), accessed via the Xenon library. Rocket abstracts this as an
+// ObjectStore:
+//   * MemoryStore    — in-memory blobs (unit tests, generated datasets)
+//   * DirectoryStore — real files on the local filesystem (live runtime)
+//   * SimulatedStore — virtual-time model of a shared storage server whose
+//                      aggregate bandwidth is processor-shared among the
+//                      cluster's concurrent reads (sim_store.hpp)
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/compress.hpp"
+#include "common/units.hpp"
+
+namespace rocket::storage {
+
+struct StoreStats {
+  std::uint64_t reads = 0;
+  Bytes bytes_read = 0;
+};
+
+/// Blocking object store used by the live runtime's I/O thread.
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  /// Read the named object. Throws std::runtime_error if missing.
+  virtual ByteBuffer read(const std::string& name) = 0;
+
+  virtual bool exists(const std::string& name) const = 0;
+  virtual Bytes size_of(const std::string& name) const = 0;
+  virtual std::vector<std::string> list() const = 0;
+
+  const StoreStats& stats() const { return stats_; }
+
+ protected:
+  StoreStats stats_;
+};
+
+/// In-memory store; also the backing catalogue for generated datasets.
+class MemoryStore final : public ObjectStore {
+ public:
+  void put(const std::string& name, ByteBuffer data);
+
+  ByteBuffer read(const std::string& name) override;
+  bool exists(const std::string& name) const override;
+  Bytes size_of(const std::string& name) const override;
+  std::vector<std::string> list() const override;
+
+  Bytes total_bytes() const;
+
+ private:
+  std::map<std::string, ByteBuffer> objects_;
+};
+
+/// Real files rooted at a directory.
+class DirectoryStore final : public ObjectStore {
+ public:
+  explicit DirectoryStore(std::string root);
+
+  ByteBuffer read(const std::string& name) override;
+  bool exists(const std::string& name) const override;
+  Bytes size_of(const std::string& name) const override;
+  std::vector<std::string> list() const override;
+
+  /// Write an object (used by dataset generators).
+  void put(const std::string& name, const ByteBuffer& data);
+
+  const std::string& root() const { return root_; }
+
+ private:
+  std::string path_of(const std::string& name) const;
+  std::string root_;
+};
+
+}  // namespace rocket::storage

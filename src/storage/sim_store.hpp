@@ -1,0 +1,60 @@
+#pragma once
+
+// Virtual-time model of the shared storage server (MinIO in the paper).
+//
+// All nodes read input files from one central server; its aggregate NIC
+// bandwidth is processor-shared among concurrent requests, plus a fixed
+// per-request overhead (request round-trip + object lookup). This is the
+// component that makes the paper's I/O-pressure results (Fig 12, bottom
+// row) emerge: with more nodes and no distributed cache, load replication
+// multiplies read traffic and the server saturates.
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "sim/primitives.hpp"
+#include "sim/process.hpp"
+
+namespace rocket::storage {
+
+struct SimulatedStoreConfig {
+  Bandwidth bandwidth = gbit_per_sec(56);  // server NIC, shared by all reads
+  double request_overhead = 2e-4;          // per-read fixed latency (200 us)
+};
+
+class SimulatedStore {
+ public:
+  SimulatedStore(sim::Simulation& sim, SimulatedStoreConfig config)
+      : sim_(&sim), config_(config), link_(sim, config.bandwidth) {}
+
+  /// Awaitable read of `bytes` from the shared server.
+  sim::Process read(Bytes bytes) {
+    ++reads_;
+    bytes_read_ += bytes;
+    co_await sim::delay(config_.request_overhead);
+    co_await link_.transfer(bytes);
+  }
+
+  std::uint64_t reads() const { return reads_; }
+  Bytes bytes_read() const { return bytes_read_; }
+  std::size_t active_reads() const { return link_.active_transfers(); }
+
+  /// Time during which at least one read was streaming.
+  double busy_time() const { return link_.busy_time(); }
+
+  /// Average consumed bandwidth over `elapsed` seconds.
+  Bandwidth average_usage(double elapsed) const {
+    return elapsed > 0 ? static_cast<double>(bytes_read_) / elapsed : 0.0;
+  }
+
+  const SimulatedStoreConfig& config() const { return config_; }
+
+ private:
+  sim::Simulation* sim_;
+  SimulatedStoreConfig config_;
+  sim::SharedBandwidth link_;
+  std::uint64_t reads_ = 0;
+  Bytes bytes_read_ = 0;
+};
+
+}  // namespace rocket::storage

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "apps/app_model.hpp"
+#include "common/stats.hpp"
+
+namespace rocket::apps {
+namespace {
+
+TEST(AppModel, Table1Constants) {
+  const AppModel f = forensics_model();
+  EXPECT_EQ(f.default_n, 4980u);
+  EXPECT_EQ(f.slot_size, megabytes(38.1));
+  EXPECT_NEAR(f.parse.mean(), 0.1308, 1e-9);
+  EXPECT_NEAR(f.comparison.mean(), 0.0011, 1e-9);
+  EXPECT_TRUE(f.has_preprocess());
+
+  const AppModel b = bioinformatics_model();
+  EXPECT_EQ(b.default_n, 2500u);
+  EXPECT_EQ(b.slot_size, megabytes(145.8));
+  EXPECT_NEAR(b.preprocess.mean(), 0.027, 1e-9);
+
+  const AppModel m = microscopy_model();
+  EXPECT_EQ(m.default_n, 256u);
+  EXPECT_EQ(m.slot_size, kilobytes(6.0));
+  EXPECT_FALSE(m.has_preprocess());
+  EXPECT_NEAR(m.comparison.mean(), 0.5643, 1e-9);
+}
+
+TEST(AppModel, AverageFileSizesMatchPaper) {
+  // 19.4 GB / 4980 ≈ 3.9 MB; 1.8 GB / 2500 = 0.72 MB; 150 MB / 256 ≈ 586 KB.
+  EXPECT_NEAR(as_mb(forensics_model().avg_file_size()), 3.9, 0.1);
+  EXPECT_NEAR(as_mb(bioinformatics_model().avg_file_size()), 0.72, 0.01);
+  EXPECT_NEAR(as_mb(microscopy_model().avg_file_size()), 0.586, 0.01);
+}
+
+TEST(AppModel, SamplingIsDeterministicPerEntity) {
+  const AppModel f = forensics_model();
+  EXPECT_DOUBLE_EQ(f.comparison_seconds(3, 7, 99), f.comparison_seconds(3, 7, 99));
+  EXPECT_NE(f.comparison_seconds(3, 7, 99), f.comparison_seconds(3, 8, 99));
+  EXPECT_NE(f.comparison_seconds(3, 7, 99), f.comparison_seconds(3, 7, 100));
+  EXPECT_DOUBLE_EQ(f.parse_seconds(11, 5), f.parse_seconds(11, 5));
+  EXPECT_EQ(f.file_size_of(4, 1), f.file_size_of(4, 1));
+}
+
+TEST(AppModel, SampledMomentsMatchTable1) {
+  const AppModel m = microscopy_model();
+  OnlineStats stats;
+  std::uint32_t k = 0;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    for (std::uint32_t j = i + 1; j < 256; ++j) {
+      stats.add(m.comparison_seconds(i, j, 1));
+      ++k;
+    }
+  }
+  EXPECT_EQ(k, 32640u);
+  EXPECT_NEAR(stats.mean(), 0.5643, 0.02);
+  EXPECT_NEAR(stats.stddev(), 0.348, 0.03);
+  EXPECT_GT(stats.max(), 1.5) << "heavy tail expected (Fig 7 right)";
+}
+
+TEST(AppModel, RegularVsIrregularSpread) {
+  const AppModel f = forensics_model();
+  const AppModel b = bioinformatics_model();
+  OnlineStats sf, sb;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    for (std::uint32_t j = i + 1; j < 200; ++j) {
+      sf.add(f.comparison_seconds(i, j, 1));
+      sb.add(b.comparison_seconds(i, j, 1));
+    }
+  }
+  // Coefficient of variation: forensics is regular (<2%), bioinformatics
+  // irregular (>25%), mirroring Fig 7.
+  EXPECT_LT(sf.stddev() / sf.mean(), 0.02);
+  EXPECT_GT(sb.stddev() / sb.mean(), 0.25);
+}
+
+TEST(AppModel, ProfileFeedsPerformanceModel) {
+  const auto profile = forensics_model().profile();
+  EXPECT_DOUBLE_EQ(profile.t_comparison, 0.0011);
+  EXPECT_EQ(profile.slot_size, megabytes(38.1));
+  const model::PerformanceModel pm(profile, 4980);
+  EXPECT_NEAR(pm.t_min() / 3600.0, 3.82, 0.05);  // ≈ Fig 8 dotted line
+}
+
+TEST(AppModel, FileSizesSpreadAroundMean) {
+  const AppModel b = bioinformatics_model();
+  OnlineStats sizes;
+  for (std::uint32_t i = 0; i < 2500; ++i) {
+    sizes.add(static_cast<double>(b.file_size_of(i, 1)));
+  }
+  EXPECT_NEAR(sizes.mean(), static_cast<double>(b.avg_file_size()), 0.02 * sizes.mean());
+  EXPECT_GT(sizes.stddev(), 0.0);
+}
+
+TEST(AppModel, LookupAndScaling) {
+  EXPECT_EQ(model_by_name("forensics").id, AppId::kForensics);
+  EXPECT_EQ(model_by_name("microscopy").id, AppId::kMicroscopy);
+  EXPECT_THROW(model_by_name("nope"), std::invalid_argument);
+
+  const AppModel big = bioinformatics_model(6818);
+  EXPECT_EQ(big.default_n, 6818u);
+  // Per-file mean stays the same as the 2500-file dataset.
+  EXPECT_NEAR(as_mb(big.avg_file_size()), 0.72, 0.01);
+
+  const AppModel small = scaled(forensics_model(), 100);
+  EXPECT_EQ(small.default_n, 100u);
+  EXPECT_NEAR(as_mb(small.avg_file_size()), 3.9, 0.1);
+}
+
+}  // namespace
+}  // namespace rocket::apps

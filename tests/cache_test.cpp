@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "cache/distributed_directory.hpp"
+#include "cache/slot_cache.hpp"
+
+namespace rocket::cache {
+namespace {
+
+using Outcome = SlotCache::Outcome;
+using Grant = SlotCache::Grant;
+
+SlotCache make_cache(std::uint32_t slots) {
+  return SlotCache(SlotCache::Config{slots, megabytes(1), "test"});
+}
+
+TEST(SlotCache, MissThenFillThenHit) {
+  auto cache = make_cache(2);
+  const Grant g1 = cache.acquire(7, nullptr);
+  ASSERT_EQ(g1.outcome, Outcome::kFill);
+  EXPECT_FALSE(cache.readable(7));
+  cache.publish(g1.slot);
+  EXPECT_TRUE(cache.readable(7));
+  cache.release(g1.slot);  // writer's pin
+
+  const Grant g2 = cache.acquire(7, nullptr);
+  EXPECT_EQ(g2.outcome, Outcome::kHit);
+  EXPECT_EQ(g2.slot, g1.slot);
+  cache.release(g2.slot);
+  EXPECT_EQ(cache.stats().fills, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  cache.check_invariants();
+}
+
+TEST(SlotCache, WaitersQueueBehindWriterAndGetPins) {
+  auto cache = make_cache(2);
+  const Grant writer = cache.acquire(1, nullptr);
+  ASSERT_EQ(writer.outcome, Outcome::kFill);
+
+  std::vector<Grant> grants;
+  const Grant w1 = cache.acquire(1, [&](Grant g) { grants.push_back(g); });
+  const Grant w2 = cache.acquire(1, [&](Grant g) { grants.push_back(g); });
+  EXPECT_EQ(w1.outcome, Outcome::kQueued);
+  EXPECT_EQ(w2.outcome, Outcome::kQueued);
+  EXPECT_TRUE(grants.empty());
+  EXPECT_EQ(cache.stats().write_waits, 2u);
+
+  cache.publish(writer.slot);
+  ASSERT_EQ(grants.size(), 2u);
+  EXPECT_EQ(grants[0].outcome, Outcome::kHit);
+  EXPECT_EQ(grants[1].outcome, Outcome::kHit);
+  // Writer + two waiters hold pins.
+  EXPECT_EQ(cache.readers_of(writer.slot), 3u);
+  cache.release(writer.slot);
+  cache.release(writer.slot);
+  cache.release(writer.slot);
+  EXPECT_EQ(cache.readers_of(writer.slot), 0u);
+  cache.check_invariants();
+}
+
+TEST(SlotCache, AbortPropagatesFailureToWaiters) {
+  auto cache = make_cache(1);
+  const Grant writer = cache.acquire(5, nullptr);
+  ASSERT_EQ(writer.outcome, Outcome::kFill);
+  std::optional<Grant> waited;
+  cache.acquire(5, [&](Grant g) { waited = g; });
+  cache.abort(writer.slot);
+  ASSERT_TRUE(waited.has_value());
+  EXPECT_EQ(waited->outcome, Outcome::kFailed);
+  EXPECT_FALSE(cache.contains(5));
+  EXPECT_GE(cache.stats().failures, 2u);
+  // The slot is immediately reusable.
+  const Grant retry = cache.acquire(5, nullptr);
+  EXPECT_EQ(retry.outcome, Outcome::kFill);
+  cache.check_invariants();
+}
+
+TEST(SlotCache, LruEvictionOrder) {
+  auto cache = make_cache(2);
+  for (const ItemId item : {10u, 11u}) {
+    const Grant g = cache.acquire(item, nullptr);
+    ASSERT_EQ(g.outcome, Outcome::kFill);
+    cache.publish(g.slot);
+    cache.release(g.slot);
+  }
+  // Touch item 10 so 11 becomes LRU.
+  const Grant touch = cache.acquire(10, nullptr);
+  ASSERT_EQ(touch.outcome, Outcome::kHit);
+  cache.release(touch.slot);
+
+  const Grant fresh = cache.acquire(12, nullptr);
+  ASSERT_EQ(fresh.outcome, Outcome::kFill);
+  cache.publish(fresh.slot);
+  cache.release(fresh.slot);
+
+  EXPECT_TRUE(cache.contains(10));
+  EXPECT_FALSE(cache.contains(11));  // evicted as least recently used
+  EXPECT_TRUE(cache.contains(12));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  cache.check_invariants();
+}
+
+TEST(SlotCache, PinnedSlotsAreNotEvictable) {
+  auto cache = make_cache(1);
+  const Grant g = cache.acquire(1, nullptr);
+  cache.publish(g.slot);  // pin held by writer
+
+  std::optional<Grant> deferred;
+  const Grant blocked = cache.acquire(2, [&](Grant gr) { deferred = gr; });
+  EXPECT_EQ(blocked.outcome, Outcome::kQueued);
+  EXPECT_EQ(cache.stats().alloc_stalls, 1u);
+  EXPECT_FALSE(deferred.has_value());
+
+  cache.release(g.slot);  // unpin → allocation can proceed
+  ASSERT_TRUE(deferred.has_value());
+  EXPECT_EQ(deferred->outcome, Outcome::kFill);
+  EXPECT_FALSE(cache.contains(1));  // evicted
+  cache.check_invariants();
+}
+
+TEST(SlotCache, QueuedAllocationPiggybacksOnLaterFill) {
+  auto cache = make_cache(1);
+  const Grant g = cache.acquire(1, nullptr);
+  cache.publish(g.slot);  // slot pinned by writer's read pin
+
+  // Two queued allocations for the SAME item 2: when the pin drops, the
+  // first becomes the writer and the second must wait on that writer (not
+  // allocate a second slot for the same item).
+  std::optional<Grant> first, second;
+  cache.acquire(2, [&](Grant gr) { first = gr; });
+  cache.acquire(2, [&](Grant gr) { second = gr; });
+  cache.release(g.slot);
+
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->outcome, Outcome::kFill);
+  EXPECT_FALSE(second.has_value());  // waiting on the writer
+  cache.publish(first->slot);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->outcome, Outcome::kHit);
+  cache.check_invariants();
+}
+
+TEST(SlotCache, StatsCountLoadsForReuseFactor) {
+  auto cache = make_cache(4);
+  // 8 distinct items through a 4-slot cache, twice: second pass re-loads
+  // everything (LRU with sequential scan = worst case).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (ItemId item = 0; item < 8; ++item) {
+      const Grant g = cache.acquire(item, nullptr);
+      ASSERT_EQ(g.outcome, Outcome::kFill);
+      cache.publish(g.slot);
+      cache.release(g.slot);
+    }
+  }
+  EXPECT_EQ(cache.stats().fills, 16u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().evictions, 12u);
+  cache.check_invariants();
+}
+
+TEST(SlotCache, ResidentCountTracksLiveItems) {
+  auto cache = make_cache(3);
+  EXPECT_EQ(cache.resident_items(), 0u);
+  const Grant a = cache.acquire(1, nullptr);
+  cache.publish(a.slot);
+  EXPECT_EQ(cache.resident_items(), 1u);
+  cache.release(a.slot);
+  EXPECT_EQ(cache.resident_items(), 1u);  // still cached, just unpinned
+  cache.check_invariants();
+}
+
+TEST(SlotCacheDeath, ReleaseWithoutPinAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  auto cache = make_cache(1);
+  const Grant g = cache.acquire(1, nullptr);
+  cache.publish(g.slot);
+  cache.release(g.slot);
+  EXPECT_DEATH(cache.release(g.slot), "release");
+}
+
+TEST(SlotsForCapacity, ClampsToItemCount) {
+  EXPECT_EQ(slots_for_capacity(gigabytes(11.1), megabytes(38.1), 4980), 291u);
+  EXPECT_EQ(slots_for_capacity(gigabytes(40.0), megabytes(145.8), 2500), 274u);
+  // Microscopy: far more capacity than items → clamp to n.
+  EXPECT_EQ(slots_for_capacity(gigabytes(40.0), kilobytes(6.0), 256), 256u);
+}
+
+// --- Distributed directory (the paper's §4.1.3 candidates protocol) ---
+
+TEST(DistributedDirectory, FirstRequestHasNoCandidates) {
+  DistributedDirectory dir(3);
+  const auto chain = dir.on_request(/*item=*/9, /*requester=*/2);
+  EXPECT_TRUE(chain.empty());
+  EXPECT_EQ(dir.stats().empty_responses, 1u);
+  EXPECT_EQ(dir.candidates(9), (std::vector<NodeId>{2}));
+}
+
+TEST(DistributedDirectory, ChainIsMostRecentFirst) {
+  DistributedDirectory dir(3);
+  dir.on_request(9, 0);
+  dir.on_request(9, 1);
+  dir.on_request(9, 2);
+  const auto chain = dir.on_request(9, 5);
+  EXPECT_EQ(chain, (std::vector<NodeId>{2, 1, 0}));
+  EXPECT_EQ(dir.candidates(9), (std::vector<NodeId>{5, 2, 1}));  // trimmed to h=3
+}
+
+TEST(DistributedDirectory, RequesterExcludedFromOwnChain) {
+  DistributedDirectory dir(3);
+  dir.on_request(4, 7);
+  const auto chain = dir.on_request(4, 7);  // same node asks again
+  EXPECT_TRUE(chain.empty());
+  EXPECT_EQ(dir.candidates(4), (std::vector<NodeId>{7}));  // deduplicated
+}
+
+TEST(DistributedDirectory, RepeatRequesterMovesToFront) {
+  DistributedDirectory dir(3);
+  dir.on_request(1, 0);
+  dir.on_request(1, 1);
+  dir.on_request(1, 0);  // node 0 again
+  EXPECT_EQ(dir.candidates(1), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(DistributedDirectory, BoundedCandidateList) {
+  DistributedDirectory dir(2);
+  for (NodeId node = 0; node < 10; ++node) dir.on_request(3, node);
+  const auto list = dir.candidates(3);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0], 9u);
+  EXPECT_EQ(list[1], 8u);
+}
+
+TEST(DistributedDirectory, MediatorAssignment) {
+  EXPECT_EQ(DistributedDirectory::mediator_of(0, 16), 0u);
+  EXPECT_EQ(DistributedDirectory::mediator_of(17, 16), 1u);
+  EXPECT_EQ(DistributedDirectory::mediator_of(4979, 16), 4979u % 16);
+}
+
+class DirectoryDepthSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(DirectoryDepthSweep, ListNeverExceedsH) {
+  const std::uint32_t h = GetParam();
+  DistributedDirectory dir(h);
+  for (int round = 0; round < 50; ++round) {
+    for (ItemId item = 0; item < 5; ++item) {
+      dir.on_request(item, static_cast<NodeId>((round * 3 + item) % 13));
+      EXPECT_LE(dir.candidates(item).size(), h);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DirectoryDepthSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+}  // namespace
+}  // namespace rocket::cache

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cluster/experiments.hpp"
+#include "cluster/sim_cluster.hpp"
+
+namespace rocket::cluster {
+namespace {
+
+// A small calibrated workload for fast tests: forensics-like timing with a
+// reduced item count (stage times and slot sizes unchanged).
+WorkloadConfig small_forensics(std::uint32_t n, ClusterConfig& cfg) {
+  return scaled_workload(apps::forensics_model(), n, cfg);
+}
+
+ClusterConfig small_das5(std::uint32_t nodes) {
+  ClusterConfig cfg = das5_cluster(nodes);
+  cfg.event_limit = 80'000'000;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(SimCluster, SingleNodeCompletesAllPairs) {
+  ClusterConfig cfg = small_das5(1);
+  const WorkloadConfig wl = small_forensics(100, cfg);
+  SimCluster cluster(cfg, wl);
+  const RunMetrics m = cluster.run();
+  EXPECT_EQ(m.pairs_done, 100u * 99 / 2);
+  EXPECT_GT(m.makespan, 0.0);
+  // Every item must be loaded at least once.
+  EXPECT_GE(m.total_loads, 100u);
+  EXPECT_GE(m.reuse_factor, 1.0);
+  // All pairs ran on the single GPU.
+  ASSERT_EQ(m.gpus.size(), 1u);
+  EXPECT_EQ(m.gpus[0].pairs_done, m.pairs_done);
+}
+
+TEST(SimCluster, EfficiencyWithinSaneBounds) {
+  // Microscopy is compute-bound with a dataset that fits in cache, so even
+  // a reduced-n run must reach the paper's ~99% single-node efficiency
+  // regime (Fig 8 right). Forensics at small n becomes load-dominated
+  // (loads scale with n, comparisons with n²), so it only gets a
+  // physicality bound here; its full-scale efficiency is validated by
+  // bench_fig8.
+  ClusterConfig cfg = small_das5(1);
+  WorkloadConfig wl;
+  wl.app = apps::microscopy_model();
+  wl.n = 64;
+  const RunMetrics m = SimCluster(cfg, wl).run();
+  EXPECT_GT(m.efficiency, 0.85);
+  EXPECT_LE(m.efficiency, 1.05);
+  // GPU comparison time dominates the makespan.
+  EXPECT_GT(m.busy_gpu_comparison / m.makespan, 0.85);
+
+  ClusterConfig fcfg = small_das5(1);
+  const WorkloadConfig fwl = small_forensics(200, fcfg);
+  const RunMetrics fm = SimCluster(fcfg, fwl).run();
+  EXPECT_GT(fm.efficiency, 0.0);
+  EXPECT_LE(fm.efficiency, 1.05);
+}
+
+TEST(SimCluster, DeterministicAcrossRuns) {
+  auto once = [] {
+    ClusterConfig cfg = small_das5(2);
+    const WorkloadConfig wl = small_forensics(80, cfg);
+    return SimCluster(cfg, wl).run();
+  };
+  const RunMetrics a = once();
+  const RunMetrics b = once();
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.total_loads, b.total_loads);
+  EXPECT_EQ(a.traffic.total_messages(), b.traffic.total_messages());
+}
+
+TEST(SimCluster, MultiNodeSpeedsUp) {
+  ClusterConfig cfg1 = small_das5(1);
+  const WorkloadConfig wl1 = small_forensics(150, cfg1);
+  const RunMetrics one = SimCluster(cfg1, wl1).run();
+
+  ClusterConfig cfg4 = small_das5(4);
+  const WorkloadConfig wl4 = small_forensics(150, cfg4);
+  const RunMetrics four = SimCluster(cfg4, wl4).run();
+
+  EXPECT_EQ(one.pairs_done, four.pairs_done);
+  const double speedup = one.makespan / four.makespan;
+  EXPECT_GT(speedup, 2.5) << "4 nodes should be much faster than 1";
+  // Work spread across all GPUs.
+  for (const auto& g : four.gpus) {
+    EXPECT_GT(g.pairs_done, 0u);
+  }
+}
+
+TEST(SimCluster, DistributedCacheReducesLoads) {
+  ClusterConfig with = small_das5(4);
+  with.distributed_cache = true;
+  const WorkloadConfig wl_with = small_forensics(150, with);
+  const RunMetrics m_with = SimCluster(with, wl_with).run();
+
+  ClusterConfig without = small_das5(4);
+  without.distributed_cache = false;
+  const WorkloadConfig wl_without = small_forensics(150, without);
+  const RunMetrics m_without = SimCluster(without, wl_without).run();
+
+  EXPECT_LT(m_with.total_loads, m_without.total_loads)
+      << "the third-level cache must reduce cluster-wide loads";
+  EXPECT_LT(m_with.storage_bytes, m_without.storage_bytes);
+  EXPECT_GT(m_with.dist_cache.requests, 0u);
+  EXPECT_GT(m_with.dist_cache.total_hits(), 0u);
+  EXPECT_EQ(m_without.dist_cache.requests, 0u);
+}
+
+TEST(SimCluster, HopAccountingIsConsistent) {
+  ClusterConfig cfg = small_das5(4);
+  cfg.hop_limit = 3;
+  const WorkloadConfig wl = small_forensics(120, cfg);
+  const RunMetrics m = SimCluster(cfg, wl).run();
+  ASSERT_EQ(m.dist_cache.hits_at_hop.size(), 3u);
+  EXPECT_EQ(m.dist_cache.total_hits() + m.dist_cache.misses,
+            m.dist_cache.requests);
+  // First hop should dominate hits (paper Fig 11: 75–88% at hop 1).
+  if (m.dist_cache.total_hits() > 20) {
+    EXPECT_GT(m.dist_cache.hits_at_hop[0], m.dist_cache.hits_at_hop[2]);
+  }
+}
+
+TEST(SimCluster, LoadsAreBoundedByPairDemand) {
+  ClusterConfig cfg = small_das5(2);
+  const WorkloadConfig wl = small_forensics(60, cfg);
+  const RunMetrics m = SimCluster(cfg, wl).run();
+  // Worst case: every pair loads both items everywhere; realistically far
+  // lower, but the hard upper bound is 2 * pairs.
+  EXPECT_LE(m.total_loads, 2 * m.pairs_done);
+  EXPECT_GE(m.total_loads, 60u);
+}
+
+TEST(SimCluster, HeterogeneousNodesShareWorkProportionally) {
+  ClusterConfig cfg = heterogeneous_cluster();
+  cfg.seed = 7;
+  cfg.event_limit = 80'000'000;
+  WorkloadConfig wl = scaled_workload(apps::microscopy_model(), 96, cfg);
+  const RunMetrics m = SimCluster(cfg, wl).run();
+  EXPECT_EQ(m.pairs_done, 96u * 95 / 2);
+  ASSERT_EQ(m.gpus.size(), 7u);  // 1 + 2 + 2 + 2
+  // The RTX2080Ti (speed 2.4) must process more pairs than the K20m (0.45).
+  std::uint64_t k20m_pairs = 0, rtx_pairs = 0;
+  for (const auto& g : m.gpus) {
+    if (g.device_name == "K20m") k20m_pairs += g.pairs_done;
+    if (g.device_name == "RTX2080Ti") rtx_pairs += g.pairs_done;
+  }
+  rtx_pairs /= 2;  // two cards
+  EXPECT_GT(rtx_pairs, k20m_pairs);
+}
+
+TEST(SimCluster, MicroscopyIgnoresCacheSize) {
+  // Microscopy's dataset fits everywhere: loads ≈ n regardless of cache.
+  ClusterConfig cfg = small_das5(1);
+  WorkloadConfig wl;
+  wl.app = apps::microscopy_model();
+  wl.n = 64;
+  const RunMetrics m = SimCluster(cfg, wl).run();
+  EXPECT_EQ(m.pairs_done, 64u * 63 / 2);
+  EXPECT_EQ(m.total_loads, 64u);
+  EXPECT_DOUBLE_EQ(m.reuse_factor, 1.0);
+}
+
+TEST(SimCluster, HostCacheDisabledStillCorrect) {
+  ClusterConfig cfg = small_das5(1);
+  cfg.host_cache_enabled = false;
+  const WorkloadConfig wl = small_forensics(60, cfg);
+  const RunMetrics m = SimCluster(cfg, wl).run();
+  EXPECT_EQ(m.pairs_done, 60u * 59 / 2);
+  // Without a host cache, reuse comes from the device level only: loads
+  // must be at least as many as with the host cache enabled.
+  ClusterConfig cfg2 = small_das5(1);
+  const WorkloadConfig wl2 = small_forensics(60, cfg2);
+  const RunMetrics m2 = SimCluster(cfg2, wl2).run();
+  EXPECT_GE(m.total_loads, m2.total_loads);
+}
+
+TEST(SimCluster, SmallerCacheMeansMoreLoads) {
+  ClusterConfig big = small_das5(1);
+  WorkloadConfig wl_big = small_forensics(150, big);
+  const RunMetrics m_big = SimCluster(big, wl_big).run();
+
+  ClusterConfig tiny = small_das5(1);
+  WorkloadConfig wl_tiny = small_forensics(150, tiny);
+  // Shrink both cache levels far below the dataset size.
+  tiny.device_cache_capacity_override = megabytes(38.1) * 10;
+  for (auto& node : tiny.nodes) node.host_cache_capacity = megabytes(38.1) * 20;
+  const RunMetrics m_tiny = SimCluster(tiny, wl_tiny).run();
+
+  EXPECT_GT(m_tiny.total_loads, m_big.total_loads);
+  EXPECT_GT(m_tiny.reuse_factor, m_big.reuse_factor);
+  EXPECT_LT(m_tiny.efficiency, m_big.efficiency + 1e-9);
+}
+
+TEST(SimCluster, TrivialWorkloads) {
+  ClusterConfig cfg = small_das5(1);
+  WorkloadConfig wl;
+  wl.app = apps::microscopy_model();
+  wl.n = 0;  // falls back to default_n? No: 0 means use app default.
+  wl.n = 1;
+  const RunMetrics m1 = SimCluster(cfg, wl).run();
+  EXPECT_EQ(m1.pairs_done, 0u);
+  EXPECT_EQ(m1.total_loads, 0u);
+
+  ClusterConfig cfg2 = small_das5(2);
+  WorkloadConfig wl2;
+  wl2.app = apps::microscopy_model();
+  wl2.n = 2;
+  const RunMetrics m2 = SimCluster(cfg2, wl2).run();
+  EXPECT_EQ(m2.pairs_done, 1u);
+  EXPECT_EQ(m2.total_loads, 2u);
+}
+
+TEST(SimCluster, CartesiusTopologyRuns) {
+  ClusterConfig cfg = cartesius_cluster(2);
+  cfg.seed = 11;
+  cfg.event_limit = 80'000'000;
+  WorkloadConfig wl = scaled_workload(apps::bioinformatics_model(), 120, cfg);
+  const RunMetrics m = SimCluster(cfg, wl).run();
+  EXPECT_EQ(m.pairs_done, 120u * 119 / 2);
+  EXPECT_EQ(m.gpus.size(), 4u);  // 2 nodes × 2 K40m
+  EXPECT_DOUBLE_EQ(m.gpus[0].relative_speed, 0.55);
+}
+
+TEST(SimCluster, CompletionTimelinesWhenRequested) {
+  ClusterConfig cfg = small_das5(1);
+  cfg.record_completions = true;
+  WorkloadConfig wl;
+  wl.app = apps::microscopy_model();
+  wl.n = 24;
+  const RunMetrics m = SimCluster(cfg, wl).run();
+  ASSERT_EQ(m.gpus.size(), 1u);
+  EXPECT_EQ(m.gpus[0].completion_times.size(), 24u * 23 / 2);
+  // Timestamps nondecreasing and within the makespan.
+  double prev = 0.0;
+  for (const double t : m.gpus[0].completion_times) {
+    EXPECT_GE(t, prev);
+    EXPECT_LE(t, m.makespan + 1e-9);
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace rocket::cluster

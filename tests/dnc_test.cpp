@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "dnc/pair_space.hpp"
+
+namespace rocket::dnc {
+namespace {
+
+TEST(PairSpace, RootRegionCountsMatchFormula) {
+  for (const ItemIndex n : {0u, 1u, 2u, 3u, 8u, 100u, 4980u}) {
+    const Region root = root_region(n);
+    EXPECT_EQ(count_pairs(root),
+              static_cast<PairCount>(n) * (n - 1) / 2)
+        << "n=" << n;
+  }
+}
+
+TEST(PairSpace, PaperWorkloadSizes) {
+  // Table 1: number of pairs for the three applications.
+  EXPECT_EQ(count_pairs(root_region(4980)), 12397710u);   // forensics
+  EXPECT_EQ(count_pairs(root_region(2500)), 3123750u);    // bioinformatics
+  EXPECT_EQ(count_pairs(root_region(256)), 32640u);       // microscopy (C(256,2))
+}
+
+// The paper's Table 1 lists 130,816 pairs for microscopy: that is C(512,2),
+// i.e. counting each of the 256 particles' two scoring methods; our model
+// uses C(n,2) with n given per experiment, so we verify the formula both ways.
+TEST(PairSpace, MicroscopyPairAccounting) {
+  EXPECT_EQ(count_pairs(root_region(512)), 130816u);
+}
+
+TEST(PairSpace, CountMatchesEnumerationOnRectangles) {
+  // Exhaustive check on small rectangles including degenerate ones.
+  for (ItemIndex r0 = 0; r0 <= 6; ++r0)
+    for (ItemIndex r1 = r0; r1 <= 7; ++r1)
+      for (ItemIndex c0 = 0; c0 <= 6; ++c0)
+        for (ItemIndex c1 = c0; c1 <= 7; ++c1) {
+          const Region region{r0, r1, c0, c1, 0};
+          PairCount listed = 0;
+          for_each_pair(region, [&](Pair p) {
+            EXPECT_LT(p.left, p.right);
+            EXPECT_GE(p.left, r0);
+            EXPECT_LT(p.left, r1);
+            EXPECT_GE(p.right, c0);
+            EXPECT_LT(p.right, c1);
+            ++listed;
+          });
+          EXPECT_EQ(count_pairs(region), listed)
+              << "region [" << r0 << "," << r1 << ")x[" << c0 << "," << c1 << ")";
+        }
+}
+
+TEST(PairSpace, SplitPreservesPairSetExactly) {
+  // Property: recursively splitting the root must enumerate every pair
+  // exactly once (the paper's Fig 5 decomposition is a partition).
+  for (const ItemIndex n : {2u, 3u, 5u, 8u, 13u, 33u, 64u}) {
+    std::set<std::pair<ItemIndex, ItemIndex>> seen;
+    std::deque<Region> work{root_region(n)};
+    while (!work.empty()) {
+      const Region region = work.front();
+      work.pop_front();
+      if (count_pairs(region) <= 1) {
+        for_each_pair(region, [&](Pair p) {
+          const bool inserted = seen.insert({p.left, p.right}).second;
+          EXPECT_TRUE(inserted) << "duplicate pair " << p.left << "," << p.right;
+        });
+        continue;
+      }
+      PairCount child_total = 0;
+      for (const Region& child : split(region)) {
+        EXPECT_EQ(child.depth, region.depth + 1);
+        EXPECT_GT(count_pairs(child), 0u);
+        child_total += count_pairs(child);
+        work.push_back(child);
+      }
+      EXPECT_EQ(child_total, count_pairs(region));
+    }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(n) * (n - 1) / 2);
+  }
+}
+
+TEST(PairSpace, SplitOfSinglePairReturnsSelf) {
+  const Region leaf{3, 4, 7, 8, 5};
+  ASSERT_EQ(count_pairs(leaf), 1u);
+  const auto children = split(leaf);
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_EQ(children[0], leaf);
+}
+
+TEST(PairSpace, EmptyRegions) {
+  EXPECT_TRUE(is_empty(Region{0, 0, 0, 0, 0}));
+  EXPECT_TRUE(is_empty(Region{5, 10, 0, 5, 0}));  // entirely below diagonal
+  EXPECT_FALSE(is_empty(root_region(2)));
+}
+
+TEST(PairSpace, WorkingSetMatchesEnumeration) {
+  for (ItemIndex r0 = 0; r0 <= 5; ++r0)
+    for (ItemIndex r1 = r0; r1 <= 6; ++r1)
+      for (ItemIndex c0 = 0; c0 <= 5; ++c0)
+        for (ItemIndex c1 = c0; c1 <= 6; ++c1) {
+          const Region region{r0, r1, c0, c1, 0};
+          std::set<ItemIndex> items;
+          for_each_pair(region, [&](Pair p) {
+            items.insert(p.left);
+            items.insert(p.right);
+          });
+          EXPECT_EQ(working_set_size(region), items.size())
+              << "region [" << r0 << "," << r1 << ")x[" << c0 << "," << c1 << ")";
+        }
+}
+
+TEST(PairSpace, DeepSplitShrinksWorkingSet) {
+  // Locality property motivating divide-and-conquer: each split at least
+  // halves (approximately) the referenced item span.
+  Region region = root_region(1024);
+  std::uint64_t prev = working_set_size(region);
+  for (int depth = 0; depth < 8; ++depth) {
+    const auto children = split(region);
+    ASSERT_FALSE(children.empty());
+    // Follow the densest child.
+    region = *std::max_element(
+        children.begin(), children.end(), [](const Region& a, const Region& b) {
+          return count_pairs(a) < count_pairs(b);
+        });
+    const std::uint64_t ws = working_set_size(region);
+    EXPECT_LE(ws, prev);
+    prev = ws;
+  }
+  EXPECT_LE(prev, 16u);
+}
+
+TEST(PairSpace, PairsOfReturnsRowMajor) {
+  const Region region{0, 3, 0, 3, 0};
+  const auto pairs = pairs_of(region);
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], (Pair{0, 1}));
+  EXPECT_EQ(pairs[1], (Pair{0, 2}));
+  EXPECT_EQ(pairs[2], (Pair{1, 2}));
+}
+
+}  // namespace
+}  // namespace rocket::dnc

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "model/performance_model.hpp"
+
+namespace rocket::model {
+namespace {
+
+// The paper's forensics column of Table 1 (TitanX Maxwell).
+StageProfile forensics_profile() {
+  StageProfile p;
+  p.t_parse = milliseconds(130.8);
+  p.t_preprocess = milliseconds(20.5);
+  p.t_comparison = milliseconds(1.1);
+  p.t_postprocess = 0.0;
+  p.file_size = megabytes(3.9);  // 19.4 GB / 4980 files
+  p.slot_size = megabytes(38.1);
+  return p;
+}
+
+TEST(PerformanceModel, PairCountFormula) {
+  EXPECT_EQ(pair_count(4980), 12397710u);
+  EXPECT_EQ(pair_count(2500), 3123750u);
+  EXPECT_EQ(pair_count(2), 1u);
+  EXPECT_EQ(pair_count(1), 0u);
+  EXPECT_EQ(pair_count(0), 0u);
+}
+
+TEST(PerformanceModel, TminMatchesHandComputation) {
+  const PerformanceModel model(forensics_profile(), 4980);
+  // Tmin = n * t_pre + C(n,2) * t_cmp = 4980*0.0205 + 12397710*0.0011
+  const double expected = 4980 * 0.0205 + 12397710.0 * 0.0011;
+  EXPECT_NEAR(model.t_min(), expected, 1e-9);
+  // ≈ 3.8 hours, matching Fig 8's dotted line magnitude.
+  EXPECT_NEAR(model.t_min() / 3600.0, 3.82, 0.05);
+}
+
+TEST(PerformanceModel, GpuTimeScalesWithReuseFactor) {
+  const PerformanceModel model(forensics_profile(), 4980);
+  const double t1 = model.t_gpu(1.0);
+  const double t2 = model.t_gpu(6.7);
+  // Only the preprocess term grows with R.
+  EXPECT_NEAR(t2 - t1, (6.7 - 1.0) * 4980 * 0.0205, 1e-9);
+}
+
+TEST(PerformanceModel, CpuAndIoEquations) {
+  const PerformanceModel model(forensics_profile(), 4980);
+  EXPECT_NEAR(model.t_cpu(2.0), 2.0 * 4980 * 0.1308, 1e-9);
+  // R=1, 100 MB/s: 4980 * 3.9 MB / 100 MB/s.
+  EXPECT_NEAR(model.t_io(1.0, mb_per_sec(100)), 4980 * 3.9 / 100.0, 1e-6);
+  EXPECT_DOUBLE_EQ(model.t_io(1.0, 0.0), 0.0);
+}
+
+TEST(PerformanceModel, EfficiencyDefinition) {
+  const PerformanceModel model(forensics_profile(), 4980);
+  const double tmin = model.t_min();
+  // Running exactly at the bound on 1 GPU → efficiency 1.
+  EXPECT_NEAR(model.efficiency(tmin, 1), 1.0, 1e-12);
+  // Paper: 94.6% single-node efficiency → measured = Tmin / 0.946.
+  EXPECT_NEAR(model.efficiency(tmin / 0.946, 1), 0.946, 1e-12);
+  // Super-linear: measured better than Tmin/p gives efficiency > 1.
+  EXPECT_GT(model.efficiency(tmin / 16.9, 16), 1.0);
+  EXPECT_DOUBLE_EQ(model.efficiency(0.0, 16), 0.0);
+  EXPECT_DOUBLE_EQ(model.efficiency(100.0, 0), 0.0);
+}
+
+TEST(PerformanceModel, ReuseFactor) {
+  const PerformanceModel model(forensics_profile(), 4980);
+  EXPECT_DOUBLE_EQ(model.reuse_factor(4980), 1.0);
+  EXPECT_NEAR(model.reuse_factor(33366), 6.7, 0.01);
+}
+
+TEST(PerformanceModel, PredictedRuntimeIsMaxOfResources) {
+  StageProfile p = forensics_profile();
+  const PerformanceModel model(p, 1000);
+  // With a crippled I/O bandwidth, I/O dominates.
+  const double slow_io = model.predicted_runtime(1.0, mb_per_sec(0.1));
+  EXPECT_DOUBLE_EQ(slow_io, model.t_io(1.0, mb_per_sec(0.1)));
+  // With fast I/O, the GPU dominates for this profile (t_parse > t_pre per
+  // load, but the comparison term dwarfs both at n=1000).
+  const double fast_io = model.predicted_runtime(1.0, gb_per_sec(100));
+  EXPECT_DOUBLE_EQ(fast_io, std::max(model.t_gpu(1.0), model.t_cpu(1.0)));
+}
+
+TEST(PerformanceModel, MicroscopyIsComputeBound) {
+  StageProfile p;
+  p.t_parse = milliseconds(27.4);
+  p.t_comparison = milliseconds(564.3);
+  p.file_size = kilobytes(586);  // 150 MB / 256
+  p.slot_size = kilobytes(6);
+  const PerformanceModel model(p, 256);
+  // Comparison time dominates: Tmin ≈ C(256,2) * 0.5643 s ≈ 5.1 hours,
+  // matching the magnitude of Fig 8 (microscopy).
+  EXPECT_NEAR(model.t_min() / 3600.0, 5.12, 0.1);
+  EXPECT_GT(model.t_gpu(1.0), model.t_cpu(1.0));
+  EXPECT_GT(model.t_gpu(1.0), model.t_io(1.0, mb_per_sec(100)));
+}
+
+}  // namespace
+}  // namespace rocket::model

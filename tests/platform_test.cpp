@@ -1,0 +1,220 @@
+// Tests for the platform substrates: net (fabric), storage, gpu.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gpu/device_spec.hpp"
+#include "gpu/virtual_device.hpp"
+#include "net/fabric.hpp"
+#include "storage/object_store.hpp"
+#include "storage/sim_store.hpp"
+
+namespace rocket {
+namespace {
+
+// --- net ---
+
+struct Payload {
+  int value = 0;
+};
+
+using TestFabric = net::Fabric<Payload>;
+
+sim::Process receive_one(TestFabric* fabric, net::NodeId node,
+                         std::vector<std::pair<double, int>>* log,
+                         sim::Simulation* sim) {
+  auto env = co_await fabric->mailbox(node).recv();
+  log->emplace_back(sim->now(), env.body.value);
+}
+
+TEST(Fabric, ControlMessageLatency) {
+  sim::Simulation sim;
+  net::FabricConfig cfg;
+  cfg.latency = 2e-6;
+  TestFabric fabric(sim, 4, cfg);
+  std::vector<std::pair<double, int>> log;
+  spawn(sim, receive_one(&fabric, 2, &log, &sim));
+  fabric.send(0, 2, net::Tag::kControl, Payload{42});
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(log[0].first, 2e-6);
+  EXPECT_EQ(log[0].second, 42);
+}
+
+TEST(Fabric, LocalDeliveryHasZeroLatency) {
+  sim::Simulation sim;
+  TestFabric fabric(sim, 2, net::FabricConfig{});
+  std::vector<std::pair<double, int>> log;
+  spawn(sim, receive_one(&fabric, 1, &log, &sim));
+  fabric.send(1, 1, net::Tag::kControl, Payload{7});
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(log[0].first, 0.0);
+}
+
+sim::Process bulk_sender(TestFabric* fabric, Bytes bytes) {
+  co_await fabric->send_bulk(0, 1, net::Tag::kCacheData, Payload{1}, bytes);
+}
+
+TEST(Fabric, BulkTransferSerialisesThroughNic) {
+  sim::Simulation sim;
+  net::FabricConfig cfg;
+  cfg.latency = 0.0;
+  cfg.link_bandwidth = mb_per_sec(100);
+  TestFabric fabric(sim, 2, cfg);
+  std::vector<std::pair<double, int>> log;
+  spawn(sim, receive_one(&fabric, 1, &log, &sim));
+  spawn(sim, bulk_sender(&fabric, 50_MB));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_NEAR(log[0].first, 0.5, 1e-9);  // 50 MB at 100 MB/s
+}
+
+TEST(Fabric, TrafficAccountingPerTag) {
+  sim::Simulation sim;
+  TestFabric fabric(sim, 2, net::FabricConfig{});
+  fabric.send(0, 1, net::Tag::kCacheRequest, Payload{});
+  fabric.send(0, 1, net::Tag::kCacheRequest, Payload{});
+  fabric.send(1, 0, net::Tag::kStealRequest, Payload{});
+  sim.run_until(1.0);
+  const auto& counters = fabric.counters();
+  EXPECT_EQ(counters.per_tag[static_cast<int>(net::Tag::kCacheRequest)].messages, 2u);
+  EXPECT_EQ(counters.per_tag[static_cast<int>(net::Tag::kStealRequest)].messages, 1u);
+  EXPECT_EQ(counters.total_messages(), 3u);
+  EXPECT_STREQ(net::tag_name(net::Tag::kCacheData), "cache-data");
+}
+
+// --- storage ---
+
+TEST(MemoryStore, PutReadAndStats) {
+  storage::MemoryStore store;
+  store.put("a.bin", ByteBuffer{1, 2, 3});
+  EXPECT_TRUE(store.exists("a.bin"));
+  EXPECT_FALSE(store.exists("b.bin"));
+  EXPECT_EQ(store.size_of("a.bin"), 3u);
+  EXPECT_EQ(store.read("a.bin"), (ByteBuffer{1, 2, 3}));
+  EXPECT_EQ(store.stats().reads, 1u);
+  EXPECT_EQ(store.stats().bytes_read, 3u);
+  EXPECT_THROW(store.read("missing"), std::runtime_error);
+}
+
+TEST(DirectoryStore, RoundTripsFiles) {
+  storage::DirectoryStore store(::testing::TempDir() + "/rocket_store_test");
+  ByteBuffer payload(1000);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  store.put("item_0001.dat", payload);
+  EXPECT_TRUE(store.exists("item_0001.dat"));
+  EXPECT_EQ(store.size_of("item_0001.dat"), payload.size());
+  EXPECT_EQ(store.read("item_0001.dat"), payload);
+  const auto names = store.list();
+  EXPECT_NE(std::find(names.begin(), names.end(), "item_0001.dat"), names.end());
+  EXPECT_THROW(store.read("nope"), std::runtime_error);
+}
+
+sim::Process timed_read(storage::SimulatedStore* store, Bytes bytes,
+                        double* done, sim::Simulation* sim) {
+  co_await store->read(bytes);
+  *done = sim->now();
+}
+
+TEST(SimulatedStore, SingleReadTime) {
+  sim::Simulation sim;
+  storage::SimulatedStoreConfig cfg;
+  cfg.bandwidth = mb_per_sec(100);
+  cfg.request_overhead = 0.001;
+  storage::SimulatedStore store(sim, cfg);
+  double done = 0;
+  spawn(sim, timed_read(&store, 10_MB, &done, &sim));
+  sim.run();
+  EXPECT_NEAR(done, 0.101, 1e-9);  // 1 ms overhead + 10 MB / 100 MBps
+  EXPECT_EQ(store.reads(), 1u);
+  EXPECT_EQ(store.bytes_read(), 10_MB);
+}
+
+TEST(SimulatedStore, ConcurrentReadsContend) {
+  sim::Simulation sim;
+  storage::SimulatedStoreConfig cfg;
+  cfg.bandwidth = mb_per_sec(100);
+  cfg.request_overhead = 0.0;
+  storage::SimulatedStore store(sim, cfg);
+  double a = 0, b = 0;
+  spawn(sim, timed_read(&store, 10_MB, &a, &sim));
+  spawn(sim, timed_read(&store, 10_MB, &b, &sim));
+  sim.run();
+  // Two concurrent 10 MB reads at 100 MB/s shared → 0.2 s each.
+  EXPECT_NEAR(a, 0.2, 1e-6);
+  EXPECT_NEAR(b, 0.2, 1e-6);
+  EXPECT_NEAR(store.average_usage(sim.now()), mb_per_sec(100), mb_per_sec(1));
+}
+
+// --- gpu ---
+
+TEST(DeviceSpec, CatalogueOrderingMatchesGenerations) {
+  // Relative speeds must preserve the paper's qualitative ordering.
+  EXPECT_LT(gpu::k20m().relative_speed, gpu::gtx980().relative_speed);
+  EXPECT_LT(gpu::gtx980().relative_speed, gpu::titanx_maxwell().relative_speed);
+  EXPECT_LT(gpu::titanx_maxwell().relative_speed,
+            gpu::titanx_pascal().relative_speed);
+  EXPECT_LT(gpu::titanx_pascal().relative_speed,
+            gpu::rtx2080ti().relative_speed);
+  EXPECT_DOUBLE_EQ(gpu::titanx_maxwell().relative_speed, 1.0);
+}
+
+TEST(DeviceSpec, CacheCapacityMatchesTable1) {
+  // 291 slots of 38.1 MB fit in the TitanX Maxwell cache budget.
+  const auto spec = gpu::titanx_maxwell();
+  const auto slots = spec.cache_capacity() / megabytes(38.1);
+  EXPECT_GE(slots, 288u);
+  EXPECT_LE(slots, 294u);
+}
+
+TEST(DeviceSpec, KernelScaling) {
+  const auto fast = gpu::rtx2080ti();
+  const auto slow = gpu::k20m();
+  EXPECT_NEAR(fast.scale_kernel_time(1.0), 1.0 / 2.4, 1e-12);
+  EXPECT_GT(slow.scale_kernel_time(1.0), 2.0);
+}
+
+TEST(DeviceSpec, LookupByName) {
+  EXPECT_EQ(gpu::device_by_name("RTX2080Ti").generation,
+            gpu::Generation::kTuring);
+  EXPECT_THROW(gpu::device_by_name("H100"), std::invalid_argument);
+  EXPECT_STREQ(gpu::generation_name(gpu::Generation::kPascal), "Pascal");
+}
+
+TEST(VirtualDevice, AllocationAccounting) {
+  gpu::VirtualDevice device(0, gpu::gtx980());  // 4 GB
+  auto buffer = device.allocate(1_GB);
+  EXPECT_EQ(device.allocated(), 1_GB);
+  EXPECT_EQ(buffer.size(), 1_GB);
+  {
+    auto second = device.allocate(2_GB);
+    EXPECT_EQ(device.allocated(), 3_GB);
+  }
+  EXPECT_EQ(device.allocated(), 1_GB);  // RAII returned the bytes
+}
+
+TEST(VirtualDevice, OutOfMemoryThrows) {
+  gpu::VirtualDevice device(0, gpu::gtx980());
+  auto hog = device.allocate(3_GB);
+  EXPECT_THROW(device.allocate(2_GB), gpu::DeviceOutOfMemory);
+  EXPECT_EQ(device.allocated(), 3_GB);  // failed alloc left no residue
+}
+
+TEST(VirtualDevice, MoveTransfersOwnership) {
+  gpu::VirtualDevice device(0, gpu::titanx_maxwell());
+  auto a = device.allocate(100_MB);
+  a.data()[0] = 0xAB;
+  gpu::DeviceBuffer b = std::move(a);
+  EXPECT_EQ(b.size(), 100_MB);
+  EXPECT_EQ(b.data()[0], 0xAB);
+  EXPECT_EQ(device.allocated(), 100_MB);
+  b = gpu::DeviceBuffer();
+  EXPECT_EQ(device.allocated(), 0u);
+}
+
+}  // namespace
+}  // namespace rocket

@@ -1,0 +1,253 @@
+// Integration tests: the live multi-threaded NodeRuntime end-to-end on the
+// three real applications, checked against brute-force sequential
+// reference results.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "apps/bioinformatics.hpp"
+#include "apps/forensics.hpp"
+#include "apps/microscopy.hpp"
+#include "runtime/node_runtime.hpp"
+
+namespace rocket::runtime {
+namespace {
+
+using ResultMap = std::map<std::pair<ItemId, ItemId>, double>;
+
+/// Sequential reference: run the pipeline naively for each pair.
+ResultMap brute_force(const Application& app, storage::ObjectStore& store) {
+  gpu::VirtualDevice device(0, gpu::titanx_maxwell());
+  std::vector<gpu::DeviceBuffer> items;
+  for (ItemId i = 0; i < app.item_count(); ++i) {
+    HostBuffer parsed;
+    app.parse(i, store.read(app.file_name(i)), parsed);
+    auto buffer = device.allocate(app.slot_size());
+    std::copy(parsed.begin(), parsed.end(), buffer.data());
+    app.preprocess(i, buffer);
+    items.push_back(std::move(buffer));
+  }
+  ResultMap results;
+  for (ItemId i = 0; i < app.item_count(); ++i) {
+    for (ItemId j = i + 1; j < app.item_count(); ++j) {
+      results[{i, j}] =
+          app.postprocess(i, j, app.compare(i, items[i], j, items[j]));
+    }
+  }
+  return results;
+}
+
+ResultMap collect(NodeRuntime& runtime, const Application& app,
+                  storage::ObjectStore& store, NodeRuntime::Report* report) {
+  ResultMap results;
+  std::mutex mutex;
+  auto rep = runtime.run(app, store, [&](const PairResult& r) {
+    std::scoped_lock lock(mutex);
+    results[{r.left, r.right}] = r.score;
+  });
+  if (report != nullptr) *report = rep;
+  return results;
+}
+
+TEST(NodeRuntime, ForensicsMatchesBruteForce) {
+  storage::MemoryStore store;
+  apps::ForensicsConfig cfg;
+  cfg.cameras = 3;
+  cfg.images_per_camera = 3;
+  cfg.width = 64;
+  cfg.height = 48;
+  cfg.seed = 4;
+  apps::ForensicsDataset dataset(cfg, store);
+  apps::ForensicsApplication app(dataset);
+
+  const ResultMap expected = brute_force(app, store);
+
+  NodeRuntime::Config rt;
+  rt.devices = {gpu::titanx_maxwell()};
+  rt.host_cache_capacity = 8_MiB;
+  rt.cpu_threads = 2;
+  NodeRuntime runtime(rt);
+  NodeRuntime::Report report;
+  const ResultMap actual = collect(runtime, app, store, &report);
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (const auto& [pair, score] : expected) {
+    const auto it = actual.find(pair);
+    ASSERT_NE(it, actual.end());
+    EXPECT_NEAR(it->second, score, 1e-9)
+        << "pair (" << pair.first << "," << pair.second << ")";
+  }
+  EXPECT_EQ(report.pairs, expected.size());
+  EXPECT_GE(report.loads, app.item_count());
+  EXPECT_GE(report.reuse_factor, 1.0);
+}
+
+TEST(NodeRuntime, MicroscopyMatchesBruteForce) {
+  storage::MemoryStore store;
+  apps::MicroscopyConfig cfg;
+  cfg.particles = 6;
+  cfg.binding_sites = 12;
+  cfg.localizations_per_site_min = 4;
+  cfg.localizations_per_site_max = 8;
+  cfg.seed = 2;
+  apps::MicroscopyDataset dataset(cfg, store);
+  apps::MicroscopyApplication app(dataset);
+
+  const ResultMap expected = brute_force(app, store);
+  NodeRuntime::Config rt;
+  rt.cpu_threads = 2;
+  rt.host_cache_capacity = 4_MiB;
+  NodeRuntime runtime(rt);
+  const ResultMap actual = collect(runtime, app, store, nullptr);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (const auto& [pair, score] : expected) {
+    EXPECT_NEAR(actual.at(pair), score, 1e-9);
+  }
+}
+
+TEST(NodeRuntime, BioinformaticsMatchesBruteForce) {
+  storage::MemoryStore store;
+  apps::BioinformaticsConfig cfg;
+  cfg.species = 8;
+  cfg.proteins = 10;
+  cfg.protein_len_min = 60;
+  cfg.protein_len_max = 120;
+  cfg.seed = 3;
+  apps::BioinformaticsDataset dataset(cfg, store);
+  apps::BioinformaticsApplication app(dataset);
+
+  const ResultMap expected = brute_force(app, store);
+  NodeRuntime::Config rt;
+  rt.cpu_threads = 2;
+  rt.host_cache_capacity = 64_MiB;
+  NodeRuntime runtime(rt);
+  const ResultMap actual = collect(runtime, app, store, nullptr);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (const auto& [pair, score] : expected) {
+    EXPECT_NEAR(actual.at(pair), score, 1e-9);
+  }
+}
+
+TEST(NodeRuntime, MultiDeviceSharesWork) {
+  storage::MemoryStore store;
+  apps::ForensicsConfig cfg;
+  cfg.cameras = 4;
+  cfg.images_per_camera = 4;
+  cfg.width = 64;
+  cfg.height = 48;
+  apps::ForensicsDataset dataset(cfg, store);
+  apps::ForensicsApplication app(dataset);
+
+  NodeRuntime::Config rt;
+  rt.devices = {gpu::rtx2080ti(), gpu::rtx2080ti()};
+  rt.cpu_threads = 2;
+  rt.host_cache_capacity = 16_MiB;
+  rt.emulate_heterogeneity = false;
+  NodeRuntime runtime(rt);
+  NodeRuntime::Report report;
+  const ResultMap results = collect(runtime, app, store, &report);
+  EXPECT_EQ(results.size(), 16u * 15 / 2);
+  ASSERT_EQ(report.pairs_per_device.size(), 2u);
+  EXPECT_EQ(report.pairs_per_device[0] + report.pairs_per_device[1],
+            results.size());
+  EXPECT_GT(report.pairs_per_device[0], 0u);
+  EXPECT_GT(report.pairs_per_device[1], 0u);
+}
+
+TEST(NodeRuntime, TinyCacheStillCorrect) {
+  // Device cache squeezed to the minimum (2 slots = 1 job in flight):
+  // maximal eviction pressure, every pair still completes correctly.
+  storage::MemoryStore store;
+  apps::ForensicsConfig cfg;
+  cfg.cameras = 2;
+  cfg.images_per_camera = 4;
+  cfg.width = 64;
+  cfg.height = 48;
+  apps::ForensicsDataset dataset(cfg, store);
+  apps::ForensicsApplication app(dataset);
+
+  const ResultMap expected = brute_force(app, store);
+
+  NodeRuntime::Config rt;
+  rt.cpu_threads = 1;
+  rt.host_cache_capacity = 0;  // host cache disabled
+  rt.device_cache_capacity = 2 * app.slot_size();
+  NodeRuntime runtime(rt);
+  NodeRuntime::Report report;
+  const ResultMap actual = collect(runtime, app, store, &report);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (const auto& [pair, score] : expected) {
+    EXPECT_NEAR(actual.at(pair), score, 1e-9);
+  }
+  // With no host cache and a 2-slot device cache, nearly every job reloads.
+  EXPECT_GT(report.reuse_factor, 2.0);
+}
+
+TEST(NodeRuntime, MissingFileFailsPairsNotRun) {
+  // Failure injection: drop one input file. Pairs touching it complete
+  // with NaN; everything else is still correct, and the run terminates.
+  storage::MemoryStore store;
+  apps::MicroscopyConfig cfg;
+  cfg.particles = 5;
+  cfg.binding_sites = 8;
+  cfg.localizations_per_site_min = 3;
+  cfg.localizations_per_site_max = 5;
+  apps::MicroscopyDataset dataset(cfg, store);
+  apps::MicroscopyApplication app(dataset);
+
+  const ResultMap expected = brute_force(app, store);
+
+  // Rebuild the store without particle 2.
+  storage::MemoryStore broken;
+  for (ItemId i = 0; i < 5; ++i) {
+    if (i == 2) continue;
+    broken.put(app.file_name(i), store.read(app.file_name(i)));
+  }
+
+  NodeRuntime::Config rt;
+  rt.cpu_threads = 2;
+  rt.host_cache_capacity = 1_MiB;
+  NodeRuntime runtime(rt);
+  const ResultMap actual = collect(runtime, app, broken, nullptr);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (const auto& [pair, score] : actual) {
+    if (pair.first == 2 || pair.second == 2) {
+      EXPECT_TRUE(std::isnan(score)) << "pairs on the missing item fail";
+    } else {
+      EXPECT_NEAR(score, expected.at(pair), 1e-9);
+    }
+  }
+}
+
+TEST(NodeRuntime, ProfilerTraceWhenEnabled) {
+  storage::MemoryStore store;
+  apps::MicroscopyConfig cfg;
+  cfg.particles = 4;
+  cfg.binding_sites = 6;
+  cfg.localizations_per_site_min = 3;
+  cfg.localizations_per_site_max = 4;
+  apps::MicroscopyDataset dataset(cfg, store);
+  apps::MicroscopyApplication app(dataset);
+
+  NodeRuntime::Config rt;
+  rt.cpu_threads = 1;
+  rt.host_cache_capacity = 1_MiB;
+  rt.trace = true;
+  NodeRuntime runtime(rt);
+  NodeRuntime::Report report;
+  collect(runtime, app, store, &report);
+  EXPECT_FALSE(report.timeline.empty());
+  EXPECT_NE(report.timeline.find("legend"), std::string::npos);
+  // Busy time must have been recorded on the GPU lane.
+  double gpu_busy = 0;
+  for (const auto& [name, busy] : report.lane_busy) {
+    if (name.rfind("gpu", 0) == 0) gpu_busy += busy;
+  }
+  EXPECT_GT(gpu_busy, 0.0);
+}
+
+}  // namespace
+}  // namespace rocket::runtime

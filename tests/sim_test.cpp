@@ -1,0 +1,372 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/primitives.hpp"
+#include "sim/process.hpp"
+#include "sim/simulation.hpp"
+
+namespace rocket::sim {
+namespace {
+
+TEST(Simulation, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_fn(3.0, [&] { order.push_back(3); });
+  sim.schedule_fn(1.0, [&] { order.push_back(1); });
+  sim.schedule_fn(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulation, SameTimestampIsFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_fn(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_fn(1.0, [&] { ++fired; });
+  sim.schedule_fn(5.0, [&] { ++fired; });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, EventLimitThrows) {
+  Simulation sim;
+  sim.set_event_limit(10);
+  std::function<void()> loop = [&] { sim.schedule_fn(0.0, loop); };
+  sim.schedule_fn(0.0, loop);
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+Process sleeper(std::vector<double>* log, Simulation* sim, Time dt) {
+  co_await delay(dt);
+  log->push_back(sim->now());
+}
+
+TEST(Process, DelayAdvancesVirtualTime) {
+  Simulation sim;
+  std::vector<double> log;
+  spawn(sim, sleeper(&log, &sim, 2.5));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(log[0], 2.5);
+}
+
+Process parent(std::vector<std::string>* log, Simulation* sim) {
+  log->push_back("parent-start");
+  Process child = sleeper(nullptr, sim, 0.0);  // placeholder; replaced below
+  (void)child;
+  co_await delay(1.0);
+  log->push_back("parent-end");
+}
+
+Process child_proc(std::vector<std::string>* log, Time dt) {
+  co_await delay(dt);
+  log->push_back("child-done");
+}
+
+Process joining_parent(std::vector<std::string>* log) {
+  log->push_back("start");
+  co_await child_proc(log, 3.0);  // await_transform auto-starts the child
+  log->push_back("joined");
+}
+
+TEST(Process, JoinChildWaitsForCompletion) {
+  Simulation sim;
+  std::vector<std::string> log;
+  spawn(sim, joining_parent(&log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"start", "child-done", "joined"}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+Process thrower() {
+  co_await delay(1.0);
+  throw std::runtime_error("boom");
+}
+
+Process catcher(bool* caught) {
+  try {
+    co_await thrower();
+  } catch (const std::runtime_error&) {
+    *caught = true;
+  }
+}
+
+TEST(Process, ExceptionPropagatesToJoiner) {
+  Simulation sim;
+  bool caught = false;
+  spawn(sim, catcher(&caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Process, FailedFlagOnDetachedProcess) {
+  Simulation sim;
+  Process p = spawn(sim, thrower());
+  sim.run();
+  EXPECT_TRUE(p.done());
+  EXPECT_TRUE(p.failed());
+  EXPECT_THROW(p.rethrow_if_failed(), std::runtime_error);
+}
+
+Process wait_event(Event* ev, std::vector<double>* log, Simulation* sim) {
+  co_await *ev;
+  log->push_back(sim->now());
+}
+
+Process trigger_later(Event* ev) {
+  co_await delay(4.0);
+  ev->trigger();
+}
+
+TEST(Event, BroadcastWakesAllWaiters) {
+  Simulation sim;
+  Event ev(sim);
+  std::vector<double> log;
+  spawn(sim, wait_event(&ev, &log, &sim));
+  spawn(sim, wait_event(&ev, &log, &sim));
+  spawn(sim, trigger_later(&ev));
+  sim.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_DOUBLE_EQ(log[0], 4.0);
+  EXPECT_DOUBLE_EQ(log[1], 4.0);
+}
+
+TEST(Event, AwaitAfterTriggerIsImmediate) {
+  Simulation sim;
+  Event ev(sim);
+  ev.trigger();
+  std::vector<double> log;
+  spawn(sim, wait_event(&ev, &log, &sim));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(log[0], 0.0);
+}
+
+Process worker_arrives(WaitGroup* wg, Time dt) {
+  co_await delay(dt);
+  wg->arrive();
+}
+
+Process wait_group_waiter(WaitGroup* wg, double* done_at, Simulation* sim) {
+  co_await *wg;
+  *done_at = sim->now();
+}
+
+TEST(WaitGroup, JoinsAllArrivals) {
+  Simulation sim;
+  WaitGroup wg(sim, 3);
+  double done_at = -1;
+  spawn(sim, wait_group_waiter(&wg, &done_at, &sim));
+  spawn(sim, worker_arrives(&wg, 1.0));
+  spawn(sim, worker_arrives(&wg, 5.0));
+  spawn(sim, worker_arrives(&wg, 2.0));
+  sim.run();
+  EXPECT_DOUBLE_EQ(done_at, 5.0);
+}
+
+Process resource_user(Resource* res, std::vector<std::pair<double, double>>* spans,
+                      Simulation* sim, Time hold) {
+  co_await res->acquire();
+  const double start = sim->now();
+  co_await delay(hold);
+  res->release();
+  spans->emplace_back(start, sim->now());
+}
+
+TEST(Resource, SerialisesBeyondCapacity) {
+  Simulation sim;
+  Resource res(sim, 2);
+  std::vector<std::pair<double, double>> spans;
+  for (int i = 0; i < 4; ++i) {
+    spawn(sim, resource_user(&res, &spans, &sim, 10.0));
+  }
+  sim.run();
+  ASSERT_EQ(spans.size(), 4u);
+  // Two run [0,10], two run [10,20].
+  int early = 0, late = 0;
+  for (const auto& [start, end] : spans) {
+    if (start == 0.0) ++early;
+    if (start == 10.0) ++late;
+    EXPECT_DOUBLE_EQ(end - start, 10.0);
+  }
+  EXPECT_EQ(early, 2);
+  EXPECT_EQ(late, 2);
+  // Busy integral: 2 units × 10 s + 2 units × 10 s = 40 resource-seconds.
+  EXPECT_DOUBLE_EQ(res.busy_time(), 40.0);
+}
+
+Process big_then_small(Resource* res, std::vector<int>* order, int id,
+                       std::uint64_t amount) {
+  co_await res->acquire(amount);
+  order->push_back(id);
+  res->release(amount);
+}
+
+TEST(Resource, FifoNoOvertaking) {
+  Simulation sim;
+  Resource res(sim, 4);
+  std::vector<int> order;
+
+  // Occupy the whole resource until t=1.
+  spawn(sim, [](Resource* r) -> Process {
+    co_await r->acquire(4);
+    co_await delay(1.0);
+    r->release(4);
+  }(&res));
+
+  // A large request queues first, then a small one; the small one must NOT
+  // overtake even though it would fit earlier.
+  spawn(sim, [](Resource* r, std::vector<int>* ord) -> Process {
+    co_await delay(0.1);
+    co_await r->acquire(4);
+    ord->push_back(1);
+    co_await delay(1.0);
+    r->release(4);
+  }(&res, &order));
+  spawn(sim, [](Resource* r, std::vector<int>* ord) -> Process {
+    co_await delay(0.2);
+    co_await r->acquire(1);
+    ord->push_back(2);
+    r->release(1);
+  }(&res, &order));
+
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+Process mailbox_producer(Mailbox<int>* box, int count) {
+  for (int i = 0; i < count; ++i) {
+    co_await delay(1.0);
+    box->send(i);
+  }
+}
+
+Process mailbox_consumer(Mailbox<int>* box, std::vector<int>* got, int count) {
+  for (int i = 0; i < count; ++i) {
+    got->push_back(co_await box->recv());
+  }
+}
+
+TEST(Mailbox, FifoDelivery) {
+  Simulation sim;
+  Mailbox<int> box(sim);
+  std::vector<int> got;
+  spawn(sim, mailbox_consumer(&box, &got, 5));
+  spawn(sim, mailbox_producer(&box, 5));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Mailbox, BufferedBeforeReceiverArrives) {
+  Simulation sim;
+  Mailbox<std::string> box(sim);
+  box.send("a");
+  box.send("b");
+  std::vector<std::string> got;
+  spawn(sim, [](Mailbox<std::string>* b, std::vector<std::string>* g) -> Process {
+    g->push_back(co_await b->recv());
+    g->push_back(co_await b->recv());
+  }(&box, &got));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<std::string>{"a", "b"}));
+}
+
+Process transfer_task(SharedBandwidth* link, Bytes bytes, double* done_at,
+                      Simulation* sim, Time start_delay = 0.0) {
+  co_await delay(start_delay);
+  co_await link->transfer(bytes);
+  *done_at = sim->now();
+}
+
+TEST(SharedBandwidth, SingleTransferAtFullRate) {
+  Simulation sim;
+  SharedBandwidth link(sim, 100.0);  // 100 B/s
+  double done = 0;
+  spawn(sim, transfer_task(&link, 500, &done, &sim));
+  sim.run();
+  EXPECT_NEAR(done, 5.0, 1e-9);
+}
+
+TEST(SharedBandwidth, TwoTransfersShareFairly) {
+  Simulation sim;
+  SharedBandwidth link(sim, 100.0);
+  double done_a = 0, done_b = 0;
+  spawn(sim, transfer_task(&link, 500, &done_a, &sim));
+  spawn(sim, transfer_task(&link, 500, &done_b, &sim));
+  sim.run();
+  // Both share 100 B/s → each effectively 50 B/s → 10 s.
+  EXPECT_NEAR(done_a, 10.0, 1e-6);
+  EXPECT_NEAR(done_b, 10.0, 1e-6);
+}
+
+TEST(SharedBandwidth, LateArrivalSlowsExisting) {
+  Simulation sim;
+  SharedBandwidth link(sim, 100.0);
+  double done_a = 0, done_b = 0;
+  spawn(sim, transfer_task(&link, 500, &done_a, &sim));
+  spawn(sim, transfer_task(&link, 250, &done_b, &sim, 2.5));
+  sim.run();
+  // A alone for 2.5 s (250 B done), then shares: A needs 250 B at 50 B/s
+  // (5 s) → done at 7.5; B needs 250 B at 50 B/s → done at 7.5.
+  EXPECT_NEAR(done_a, 7.5, 1e-6);
+  EXPECT_NEAR(done_b, 7.5, 1e-6);
+  EXPECT_EQ(link.total_transferred(), Bytes{750});
+  EXPECT_NEAR(link.busy_time(), 7.5, 1e-6);
+}
+
+TEST(SharedBandwidth, ZeroByteTransferCompletesImmediately) {
+  Simulation sim;
+  SharedBandwidth link(sim, 100.0);
+  double done = -1;
+  spawn(sim, transfer_task(&link, 0, &done, &sim));
+  sim.run();
+  EXPECT_DOUBLE_EQ(done, 0.0);
+}
+
+// Determinism: the same seed-free topology must replay identically.
+Process busy_loop(Resource* res, Mailbox<int>* box, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await res->acquire();
+    co_await delay(0.25);
+    res->release();
+    box->send(i);
+  }
+}
+
+TEST(Simulation, DeterministicReplay) {
+  auto run_once = [] {
+    Simulation sim;
+    Resource res(sim, 2);
+    Mailbox<int> box(sim);
+    std::vector<int> got;
+    for (int w = 0; w < 5; ++w) spawn(sim, busy_loop(&res, &box, 20));
+    spawn(sim, [](Mailbox<int>* b, std::vector<int>* g) -> Process {
+      for (int i = 0; i < 100; ++i) g->push_back(co_await b->recv());
+    }(&box, &got));
+    const double end = sim.run();
+    return std::pair{end, got};
+  };
+  const auto [end1, got1] = run_once();
+  const auto [end2, got2] = run_once();
+  EXPECT_DOUBLE_EQ(end1, end2);
+  EXPECT_EQ(got1, got2);
+}
+
+}  // namespace
+}  // namespace rocket::sim
