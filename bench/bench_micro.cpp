@@ -2,15 +2,32 @@
 // slot-cache operations, Chase–Lev deque throughput, pair-space math and
 // the DES event loop. These guard the constants that make full-scale
 // figure regeneration tractable (tens of millions of virtual events).
+//
+// After the registered benchmarks, main() runs a head-to-head of the live
+// runtime's per-pair vs tile-batched execution modes plus MpmcQueue
+// single-op vs bulk-op throughput, and writes the numbers to
+// BENCH_micro.json (machine-readable, for the perf trajectory).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
 #include "cache/slot_cache.hpp"
+#include "common/queue.hpp"
 #include "common/rng.hpp"
 #include "dnc/pair_space.hpp"
+#include "runtime/node_runtime.hpp"
 #include "sim/primitives.hpp"
 #include "sim/process.hpp"
 #include "steal/deque.hpp"
+#include "storage/object_store.hpp"
 
 namespace {
 
@@ -75,6 +92,52 @@ void BM_RegionSplit(benchmark::State& state) {
 }
 BENCHMARK(BM_RegionSplit);
 
+void BM_SlotCacheBatchAcquireHit(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  cache::SlotCache cache({64, 1_MB, "bench"});
+  for (cache::ItemId i = 0; i < 64; ++i) {
+    const auto g = cache.acquire(i, nullptr);
+    cache.publish(g.slot);
+    cache.release(g.slot);
+  }
+  std::vector<cache::ItemId> items(batch);
+  cache::ItemId base = 0;
+  for (auto _ : state) {
+    for (std::size_t k = 0; k < batch; ++k) {
+      items[k] = (base + static_cast<cache::ItemId>(k)) & 63;
+    }
+    const auto grants = cache.acquire_batch(items, nullptr);
+    benchmark::DoNotOptimize(grants.data());
+    for (const auto& g : grants) cache.release(g.slot);
+    base = (base + 1) & 63;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_SlotCacheBatchAcquireHit)->Arg(8)->Arg(32);
+
+void BM_QueueSinglePushPop(benchmark::State& state) {
+  MpmcQueue<int> q;
+  for (auto _ : state) {
+    q.push(1);
+    benchmark::DoNotOptimize(q.try_pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueueSinglePushPop);
+
+void BM_QueueBulkPushPop(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  MpmcQueue<int> q;
+  std::vector<int> in;
+  for (auto _ : state) {
+    in.assign(batch, 1);
+    q.push_bulk(in);
+    benchmark::DoNotOptimize(q.pop_bulk(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_QueueBulkPushPop)->Arg(16)->Arg(64);
+
 sim::Process ping(sim::Simulation&, int hops) {
   for (int i = 0; i < hops; ++i) {
     co_await sim::delay(1e-6);
@@ -100,6 +163,194 @@ void BM_LognormalSample(benchmark::State& state) {
 }
 BENCHMARK(BM_LognormalSample);
 
+// --- runtime execution-mode head-to-head + JSON emission -----------------
+
+/// Cache-friendly synthetic all-pairs workload: n items that all fit in
+/// the device cache, trivial parse and a cheap compare, so the engine's
+/// per-pair overheads (queue hops, cache mutex traffic, allocations,
+/// result locking) dominate — exactly what tile batching amortises.
+class SyntheticApp final : public runtime::Application {
+ public:
+  SyntheticApp(std::uint32_t n, storage::MemoryStore& store) : n_(n) {
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      ByteBuffer bytes(kItemBytes);
+      for (std::size_t b = 0; b < bytes.size(); ++b) {
+        bytes[b] = static_cast<std::uint8_t>((i * 131 + b * 31) & 0xFF);
+      }
+      store.put(file_name(i), std::move(bytes));
+    }
+  }
+
+  std::string name() const override { return "synthetic"; }
+  std::uint32_t item_count() const override { return n_; }
+  std::string file_name(runtime::ItemId item) const override {
+    return "syn_" + std::to_string(item);
+  }
+  void parse(runtime::ItemId, const ByteBuffer& file,
+             runtime::HostBuffer& out) const override {
+    out.assign(file.begin(), file.end());
+  }
+  double compare(runtime::ItemId, const gpu::DeviceBuffer& left,
+                 runtime::ItemId,
+                 const gpu::DeviceBuffer& right) const override {
+    std::uint64_t acc = 0;
+    for (std::size_t b = 0; b < kItemBytes; b += 8) {
+      acc += static_cast<std::uint64_t>(left.data()[b]) *
+             static_cast<std::uint64_t>(right.data()[b] + 1);
+    }
+    return static_cast<double>(acc);
+  }
+  Bytes slot_size() const override { return kItemBytes; }
+
+ private:
+  static constexpr std::size_t kItemBytes = 4096;
+  std::uint32_t n_;
+};
+
+struct ModeResult {
+  double wall_seconds = 0.0;
+  double pairs_per_sec = 0.0;
+  std::uint64_t loads = 0;
+  std::uint64_t tiles = 0;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, double> results;
+};
+
+ModeResult run_mode(const runtime::Application& app,
+                    storage::MemoryStore& store, bool tile_batching) {
+  runtime::NodeRuntime::Config cfg;
+  cfg.devices = {gpu::titanx_maxwell()};
+  cfg.host_cache_capacity = 64_MiB;
+  cfg.cpu_threads = 2;
+  cfg.tile_batching = tile_batching;
+  runtime::NodeRuntime rt(cfg);
+  ModeResult mode;
+  std::mutex mutex;
+  const auto report = rt.run(app, store, [&](const runtime::PairResult& r) {
+    std::scoped_lock lock(mutex);
+    mode.results[{r.left, r.right}] = r.score;
+  });
+  mode.wall_seconds = report.wall_seconds;
+  mode.pairs_per_sec =
+      report.wall_seconds > 0
+          ? static_cast<double>(report.pairs) / report.wall_seconds
+          : 0.0;
+  mode.loads = report.loads;
+  mode.tiles = report.tiles;
+  return mode;
+}
+
+struct QueueThroughput {
+  double single_ops_per_sec = 0.0;
+  double bulk_ops_per_sec = 0.0;
+};
+
+QueueThroughput measure_queue_throughput() {
+  using Clock = std::chrono::steady_clock;
+  constexpr int kOps = 400000;
+  constexpr std::size_t kBatch = 64;
+  QueueThroughput out;
+  {
+    MpmcQueue<int> q;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kOps; ++i) {
+      q.push(i);
+      benchmark::DoNotOptimize(q.try_pop());
+    }
+    const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    out.single_ops_per_sec = kOps / secs;
+  }
+  {
+    MpmcQueue<int> q;
+    std::vector<int> in;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kOps; i += static_cast<int>(kBatch)) {
+      in.assign(kBatch, i);
+      q.push_bulk(in);
+      benchmark::DoNotOptimize(q.pop_bulk(kBatch));
+    }
+    const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    out.bulk_ops_per_sec = kOps / secs;
+  }
+  return out;
+}
+
+/// Run the execution-mode comparison and write BENCH_micro.json.
+void run_mode_comparison_and_emit_json() {
+  constexpr std::uint32_t kItems = 256;
+  storage::MemoryStore store;
+  SyntheticApp app(kItems, store);
+
+  const ModeResult per_pair = run_mode(app, store, /*tile_batching=*/false);
+  const ModeResult tiled = run_mode(app, store, /*tile_batching=*/true);
+
+  bool results_match = per_pair.results.size() == tiled.results.size();
+  if (results_match) {
+    for (const auto& [pair, score] : per_pair.results) {
+      const auto it = tiled.results.find(pair);
+      if (it == tiled.results.end() ||
+          std::abs(it->second - score) > 1e-9) {
+        results_match = false;
+        break;
+      }
+    }
+  }
+  const double speedup = per_pair.pairs_per_sec > 0
+                             ? tiled.pairs_per_sec / per_pair.pairs_per_sec
+                             : 0.0;
+  const QueueThroughput queue = measure_queue_throughput();
+
+  std::printf("\n-- execution mode head-to-head (n=%u, %zu pairs) --\n",
+              kItems, per_pair.results.size());
+  std::printf("per-pair:     %12.0f pairs/s  (loads=%" PRIu64 ")\n",
+              per_pair.pairs_per_sec, per_pair.loads);
+  std::printf("tile-batched: %12.0f pairs/s  (loads=%" PRIu64
+              ", tiles=%" PRIu64 ")\n",
+              tiled.pairs_per_sec, tiled.loads, tiled.tiles);
+  std::printf("speedup: %.2fx  results_match: %s\n", speedup,
+              results_match ? "yes" : "NO");
+  std::printf("queue: single %.0f ops/s, bulk(64) %.0f ops/s (%.2fx)\n",
+              queue.single_ops_per_sec, queue.bulk_ops_per_sec,
+              queue.bulk_ops_per_sec / queue.single_ops_per_sec);
+
+  FILE* f = std::fopen("BENCH_micro.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_micro.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"workload\": {\"items\": %u, \"pairs\": %zu},\n", kItems,
+               per_pair.results.size());
+  std::fprintf(f,
+               "  \"per_pair\": {\"pairs_per_sec\": %.1f, "
+               "\"wall_seconds\": %.6f, \"loads\": %" PRIu64 "},\n",
+               per_pair.pairs_per_sec, per_pair.wall_seconds, per_pair.loads);
+  std::fprintf(f,
+               "  \"tile_batched\": {\"pairs_per_sec\": %.1f, "
+               "\"wall_seconds\": %.6f, \"loads\": %" PRIu64
+               ", \"tiles\": %" PRIu64 "},\n",
+               tiled.pairs_per_sec, tiled.wall_seconds, tiled.loads,
+               tiled.tiles);
+  std::fprintf(f, "  \"speedup\": %.3f,\n", speedup);
+  std::fprintf(f, "  \"results_match\": %s,\n",
+               results_match ? "true" : "false");
+  std::fprintf(f, "  \"loads_match\": %s,\n",
+               per_pair.loads == tiled.loads ? "true" : "false");
+  std::fprintf(f,
+               "  \"queue\": {\"single_ops_per_sec\": %.1f, "
+               "\"bulk_ops_per_sec\": %.1f, \"bulk_batch\": 64}\n",
+               queue.single_ops_per_sec, queue.bulk_ops_per_sec);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_micro.json\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_mode_comparison_and_emit_json();
+  return 0;
+}

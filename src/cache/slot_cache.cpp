@@ -1,6 +1,7 @@
 #include "cache/slot_cache.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/log.hpp"
 
@@ -100,6 +101,24 @@ SlotCache::Grant SlotCache::acquire(ItemId item, Callback cb) {
   trace("acquire-stall", item, kInvalidSlot);
   pending_.push_back(PendingAlloc{item, std::move(cb)});
   return Grant{Outcome::kQueued, kInvalidSlot};
+}
+
+std::vector<SlotCache::Grant> SlotCache::acquire_batch(
+    const std::vector<ItemId>& items, BatchCallback cb) {
+  std::vector<Grant> grants;
+  grants.reserve(items.size());
+  // Shared so only queued entries pay for a callback copy; hits and fills
+  // resolve inline and never touch it.
+  auto shared_cb =
+      cb ? std::make_shared<BatchCallback>(std::move(cb)) : nullptr;
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    Callback entry_cb;
+    if (shared_cb) {
+      entry_cb = [shared_cb, k](Grant g) { (*shared_cb)(k, g); };
+    }
+    grants.push_back(acquire(items[k], std::move(entry_cb)));
+  }
+  return grants;
 }
 
 void SlotCache::publish(SlotId id) {

@@ -81,6 +81,23 @@ class SlotCache {
   /// be empty only if the caller can prove no queueing can occur.
   Grant acquire(ItemId item, Callback cb);
 
+  /// Per-entry callback of a batched acquire: fires once for every entry
+  /// whose immediate outcome was kQueued, with that entry's index into the
+  /// batch and the final grant (kHit / kFill / kFailed).
+  using BatchCallback = std::function<void(std::size_t index, Grant)>;
+
+  /// Request read pins on every item of `items` in one call — a tile job
+  /// pins its whole working set with a single pass through the policy (the
+  /// live runtime wraps the call in one mutex acquisition instead of one
+  /// per item). Returns one Grant per item, index-aligned with `items`:
+  /// kHit entries are pinned now, kFill entries made the caller the writer
+  /// (drive the load pipeline, then publish/abort), kQueued entries resolve
+  /// later through `cb`. Items already pinned earlier in the same batch are
+  /// handled like any concurrent acquire (an extra pin, or a wait on the
+  /// batch's own write slot), but callers normally pass distinct items.
+  std::vector<Grant> acquire_batch(const std::vector<ItemId>& items,
+                                   BatchCallback cb);
+
   /// Writer completed filling `slot`: transition WRITE→READ. The writer is
   /// granted the first read pin (do not call acquire again). All queued
   /// waiters receive read pins via their callbacks.

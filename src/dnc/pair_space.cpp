@@ -58,6 +58,35 @@ std::vector<Pair> pairs_of(const Region& region) {
   return out;
 }
 
+ItemRange row_items(const Region& r) {
+  if (is_empty(r)) return ItemRange{};
+  const ItemIndex hi = std::min<ItemIndex>(
+      r.row_end, r.col_end > 0 ? r.col_end - 1 : 0);
+  if (hi <= r.row_begin) return ItemRange{};
+  return ItemRange{r.row_begin, hi};
+}
+
+ItemRange col_items(const Region& r) {
+  if (is_empty(r)) return ItemRange{};
+  const ItemIndex lo = std::max<ItemIndex>(r.col_begin, r.row_begin + 1);
+  if (r.col_end <= lo) return ItemRange{};
+  return ItemRange{lo, r.col_end};
+}
+
+std::vector<ItemIndex> working_set_items(const Region& r) {
+  std::vector<ItemIndex> out;
+  const ItemRange rows = row_items(r);
+  const ItemRange cols = col_items(r);
+  out.reserve(rows.size() + cols.size());
+  for (ItemIndex i = rows.begin; i < rows.end; ++i) out.push_back(i);
+  // rows.begin < cols.begin always (cols start past row_begin), so the
+  // union stays sorted by skipping the overlapping prefix of cols.
+  const ItemIndex col_start =
+      rows.empty() ? cols.begin : std::max(cols.begin, rows.end);
+  for (ItemIndex j = col_start; j < cols.end; ++j) out.push_back(j);
+  return out;
+}
+
 std::uint64_t working_set_size(const Region& r) {
   if (is_empty(r)) return 0;
   // Rows that contribute at least one pair: [row_begin, min(row_end, col_end-1)).

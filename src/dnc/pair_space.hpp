@@ -73,4 +73,27 @@ std::vector<Pair> pairs_of(const Region& region);
 /// yields locality: deep regions touch few items.
 std::uint64_t working_set_size(const Region& region);
 
+/// Half-open range of item indices; `begin == end` means empty.
+struct ItemRange {
+  ItemIndex begin = 0;
+  ItemIndex end = 0;
+
+  bool empty() const { return begin >= end; }
+  std::uint32_t size() const { return empty() ? 0 : end - begin; }
+  friend bool operator==(const ItemRange&, const ItemRange&) = default;
+};
+
+/// Items that appear on the row (left) side of at least one pair in the
+/// region: [row_begin, min(row_end, col_end - 1)).
+ItemRange row_items(const Region& region);
+
+/// Items that appear on the column (right) side of at least one pair in the
+/// region: [max(col_begin, row_begin + 1), col_end).
+ItemRange col_items(const Region& region);
+
+/// Sorted distinct items of the region — the union of row_items and
+/// col_items. This is the set a tile-batched job pins before running its
+/// compares; its size always equals working_set_size(region).
+std::vector<ItemIndex> working_set_items(const Region& region);
+
 }  // namespace rocket::dnc

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <limits>
 #include <chrono>
+#include <limits>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "common/log.hpp"
 #include "common/queue.hpp"
@@ -18,11 +19,26 @@ using Task = std::function<void()>;
 using Grant = cache::SlotCache::Grant;
 using Outcome = cache::SlotCache::Outcome;
 
-/// Worker thread body: drain a queue, recording each task on a profiler
-/// lane. The queue closes at shutdown.
+/// Batch size for worker drains: one lock acquisition hands a worker up to
+/// this many tasks (tasks are short; larger batches only add latency).
+constexpr std::size_t kDrainBatch = 16;
+
+/// CPU-pool task tagged with the profiler kind it should be recorded as.
+/// Parse, postprocess and control continuations share the pool but must not
+/// share a lane attribution (control time inflating parse utilisation was
+/// a long-standing Fig-14 artefact).
+struct CpuTask {
+  TaskKind kind = TaskKind::kOther;
+  Task fn;
+};
+
+/// Worker thread body: drain a queue in batches. The queue closes at
+/// shutdown.
 void drain(MpmcQueue<Task>& queue) {
-  while (auto task = queue.pop()) {
-    (*task)();
+  for (;;) {
+    auto batch = queue.pop_bulk(kDrainBatch);
+    if (batch.empty()) return;
+    for (auto& task : batch) task();
   }
 }
 
@@ -38,11 +54,18 @@ struct DeviceState {
   MpmcQueue<Task> gpu_q, h2d_q, d2h_q;
   std::size_t gpu_lane = 0, h2d_lane = 0, d2h_lane = 0;
   double stretch = 0.0;  // extra sleep per kernel second (heterogeneity)
+  /// Max distinct items one tile may pin; sized so that (tiles in flight) ×
+  /// (working set per tile) never exceeds the slot count — the invariant
+  /// that makes batched pinning deadlock-free.
+  std::uint32_t tile_ws_budget = 2;
   std::atomic<std::uint64_t> pairs{0};
 
   DeviceState(int ordinal, const gpu::DeviceSpec& spec)
       : vdev(ordinal, spec) {}
 };
+
+struct LoadOp;
+struct LoadClient;
 
 struct Engine {
   const NodeRuntime::Config& cfg;
@@ -56,14 +79,23 @@ struct Engine {
   std::mutex host_mutex;
   std::vector<HostBuffer> host_slots;
 
-  MpmcQueue<Task> io_q, cpu_q;
+  MpmcQueue<Task> io_q;
+  MpmcQueue<CpuTask> cpu_q;
   std::size_t io_lane = 0;
   std::vector<std::size_t> cpu_lanes;
 
   std::vector<std::unique_ptr<Semaphore>> job_limits;  // per worker/device
   std::unique_ptr<CountdownLatch> done;
   std::atomic<std::uint64_t> loads{0};
+  std::atomic<std::uint64_t> tiles{0};
   std::mutex result_mutex;
+
+  // Pool of load-pipeline state blocks. Reuse keeps the hot path free of
+  // per-load heap churn: the pooled ByteBuffer/HostBuffer keep their
+  // capacity across loads, and every pipeline stage captures only the raw
+  // LoadOp pointer (small enough for std::function's inline storage).
+  std::mutex load_pool_mutex;
+  std::vector<std::unique_ptr<LoadOp>> load_pool;
 
   Engine(const NodeRuntime::Config& config, const Application& application,
          storage::ObjectStore& object_store,
@@ -73,13 +105,278 @@ struct Engine {
 
   /// Defer a continuation out of a cache-callback context (callbacks run
   /// under the cache mutex; continuations must not re-enter it inline).
-  void post_control(Task task) { cpu_q.push(std::move(task)); }
+  void post_control(Task task) {
+    cpu_q.push(CpuTask{TaskKind::kControl, std::move(task)});
+  }
+
+  LoadOp* make_load(DeviceState& dev, ItemId item, cache::SlotId dslot,
+                    LoadClient* client);
+  void recycle_load(LoadOp* op);
 };
 
+/// Consumer of the shared load pipeline: notified exactly once per started
+/// load, on an arbitrary runtime thread.
+struct LoadClient {
+  virtual void item_ready(ItemId item, cache::SlotId dslot) = 0;
+  virtual void item_failed(ItemId item) = 0;
+
+ protected:
+  ~LoadClient() = default;
+};
+
+/// State of one load-pipeline execution (Fig 2 / Fig 4): store → parse →
+/// H2D → pre-process → publish, with the optional host-cache level in
+/// front. Pooled by the engine; owned by the pipeline while in flight.
+struct LoadOp {
+  Engine* eng = nullptr;
+  DeviceState* dev = nullptr;
+  LoadClient* client = nullptr;
+  ItemId item = 0;
+  cache::SlotId dslot = cache::kInvalidSlot;  // device WRITE slot (ours)
+  cache::SlotId hslot = cache::kInvalidSlot;  // host WRITE slot, if any
+  ByteBuffer file;
+  HostBuffer parsed;
+};
+
+LoadOp* Engine::make_load(DeviceState& dev, ItemId item, cache::SlotId dslot,
+                          LoadClient* client) {
+  std::unique_ptr<LoadOp> op;
+  {
+    std::scoped_lock lock(load_pool_mutex);
+    if (!load_pool.empty()) {
+      op = std::move(load_pool.back());
+      load_pool.pop_back();
+    }
+  }
+  if (!op) op = std::make_unique<LoadOp>();
+  op->eng = this;
+  op->dev = &dev;
+  op->client = client;
+  op->item = item;
+  op->dslot = dslot;
+  op->hslot = cache::kInvalidSlot;
+  op->file.clear();
+  op->parsed.clear();
+  return op.release();
+}
+
+void Engine::recycle_load(LoadOp* op) {
+  std::unique_ptr<LoadOp> owned(op);
+  owned->client = nullptr;
+  std::scoped_lock lock(load_pool_mutex);
+  load_pool.push_back(std::move(owned));
+}
+
+// --- shared load pipeline ------------------------------------------------
+
+void begin_fill(LoadOp* op);
+void run_load(LoadOp* op);
+
+/// Cache slots are fixed-size (§4.1.1): allocate the full slot so an
+/// item may legally grow in place (bioinformatics replaces the residue
+/// string with its larger composition vector during pre-processing).
+void ensure_device_buffer(Engine& eng, DeviceState& dev, cache::SlotId dslot,
+                          std::size_t content_size) {
+  auto& buffer = dev.slots[dslot];
+  const std::size_t want =
+      std::max<std::size_t>({content_size, eng.app.slot_size(), 1});
+  if (buffer.size() < want) {
+    buffer = dev.vdev.allocate(want);
+  }
+}
+
+/// Emulate a slower device by stretching kernel wall time.
+void stretch_kernel(DeviceState& dev, Profiler::Clock::time_point start) {
+  if (dev.stretch <= 0.0) return;
+  const auto elapsed = Profiler::Clock::now() - start;
+  std::this_thread::sleep_for(
+      std::chrono::duration_cast<Profiler::Clock::duration>(
+          elapsed * dev.stretch));
+}
+
+/// Load complete: the client owns the published device slot's read pin.
+void finish_load(LoadOp* op) {
+  LoadClient* client = op->client;
+  const ItemId item = op->item;
+  const cache::SlotId dslot = op->dslot;
+  op->eng->recycle_load(op);
+  client->item_ready(item, dslot);
+}
+
+/// A load stage failed while we held WRITE locks: abort them (waiters get
+/// kFailed and re-drive their own loads) and notify the client.
+void fail_load(LoadOp* op, const char* what) {
+  ROCKET_ERROR("load of item %u failed: %s", op->item, what);
+  {
+    std::scoped_lock lock(op->dev->cache_mutex);
+    op->dev->cache->abort(op->dslot);
+  }
+  if (op->hslot != cache::kInvalidSlot && op->eng->host_cache) {
+    std::scoped_lock lock(op->eng->host_mutex);
+    op->eng->host_cache->abort(op->hslot);
+  }
+  LoadClient* client = op->client;
+  const ItemId item = op->item;
+  op->eng->recycle_load(op);
+  client->item_failed(item);
+}
+
+/// Host hit: copy host slot → device slot, publish device, drop host pin.
+void stage_h2d_from_host(LoadOp* op, cache::SlotId host_read_slot) {
+  op->dev->h2d_q.push([op, host_read_slot] {
+    Engine& eng = *op->eng;
+    DeviceState& dev = *op->dev;
+    try {
+      ScopedTask span(eng.profiler, dev.h2d_lane, TaskKind::kH2D);
+      const HostBuffer& src = eng.host_slots[host_read_slot];
+      ensure_device_buffer(eng, dev, op->dslot, src.size());
+      auto& buffer = dev.slots[op->dslot];
+      std::copy(src.begin(), src.end(), buffer.data());
+      // Slot-sized transfer: clear the tail so variable-sized items never
+      // see a previous occupant's bytes (mirrors the store-load H2D stage).
+      std::fill(buffer.data() + src.size(), buffer.data() + buffer.size(),
+                std::uint8_t{0});
+    } catch (const std::exception& e) {
+      {
+        std::scoped_lock lock(eng.host_mutex);
+        eng.host_cache->release(host_read_slot);
+      }
+      fail_load(op, e.what());
+      return;
+    }
+    {
+      std::scoped_lock lock(dev.cache_mutex);
+      dev.cache->publish(op->dslot);
+    }
+    {
+      std::scoped_lock lock(eng.host_mutex);
+      eng.host_cache->release(host_read_slot);
+    }
+    finish_load(op);
+  });
+}
+
+void handle_host_grant(LoadOp* op, Grant grant) {
+  switch (grant.outcome) {
+    case Outcome::kHit:
+      stage_h2d_from_host(op, grant.slot);
+      return;
+    case Outcome::kFill:
+      op->hslot = grant.slot;
+      run_load(op);
+      return;
+    case Outcome::kFailed:
+      begin_fill(op);  // retry the host level
+      return;
+    case Outcome::kQueued:
+      ROCKET_CHECK(false, "queued grant delivered as queued");
+  }
+}
+
+/// Entry point: the caller was granted the device WRITE slot in op->dslot.
+/// Consult the host cache, then drive the full load only on a host miss.
+void begin_fill(LoadOp* op) {
+  if (!op->eng->host_cache) {
+    run_load(op);
+    return;
+  }
+  Grant grant;
+  {
+    std::scoped_lock lock(op->eng->host_mutex);
+    grant = op->eng->host_cache->acquire(op->item, [op](Grant g) {
+      op->eng->post_control([op, g] { handle_host_grant(op, g); });
+    });
+  }
+  if (grant.outcome != Outcome::kQueued) handle_host_grant(op, grant);
+}
+
+/// Full load: I/O → parse (CPU pool) → H2D → pre-process (GPU) → publish
+/// device → (if host enabled) D2H copy-back → publish host. Every stage
+/// captures only the LoadOp pointer.
+void run_load(LoadOp* op) {
+  op->eng->loads.fetch_add(1, std::memory_order_relaxed);
+  op->eng->io_q.push([op] {
+    Engine& eng = *op->eng;
+    try {
+      ScopedTask span(eng.profiler, eng.io_lane, TaskKind::kIo);
+      op->file = eng.store.read(eng.app.file_name(op->item));
+    } catch (const std::exception& e) {
+      fail_load(op, e.what());
+      return;
+    }
+    eng.cpu_q.push(CpuTask{TaskKind::kParse, [op] {
+      try {
+        // CPU lane busy time is recorded by the pool thread wrapper.
+        op->eng->app.parse(op->item, op->file, op->parsed);
+      } catch (const std::exception& e) {
+        fail_load(op, e.what());
+        return;
+      }
+      op->dev->h2d_q.push([op] {
+        try {
+          ScopedTask span(op->eng->profiler, op->dev->h2d_lane,
+                          TaskKind::kH2D);
+          ensure_device_buffer(*op->eng, *op->dev, op->dslot,
+                               op->parsed.size());
+          auto& buffer = op->dev->slots[op->dslot];
+          std::copy(op->parsed.begin(), op->parsed.end(), buffer.data());
+          // Slot-sized transfer: clear the tail so variable-sized items
+          // never see a previous occupant's bytes.
+          std::fill(buffer.data() + op->parsed.size(),
+                    buffer.data() + buffer.size(), std::uint8_t{0});
+        } catch (const std::exception& e) {
+          fail_load(op, e.what());
+          return;
+        }
+        op->dev->gpu_q.push([op] {
+          DeviceState& dev = *op->dev;
+          try {
+            ScopedTask span(op->eng->profiler, dev.gpu_lane,
+                            TaskKind::kPreprocess);
+            const auto t0 = Profiler::Clock::now();
+            op->eng->app.preprocess(op->item, dev.slots[op->dslot]);
+            stretch_kernel(dev, t0);
+          } catch (const std::exception& e) {
+            fail_load(op, e.what());
+            return;
+          }
+          {
+            std::scoped_lock lock(dev.cache_mutex);
+            dev.cache->publish(op->dslot);
+          }
+          if (op->hslot != cache::kInvalidSlot) {
+            dev.d2h_q.push([op] {
+              Engine& eng = *op->eng;
+              {
+                ScopedTask span(eng.profiler, op->dev->d2h_lane,
+                                TaskKind::kD2H);
+                const auto& buf = op->dev->slots[op->dslot];
+                eng.host_slots[op->hslot].assign(buf.data(),
+                                                 buf.data() + buf.size());
+              }
+              {
+                std::scoped_lock lock(eng.host_mutex);
+                eng.host_cache->publish(op->hslot);
+                eng.host_cache->release(op->hslot);
+              }
+              finish_load(op);
+            });
+          } else {
+            finish_load(op);
+          }
+        });
+      });
+    }});
+  });
+}
+
+// --- per-pair path (Config::tile_batching == false) ----------------------
+
 /// One in-flight comparison job: pin both items on the device (driving the
-/// load pipeline on miss), compare on the GPU thread, post-process on the
-/// CPU pool, release.
-struct Job : std::enable_shared_from_this<Job> {
+/// shared load pipeline on miss), compare on the GPU thread, post-process
+/// on the CPU pool, release. Single-owner state machine: exactly one
+/// continuation is in flight at any time, and the final one deletes it.
+struct Job final : LoadClient {
   Engine& eng;
   DeviceState& dev;
   std::uint32_t worker;
@@ -99,13 +396,12 @@ struct Job : std::enable_shared_from_this<Job> {
       compare();
       return;
     }
-    auto self = shared_from_this();
     Grant grant;
     {
       std::scoped_lock lock(dev.cache_mutex);
-      grant = dev.cache->acquire(items[next_pin], [self](Grant g) {
+      grant = dev.cache->acquire(items[next_pin], [this](Grant g) {
         // Invoked under dev.cache_mutex from publish/release: defer.
-        self->eng.post_control([self, g] { self->handle_grant(g); });
+        eng.post_control([this, g] { handle_grant(g); });
       });
     }
     if (grant.outcome != Outcome::kQueued) handle_grant(grant);
@@ -118,7 +414,7 @@ struct Job : std::enable_shared_from_this<Job> {
         pin_next();
         return;
       case Outcome::kFill:
-        fill_device(grant.slot);
+        begin_fill(eng.make_load(dev, items[next_pin], grant.slot, this));
         return;
       case Outcome::kFailed:
         pin_next();  // writer aborted; retry the acquisition
@@ -129,202 +425,46 @@ struct Job : std::enable_shared_from_this<Job> {
   }
 
   /// The item is now readable in `slot`; the writer's read pin is ours.
-  void device_ready(cache::SlotId slot) {
+  void item_ready(ItemId, cache::SlotId slot) override {
     pins[next_pin++] = slot;
     pin_next();
   }
 
-  // --- load pipeline (Fig 2 / Fig 4) -----------------------------------
-
-  void fill_device(cache::SlotId dslot) {
-    if (!eng.host_cache) {
-      load_item(dslot, cache::kInvalidSlot);
-      return;
-    }
-    auto self = shared_from_this();
-    Grant grant;
-    {
-      std::scoped_lock lock(eng.host_mutex);
-      grant = eng.host_cache->acquire(items[next_pin], [self, dslot](Grant g) {
-        self->eng.post_control([self, g, dslot] { self->handle_host(g, dslot); });
-      });
-    }
-    if (grant.outcome != Outcome::kQueued) handle_host(grant, dslot);
-  }
-
-  void handle_host(Grant grant, cache::SlotId dslot) {
-    switch (grant.outcome) {
-      case Outcome::kHit:
-        stage_h2d_from_host(grant.slot, dslot);
-        return;
-      case Outcome::kFill:
-        load_item(dslot, grant.slot);
-        return;
-      case Outcome::kFailed:
-        fill_device(dslot);  // retry host level
-        return;
-      case Outcome::kQueued:
-        ROCKET_CHECK(false, "queued grant delivered as queued");
-    }
-  }
-
-  /// Host hit: copy host slot → device slot, publish device, drop host pin.
-  void stage_h2d_from_host(cache::SlotId hslot, cache::SlotId dslot) {
-    auto self = shared_from_this();
-    dev.h2d_q.push([self, hslot, dslot] {
-      ScopedTask span(self->eng.profiler, self->dev.h2d_lane, TaskKind::kH2D);
-      const HostBuffer& src = self->eng.host_slots[hslot];
-      self->ensure_device_buffer(dslot, src.size());
-      std::copy(src.begin(), src.end(), self->dev.slots[dslot].data());
-      {
-        std::scoped_lock lock(self->dev.cache_mutex);
-        self->dev.cache->publish(dslot);
-      }
-      {
-        std::scoped_lock lock(self->eng.host_mutex);
-        self->eng.host_cache->release(hslot);
-      }
-      self->device_ready(dslot);
-    });
-  }
-
-  /// Full load: I/O → parse (CPU pool) → H2D → pre-process (GPU) →
-  /// publish device → (if host enabled) D2H copy-back → publish host.
-  void load_item(cache::SlotId dslot, cache::SlotId hslot) {
-    auto self = shared_from_this();
-    const ItemId item = items[next_pin];
-    eng.loads.fetch_add(1, std::memory_order_relaxed);
-    eng.io_q.push([self, item, dslot, hslot] {
-      ByteBuffer file;
-      try {
-        ScopedTask span(self->eng.profiler, self->eng.io_lane, TaskKind::kIo);
-        file = self->eng.store.read(self->eng.app.file_name(item));
-      } catch (const std::exception& e) {
-        self->abort_load(dslot, hslot, e.what());
-        return;
-      }
-      self->eng.cpu_q.push([self, item, dslot, hslot,
-                            file = std::move(file)]() mutable {
-        auto parsed = std::make_shared<HostBuffer>();
-        try {
-          // CPU lane busy time is recorded by the pool thread wrapper.
-          self->eng.app.parse(item, file, *parsed);
-        } catch (const std::exception& e) {
-          self->abort_load(dslot, hslot, e.what());
-          return;
-        }
-        self->dev.h2d_q.push([self, item, dslot, hslot, parsed] {
-          try {
-            ScopedTask span(self->eng.profiler, self->dev.h2d_lane,
-                            TaskKind::kH2D);
-            self->ensure_device_buffer(dslot, parsed->size());
-            auto& buffer = self->dev.slots[dslot];
-            std::copy(parsed->begin(), parsed->end(), buffer.data());
-            // Slot-sized transfer: clear the tail so variable-sized items
-            // never see a previous occupant's bytes.
-            std::fill(buffer.data() + parsed->size(),
-                      buffer.data() + buffer.size(), std::uint8_t{0});
-          } catch (const std::exception& e) {
-            self->abort_load(dslot, hslot, e.what());
-            return;
-          }
-          self->dev.gpu_q.push([self, item, dslot, hslot] {
-            try {
-              ScopedTask span(self->eng.profiler, self->dev.gpu_lane,
-                              TaskKind::kPreprocess);
-              const auto t0 = Profiler::Clock::now();
-              self->eng.app.preprocess(item, self->dev.slots[dslot]);
-              self->stretch_kernel(t0);
-            } catch (const std::exception& e) {
-              self->abort_load(dslot, hslot, e.what());
-              return;
-            }
-            {
-              std::scoped_lock lock(self->dev.cache_mutex);
-              self->dev.cache->publish(dslot);
-            }
-            if (hslot != cache::kInvalidSlot) {
-              self->dev.d2h_q.push([self, dslot, hslot] {
-                {
-                  ScopedTask span(self->eng.profiler, self->dev.d2h_lane,
-                                  TaskKind::kD2H);
-                  const auto& buf = self->dev.slots[dslot];
-                  self->eng.host_slots[hslot].assign(
-                      buf.data(), buf.data() + buf.size());
-                }
-                {
-                  std::scoped_lock lock(self->eng.host_mutex);
-                  self->eng.host_cache->publish(hslot);
-                  self->eng.host_cache->release(hslot);
-                }
-                self->device_ready(dslot);
-              });
-            } else {
-              self->device_ready(dslot);
-            }
-          });
-        });
-      });
-    });
-  }
-
-  // --- comparison pipeline ---------------------------------------------
+  void item_failed(ItemId) override { fail_pair(); }
 
   void compare() {
-    auto self = shared_from_this();
-    dev.gpu_q.push([self] {
+    dev.gpu_q.push([this] {
       double score = 0.0;
       try {
-        ScopedTask span(self->eng.profiler, self->dev.gpu_lane,
-                        TaskKind::kCompare);
+        ScopedTask span(eng.profiler, dev.gpu_lane, TaskKind::kCompare);
         const auto t0 = Profiler::Clock::now();
-        score = self->eng.app.compare(
-            self->items[0], self->dev.slots[self->pins[0]], self->items[1],
-            self->dev.slots[self->pins[1]]);
-        self->stretch_kernel(t0);
+        score = eng.app.compare(items[0], dev.slots[pins[0]], items[1],
+                                dev.slots[pins[1]]);
+        stretch_kernel(dev, t0);
       } catch (const std::exception& e) {
-        ROCKET_ERROR("comparison (%u,%u) failed: %s", self->items[0],
-                     self->items[1], e.what());
-        self->next_pin = 2;
-        self->fail_pair();
+        ROCKET_ERROR("comparison (%u,%u) failed: %s", items[0], items[1],
+                     e.what());
+        fail_pair();
         return;
       }
-      self->eng.cpu_q.push([self, score] {
-        const double final_score = self->eng.app.postprocess(
-            self->items[0], self->items[1], score);
+      eng.cpu_q.push(CpuTask{TaskKind::kPostprocess, [this, score] {
+        const double final_score =
+            eng.app.postprocess(items[0], items[1], score);
         {
-          std::scoped_lock lock(self->eng.result_mutex);
-          self->eng.on_result(
-              PairResult{self->items[0], self->items[1], final_score});
+          std::scoped_lock lock(eng.result_mutex);
+          eng.on_result(PairResult{items[0], items[1], final_score});
         }
         {
-          std::scoped_lock lock(self->dev.cache_mutex);
-          self->dev.cache->release(self->pins[0]);
-          self->dev.cache->release(self->pins[1]);
+          std::scoped_lock lock(dev.cache_mutex);
+          dev.cache->release(pins[0]);
+          dev.cache->release(pins[1]);
         }
-        self->dev.pairs.fetch_add(1, std::memory_order_relaxed);
-        self->eng.job_limits[self->worker]->release();
-        self->eng.done->count_down();
-      });
+        dev.pairs.fetch_add(1, std::memory_order_relaxed);
+        eng.job_limits[worker]->release();
+        eng.done->count_down();
+        delete this;
+      }});
     });
-  }
-
-  // --- failure handling ---------------------------------------------------
-
-  /// A load stage failed while we held WRITE locks: abort them (waiters
-  /// get kFailed and re-drive their own loads) and fail this pair.
-  void abort_load(cache::SlotId dslot, cache::SlotId hslot,
-                  const char* what) {
-    ROCKET_ERROR("load of item %u failed: %s", items[next_pin], what);
-    {
-      std::scoped_lock lock(dev.cache_mutex);
-      dev.cache->abort(dslot);
-    }
-    if (hslot != cache::kInvalidSlot && eng.host_cache) {
-      std::scoped_lock lock(eng.host_mutex);
-      eng.host_cache->abort(hslot);
-    }
-    fail_pair();
   }
 
   /// Complete this pair with a NaN score after an unrecoverable error so
@@ -342,33 +482,197 @@ struct Job : std::enable_shared_from_this<Job> {
       eng.on_result(PairResult{items[0], items[1],
                                std::numeric_limits<double>::quiet_NaN()});
     }
+    // Failed pairs still count as processed by this device (the tile path
+    // counts every emitted result), so per-device accounting always sums
+    // to Report.pairs in both modes.
+    dev.pairs.fetch_add(1, std::memory_order_relaxed);
     eng.job_limits[worker]->release();
     eng.done->count_down();
+    delete this;
+  }
+};
+
+// --- tile-batched path (Config::tile_batching == true) -------------------
+
+/// One leaf region executed as a single job: the tile's whole working set
+/// is pinned through one batched cache acquire (one mutex acquisition, the
+/// load pipeline runs only for the missing items), every compare of the
+/// tile runs inside one GPU-queue task, and the tile's results flush to
+/// on_result under one lock. This is the paper's locality argument carried
+/// through to the execution layer: a leaf's small working set is pinned
+/// once and reused across all of its pairs.
+struct TileJob final : LoadClient {
+  Engine& eng;
+  DeviceState& dev;
+  std::uint32_t worker;
+  dnc::Region region;
+  std::uint64_t pair_count;
+  std::vector<ItemId> items;             // sorted distinct working set
+  std::vector<cache::SlotId> slots;      // parallel to items
+  std::vector<std::uint8_t> load_failed; // parallel to items
+  std::vector<PairResult> results;
+  std::vector<std::uint8_t> pair_failed; // parallel to results
+  std::atomic<std::uint32_t> remaining{0};
+
+  TileJob(Engine& engine, DeviceState& device, std::uint32_t worker_id,
+          const dnc::Region& r)
+      : eng(engine), dev(device), worker(worker_id), region(r),
+        pair_count(dnc::count_pairs(r)),
+        items(dnc::working_set_items(r)) {
+    slots.assign(items.size(), cache::kInvalidSlot);
+    load_failed.assign(items.size(), 0);
   }
 
-  // --- helpers -----------------------------------------------------------
+  std::size_t index_of(ItemId item) const {
+    return static_cast<std::size_t>(
+        std::lower_bound(items.begin(), items.end(), item) - items.begin());
+  }
 
-  /// Cache slots are fixed-size (§4.1.1): allocate the full slot so an
-  /// item may legally grow in place (bioinformatics replaces the residue
-  /// string with its larger composition vector during pre-processing).
-  void ensure_device_buffer(cache::SlotId dslot, std::size_t content_size) {
-    auto& buffer = dev.slots[dslot];
-    const std::size_t want =
-        std::max<std::size_t>({content_size, eng.app.slot_size(), 1});
-    if (buffer.size() < want) {
-      buffer = dev.vdev.allocate(want);
+  void start() {
+    remaining.store(static_cast<std::uint32_t>(items.size()),
+                    std::memory_order_relaxed);
+    std::vector<Grant> grants;
+    {
+      std::scoped_lock lock(dev.cache_mutex);
+      grants = dev.cache->acquire_batch(items, [this](std::size_t k, Grant g) {
+        // Fires under dev.cache_mutex from publish/abort/release: defer.
+        eng.post_control([this, k, g] { handle_grant(k, g); });
+      });
+    }
+    for (std::size_t k = 0; k < grants.size(); ++k) {
+      if (grants[k].outcome != Outcome::kQueued) handle_grant(k, grants[k]);
     }
   }
 
-  /// Emulate a slower device by stretching kernel wall time.
-  void stretch_kernel(Profiler::Clock::time_point start) {
-    if (dev.stretch <= 0.0) return;
-    const auto elapsed = Profiler::Clock::now() - start;
-    std::this_thread::sleep_for(
-        std::chrono::duration_cast<Profiler::Clock::duration>(
-            elapsed * dev.stretch));
+  void handle_grant(std::size_t k, Grant grant) {
+    switch (grant.outcome) {
+      case Outcome::kHit:
+        slots[k] = grant.slot;
+        item_done();
+        return;
+      case Outcome::kFill:
+        begin_fill(eng.make_load(dev, items[k], grant.slot, this));
+        return;
+      case Outcome::kFailed:
+        re_acquire(k);
+        return;
+      case Outcome::kQueued:
+        ROCKET_CHECK(false, "queued grant delivered as queued");
+    }
+  }
+
+  /// Another tile's writer aborted under us: retry this single item.
+  void re_acquire(std::size_t k) {
+    Grant grant;
+    {
+      std::scoped_lock lock(dev.cache_mutex);
+      grant = dev.cache->acquire(items[k], [this, k](Grant g) {
+        eng.post_control([this, k, g] { handle_grant(k, g); });
+      });
+    }
+    if (grant.outcome != Outcome::kQueued) handle_grant(k, grant);
+  }
+
+  void item_ready(ItemId item, cache::SlotId slot) override {
+    slots[index_of(item)] = slot;
+    item_done();
+  }
+
+  void item_failed(ItemId item) override {
+    load_failed[index_of(item)] = 1;
+    item_done();
+  }
+
+  /// Writes to slots/load_failed above are published to the comparing
+  /// thread by the release/acquire pair on `remaining`.
+  void item_done() {
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      compare_all();
+    }
+  }
+
+  /// The whole working set is resolved: run every compare of the tile as
+  /// one GPU-queue task, buffering results.
+  void compare_all() {
+    dev.gpu_q.push([this] {
+      results.clear();
+      results.reserve(static_cast<std::size_t>(pair_count));
+      pair_failed.clear();
+      pair_failed.reserve(static_cast<std::size_t>(pair_count));
+      ScopedTask span(eng.profiler, dev.gpu_lane, TaskKind::kCompare);
+      const auto t0 = Profiler::Clock::now();
+      dnc::for_each_pair(region, [this](dnc::Pair p) {
+        const std::size_t a = index_of(p.left);
+        const std::size_t b = index_of(p.right);
+        double score = std::numeric_limits<double>::quiet_NaN();
+        bool failed = true;
+        if (!load_failed[a] && !load_failed[b]) {
+          try {
+            score = eng.app.compare(p.left, dev.slots[slots[a]], p.right,
+                                    dev.slots[slots[b]]);
+            failed = false;
+          } catch (const std::exception& e) {
+            ROCKET_ERROR("comparison (%u,%u) failed: %s", p.left, p.right,
+                         e.what());
+          }
+        }
+        results.push_back(PairResult{p.left, p.right, score});
+        pair_failed.push_back(failed ? 1 : 0);
+      });
+      stretch_kernel(dev, t0);
+      eng.cpu_q.push(CpuTask{TaskKind::kPostprocess, [this] { finish(); }});
+    });
+  }
+
+  /// Post-process on the CPU pool, flush the tile's results in one locked
+  /// batch, release every pin under one cache-mutex acquisition.
+  void finish() {
+    // Failed pairs keep their NaN sentinel (matching Job::fail_pair);
+    // every successful compare goes through postprocess, even if the
+    // application's compare legitimately returned NaN — result streams
+    // must be identical across execution modes.
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!pair_failed[i]) {
+        auto& r = results[i];
+        r.score = eng.app.postprocess(r.left, r.right, r.score);
+      }
+    }
+    {
+      std::scoped_lock lock(eng.result_mutex);
+      for (const auto& r : results) eng.on_result(r);
+    }
+    {
+      std::scoped_lock lock(dev.cache_mutex);
+      for (std::size_t k = 0; k < items.size(); ++k) {
+        if (!load_failed[k] && slots[k] != cache::kInvalidSlot) {
+          dev.cache->release(slots[k]);
+        }
+      }
+    }
+    dev.pairs.fetch_add(results.size(), std::memory_order_relaxed);
+    eng.tiles.fetch_add(1, std::memory_order_relaxed);
+    eng.done->count_down(static_cast<std::size_t>(pair_count));
+    eng.job_limits[worker]->release();
+    delete this;
   }
 };
+
+/// Submit one leaf region as tile jobs, splitting further while the
+/// working set exceeds the device's per-tile budget. Back-pressure (tiles
+/// in flight) is applied here, on the steal worker's thread, exactly as
+/// the per-pair path throttles pair submission (§4.2).
+void submit_tile(Engine& eng, const dnc::Region& region,
+                 std::uint32_t worker) {
+  DeviceState& dev = *eng.devices[worker];
+  if (dnc::count_pairs(region) == 0) return;
+  if (dnc::working_set_size(region) > dev.tile_ws_budget &&
+      dnc::count_pairs(region) > 1) {
+    for (const auto& sub : dnc::split(region)) submit_tile(eng, sub, worker);
+    return;
+  }
+  eng.job_limits[worker]->acquire();
+  (new TileJob(eng, dev, worker, region))->start();
+}
 
 }  // namespace
 
@@ -415,11 +719,17 @@ NodeRuntime::Report NodeRuntime::run(const Application& app,
                                           spec.name + ")");
     dev->h2d_lane = eng.profiler.add_lane("h2d" + std::to_string(d));
     dev->d2h_lane = eng.profiler.add_lane("d2h" + std::to_string(d));
-    eng.devices.push_back(std::move(dev));
 
     const auto max_jobs = std::max<std::uint32_t>(1, slots / 2);
-    eng.job_limits.push_back(std::make_unique<Semaphore>(
-        std::min(config_.job_limit_per_worker, max_jobs)));
+    const auto limit = std::min(config_.job_limit_per_worker, max_jobs);
+    if (config_.tile_batching) {
+      // `limit` tiles in flight, each pinning at most slots/limit items:
+      // concurrent pin demand can never exceed the slot supply, so batched
+      // pinning cannot deadlock (see DESIGN.md §6).
+      dev->tile_ws_budget = std::max(2u, slots / std::max(1u, limit));
+    }
+    eng.devices.push_back(std::move(dev));
+    eng.job_limits.push_back(std::make_unique<Semaphore>(limit));
   }
   eng.io_lane = eng.profiler.add_lane("io");
   for (std::uint32_t c = 0; c < config_.cpu_threads; ++c) {
@@ -432,9 +742,13 @@ NodeRuntime::Report NodeRuntime::run(const Application& app,
   for (std::uint32_t c = 0; c < config_.cpu_threads; ++c) {
     threads.emplace_back([&eng, c] {
       const std::size_t lane = eng.cpu_lanes[c];
-      while (auto task = eng.cpu_q.pop()) {
-        ScopedTask span(eng.profiler, lane, TaskKind::kParse);
-        (*task)();
+      for (;;) {
+        auto batch = eng.cpu_q.pop_bulk(kDrainBatch);
+        if (batch.empty()) break;
+        for (auto& task : batch) {
+          ScopedTask span(eng.profiler, lane, task.kind);
+          task.fn();
+        }
       }
     });
   }
@@ -447,19 +761,23 @@ NodeRuntime::Report NodeRuntime::run(const Application& app,
   const auto wall_start = Profiler::Clock::now();
 
   // The divide-and-conquer work-stealing executor (§4.2): one worker per
-  // GPU; leaves become jobs, throttled per worker.
+  // GPU; leaves become tile jobs (or exploded per-pair jobs), throttled
+  // per worker.
   steal::StealExecutor::Config exec_cfg;
   exec_cfg.num_workers = static_cast<std::uint32_t>(eng.devices.size());
   exec_cfg.max_leaf_pairs = config_.max_leaf_pairs;
   exec_cfg.seed = config_.seed;
   steal::StealExecutor executor(exec_cfg);
-  const auto steal_stats =
-      executor.run(n, [&eng](const dnc::Region& region, std::uint32_t worker) {
+  const bool tile_mode = config_.tile_batching;
+  const auto steal_stats = executor.run(
+      n, [&eng, tile_mode](const dnc::Region& region, std::uint32_t worker) {
+        if (tile_mode) {
+          submit_tile(eng, region, worker);
+          return;
+        }
         dnc::for_each_pair(region, [&](dnc::Pair pair) {
           eng.job_limits[worker]->acquire();  // back-pressure (§4.2)
-          auto job = std::make_shared<Job>(eng, *eng.devices[worker], worker,
-                                           pair);
-          job->start();
+          (new Job(eng, *eng.devices[worker], worker, pair))->start();
         });
       });
 
@@ -479,6 +797,7 @@ NodeRuntime::Report NodeRuntime::run(const Application& app,
 
   Report report;
   report.pairs = total_pairs;
+  report.tiles = eng.tiles.load();
   report.loads = eng.loads.load();
   report.reuse_factor =
       n > 0 ? static_cast<double>(report.loads) / static_cast<double>(n) : 0.0;

@@ -46,10 +46,23 @@ class NodeRuntime {
     std::uint32_t cpu_threads = 2;
 
     /// Concurrent jobs per worker (§4.2); clamped to half the device
-    /// slot count so two pins per job can never wedge allocation.
+    /// slot count so two pins per job can never wedge allocation. In
+    /// tile-batched mode this counts *tiles* in flight, and each tile's
+    /// working set is capped at (device slots / tiles in flight) so the
+    /// concurrent pin demand can never exceed the slot supply.
     std::uint32_t job_limit_per_worker = 8;
 
-    std::uint64_t max_leaf_pairs = 1;
+    /// Execute leaf regions as single tile jobs: the whole working set is
+    /// pinned through one batched cache acquire, every compare of the tile
+    /// runs as one GPU-queue task, and results flush to on_result in one
+    /// locked batch. false selects the historical per-pair job pipeline
+    /// (kept for head-to-head benchmarking; results are mode-invariant).
+    bool tile_batching = true;
+
+    /// Leaf budget of the divide-and-conquer decomposition (§4.2). Leaves
+    /// near the device working-set budget amortise pins and queue hops
+    /// best; 64 pairs ≈ a 8×8 tile.
+    std::uint64_t max_leaf_pairs = 64;
     std::uint64_t seed = 1;
 
     /// Stretch kernel wall time on slower device models (see file header).
@@ -61,6 +74,7 @@ class NodeRuntime {
 
   struct Report {
     std::uint64_t pairs = 0;
+    std::uint64_t tiles = 0;        // tile jobs executed (0 in per-pair mode)
     std::uint64_t loads = 0;        // load-pipeline executions
     double reuse_factor = 0.0;      // loads / n
     double wall_seconds = 0.0;

@@ -14,6 +14,7 @@ const char* task_kind_name(TaskKind kind) {
     case TaskKind::kCompare: return "compare";
     case TaskKind::kD2H: return "d2h";
     case TaskKind::kPostprocess: return "postprocess";
+    case TaskKind::kControl: return "control";
     case TaskKind::kOther: return "other";
   }
   return "unknown";
@@ -64,7 +65,7 @@ std::string Profiler::render_timeline(std::size_t width) const {
   }
   if (horizon <= 0.0 || width == 0) return "(no trace)\n";
 
-  static constexpr char kGlyphs[] = {'I', 'P', '>', 'R', 'C', '<', 'T', '.'};
+  static constexpr char kGlyphs[] = {'I', 'P', '>', 'R', 'C', '<', 'T', '~', '.'};
   std::string out;
   std::size_t name_width = 0;
   for (const auto& lane : lanes_) name_width = std::max(name_width, lane.name.size());
@@ -86,7 +87,7 @@ std::string Profiler::render_timeline(std::size_t width) const {
     out += "|\n";
   }
   out += "legend: I=io P=parse >=h2d R=preprocess C=compare <=d2h "
-         "T=postprocess\n";
+         "T=postprocess ~=control\n";
   return out;
 }
 

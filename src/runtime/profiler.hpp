@@ -21,6 +21,7 @@ enum class TaskKind : std::uint8_t {
   kCompare,
   kD2H,
   kPostprocess,
+  kControl,  // scheduler/cache-callback continuations on the CPU pool
   kOther,
 };
 

@@ -102,13 +102,17 @@ class ChaseLevDeque {
     std::size_t mask;
     std::unique_ptr<std::atomic<T*>[]> slots;
 
+    // Lê et al. allow relaxed slot accesses (the fences around top_ /
+    // bottom_ already order the payload), but release/acquire here makes
+    // the pointed-to object's handoff a direct synchronizes-with edge —
+    // visible to ThreadSanitizer, and free on x86.
     T* get(std::int64_t index) const {
       return slots[static_cast<std::size_t>(index) & mask].load(
-          std::memory_order_relaxed);
+          std::memory_order_acquire);
     }
     void put(std::int64_t index, T* item) {
       slots[static_cast<std::size_t>(index) & mask].store(
-          item, std::memory_order_relaxed);
+          item, std::memory_order_release);
     }
   };
 

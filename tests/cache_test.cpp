@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <optional>
+#include <random>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "cache/distributed_directory.hpp"
@@ -185,6 +191,214 @@ TEST(SlotsForCapacity, ClampsToItemCount) {
   EXPECT_EQ(slots_for_capacity(gigabytes(40.0), megabytes(145.8), 2500), 274u);
   // Microscopy: far more capacity than items → clamp to n.
   EXPECT_EQ(slots_for_capacity(gigabytes(40.0), kilobytes(6.0), 256), 256u);
+}
+
+// --- Batched multi-acquire (the tile-batched execution path) ----------
+
+TEST(SlotCacheBatch, HitFillMix) {
+  auto cache = make_cache(4);
+  // Pre-fill items 0 and 1.
+  for (ItemId item : {0u, 1u}) {
+    const Grant g = cache.acquire(item, nullptr);
+    cache.publish(g.slot);
+    cache.release(g.slot);
+  }
+
+  const std::vector<ItemId> items{0, 2, 1, 3};
+  const auto grants = cache.acquire_batch(items, nullptr);
+  ASSERT_EQ(grants.size(), 4u);
+  EXPECT_EQ(grants[0].outcome, Outcome::kHit);
+  EXPECT_EQ(grants[1].outcome, Outcome::kFill);
+  EXPECT_EQ(grants[2].outcome, Outcome::kHit);
+  EXPECT_EQ(grants[3].outcome, Outcome::kFill);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().fills, 4u);  // 2 pre-fills + 2 batch fills
+
+  cache.publish(grants[1].slot);
+  cache.publish(grants[3].slot);
+  for (const auto& g : grants) cache.release(g.slot);
+  cache.check_invariants();
+}
+
+TEST(SlotCacheBatch, QueuedBehindWriterResolvesWithIndex) {
+  auto cache = make_cache(4);
+  const Grant writer = cache.acquire(7, nullptr);
+  ASSERT_EQ(writer.outcome, Outcome::kFill);
+
+  std::vector<std::pair<std::size_t, Grant>> fired;
+  const std::vector<ItemId> items{5, 7, 6};
+  const auto grants = cache.acquire_batch(
+      items, [&](std::size_t k, Grant g) { fired.emplace_back(k, g); });
+  EXPECT_EQ(grants[0].outcome, Outcome::kFill);
+  EXPECT_EQ(grants[1].outcome, Outcome::kQueued);  // behind the writer
+  EXPECT_EQ(grants[2].outcome, Outcome::kFill);
+  EXPECT_TRUE(fired.empty());
+
+  cache.publish(writer.slot);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].first, 1u);  // index into the batch
+  EXPECT_EQ(fired[0].second.outcome, Outcome::kHit);
+  EXPECT_EQ(fired[0].second.slot, writer.slot);
+
+  cache.release(writer.slot);
+  cache.release(fired[0].second.slot);
+  cache.publish(grants[0].slot);
+  cache.release(grants[0].slot);
+  cache.publish(grants[2].slot);
+  cache.release(grants[2].slot);
+  cache.check_invariants();
+}
+
+TEST(SlotCacheBatch, WriterAbortPropagatesFailedToBatchWaiters) {
+  auto cache = make_cache(4);
+  const Grant writer = cache.acquire(3, nullptr);
+  ASSERT_EQ(writer.outcome, Outcome::kFill);
+
+  std::vector<std::pair<std::size_t, Grant>> fired;
+  const std::vector<ItemId> items{3, 9};
+  const auto grants = cache.acquire_batch(
+      items, [&](std::size_t k, Grant g) { fired.emplace_back(k, g); });
+  EXPECT_EQ(grants[0].outcome, Outcome::kQueued);
+  EXPECT_EQ(grants[1].outcome, Outcome::kFill);
+
+  cache.abort(writer.slot);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].first, 0u);
+  EXPECT_EQ(fired[0].second.outcome, Outcome::kFailed);
+
+  cache.publish(grants[1].slot);
+  cache.release(grants[1].slot);
+  cache.check_invariants();
+}
+
+TEST(SlotCacheBatch, AllocStallServedAsPinsDrop) {
+  auto cache = make_cache(2);
+  // Pin both slots so the batch cannot allocate.
+  const Grant a = cache.acquire(0, nullptr);
+  const Grant b = cache.acquire(1, nullptr);
+  cache.publish(a.slot);
+  cache.publish(b.slot);
+
+  std::vector<std::pair<std::size_t, Grant>> fired;
+  const std::vector<ItemId> items{2, 3};
+  const auto grants = cache.acquire_batch(
+      items, [&](std::size_t k, Grant g) { fired.emplace_back(k, g); });
+  EXPECT_EQ(grants[0].outcome, Outcome::kQueued);
+  EXPECT_EQ(grants[1].outcome, Outcome::kQueued);
+  EXPECT_EQ(cache.stats().alloc_stalls, 2u);
+
+  cache.release(a.slot);  // one slot becomes evictable → first waiter fills
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].first, 0u);
+  EXPECT_EQ(fired[0].second.outcome, Outcome::kFill);
+  cache.release(b.slot);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[1].first, 1u);
+  EXPECT_EQ(fired[1].second.outcome, Outcome::kFill);
+
+  cache.publish(fired[0].second.slot);
+  cache.release(fired[0].second.slot);
+  cache.publish(fired[1].second.slot);
+  cache.release(fired[1].second.slot);
+  cache.check_invariants();
+}
+
+// Multi-threaded stress: tile-shaped overlapping working sets pinned via
+// acquire_batch through a mutex (exactly how the live runtime drives the
+// policy object), with invariants audited throughout. Per-thread batch
+// budgets are sized so concurrent demand can never exceed the slot supply
+// (the runtime's deadlock-freedom invariant, DESIGN.md §6).
+TEST(SlotCacheBatch, OverlappingTileStress) {
+  constexpr std::uint32_t kSlots = 16;
+  constexpr int kThreads = 4;
+  constexpr std::uint32_t kBatch = kSlots / kThreads;  // 4 items per tile
+  constexpr ItemId kUniverse = 64;
+  constexpr int kRounds = 300;
+
+  SlotCache cache(SlotCache::Config{kSlots, megabytes(1), "stress"});
+  std::mutex mutex;
+
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> pins_granted{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(17 * t + 1);
+      for (int round = 0; round < kRounds; ++round) {
+        // A "tile": kBatch consecutive items from a random offset, so
+        // ranges overlap across threads.
+        const ItemId base =
+            static_cast<ItemId>(rng() % (kUniverse - kBatch));
+        std::vector<ItemId> items;
+        for (std::uint32_t k = 0; k < kBatch; ++k) items.push_back(base + k);
+
+        struct Pending {
+          std::mutex m;
+          std::condition_variable cv;
+          std::vector<std::pair<std::size_t, Grant>> fired;
+        } pending;
+
+        std::vector<Grant> grants;
+        {
+          std::scoped_lock lock(mutex);
+          grants = cache.acquire_batch(items, [&pending](std::size_t k,
+                                                         Grant g) {
+            std::scoped_lock plock(pending.m);
+            pending.fired.emplace_back(k, g);
+            pending.cv.notify_one();
+          });
+        }
+
+        std::vector<SlotId> held;
+        std::size_t queued = 0;
+        auto resolve = [&](std::size_t k, Grant g) {
+          // Failed grants retry as a fresh single acquire.
+          while (g.outcome == Outcome::kFailed) {
+            std::scoped_lock lock(mutex);
+            g = cache.acquire(items[k], [&pending, k](Grant g2) {
+              std::scoped_lock plock(pending.m);
+              pending.fired.emplace_back(k, g2);
+              pending.cv.notify_one();
+            });
+            if (g.outcome == Outcome::kQueued) return false;
+          }
+          if (g.outcome == Outcome::kFill) {
+            std::scoped_lock lock(mutex);
+            cache.publish(g.slot);
+          }
+          held.push_back(g.slot);
+          return true;
+        };
+
+        for (std::size_t k = 0; k < grants.size(); ++k) {
+          if (grants[k].outcome == Outcome::kQueued || !resolve(k, grants[k])) {
+            ++queued;
+          }
+        }
+        while (queued > 0) {
+          std::pair<std::size_t, Grant> next;
+          {
+            std::unique_lock plock(pending.m);
+            pending.cv.wait(plock, [&] { return !pending.fired.empty(); });
+            next = pending.fired.back();
+            pending.fired.pop_back();
+          }
+          if (resolve(next.first, next.second)) --queued;
+        }
+
+        pins_granted.fetch_add(held.size());
+        {
+          std::scoped_lock lock(mutex);
+          if (round % 16 == 0) cache.check_invariants();
+          for (const SlotId slot : held) cache.release(slot);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  cache.check_invariants();
+  EXPECT_EQ(pins_granted.load(),
+            static_cast<std::uint64_t>(kThreads) * kRounds * kBatch);
+  EXPECT_GT(cache.stats().hits + cache.stats().fills, 0u);
 }
 
 // --- Distributed directory (the paper's §4.1.3 candidates protocol) ---

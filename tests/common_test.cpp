@@ -196,6 +196,65 @@ TEST(MpmcQueue, MultiThreadedConservation) {
             static_cast<long long>(kProducers) * kPerProducer * (kPerProducer + 1) / 2);
 }
 
+TEST(MpmcQueue, BulkOpsPreserveOrder) {
+  MpmcQueue<int> q;
+  std::vector<int> in{1, 2, 3};
+  q.push_bulk(in);
+  EXPECT_TRUE(in.empty());  // consumed
+  q.push(4);
+  const auto first = q.pop_bulk(3);
+  EXPECT_EQ(first, (std::vector<int>{1, 2, 3}));
+  const auto rest = q.pop_bulk(16);  // drains what is there
+  EXPECT_EQ(rest, (std::vector<int>{4}));
+}
+
+TEST(MpmcQueue, PopBulkReturnsEmptyOnlyWhenClosed) {
+  MpmcQueue<int> q;
+  std::thread t([&] {
+    const auto batch = q.pop_bulk(8);
+    EXPECT_TRUE(batch.empty());
+  });
+  q.close();
+  t.join();
+}
+
+TEST(MpmcQueue, BulkMultiThreadedConservation) {
+  MpmcQueue<int> q;
+  constexpr int kPerProducer = 4000;
+  constexpr int kBatch = 32;
+  constexpr int kProducers = 2;
+  constexpr int kConsumers = 2;
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q] {
+      std::vector<int> batch;
+      for (int i = 1; i <= kPerProducer; ++i) {
+        batch.push_back(i);
+        if (static_cast<int>(batch.size()) == kBatch) q.push_bulk(batch);
+      }
+      q.push_bulk(batch);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const auto batch = q.pop_bulk(kBatch);
+        if (batch.empty()) return;
+        for (const int v : batch) sum += v;
+        popped += static_cast<int>(batch.size());
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.close();
+  for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+  EXPECT_EQ(popped.load(), kProducers * kPerProducer);
+  EXPECT_EQ(sum.load(), static_cast<long long>(kProducers) * kPerProducer *
+                            (kPerProducer + 1) / 2);
+}
+
 TEST(Semaphore, LimitsConcurrency) {
   Semaphore sem(2);
   EXPECT_TRUE(sem.try_acquire());
@@ -208,12 +267,51 @@ TEST(Semaphore, LimitsConcurrency) {
   EXPECT_EQ(sem.available(), 2u);
 }
 
+TEST(Semaphore, BlockedAcquirersWakeUnderContention) {
+  // Stress the atomic fast path + wakeup-token slow path: no acquire may
+  // be lost and the concurrency cap must hold throughout.
+  constexpr std::size_t kPermits = 3;
+  constexpr int kThreads = 6;
+  constexpr int kIters = 2000;
+  Semaphore sem(kPermits);
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        sem.acquire();
+        const int now = ++inside;
+        int seen = max_inside.load();
+        while (now > seen && !max_inside.compare_exchange_weak(seen, now)) {
+        }
+        --inside;
+        sem.release();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(max_inside.load(), static_cast<int>(kPermits));
+  EXPECT_EQ(sem.available(), kPermits);
+}
+
 TEST(CountdownLatch, ReleasesAtZero) {
   CountdownLatch latch(2);
   std::thread t([&] { latch.wait(); });
   latch.count_down();
   EXPECT_EQ(latch.remaining(), 1u);
   latch.count_down();
+  t.join();
+  EXPECT_EQ(latch.remaining(), 0u);
+}
+
+TEST(CountdownLatch, BatchCountDownReleases) {
+  // Tile-batched mode counts down a whole tile's pairs in one call.
+  CountdownLatch latch(64);
+  std::thread t([&] { latch.wait(); });
+  latch.count_down(60);
+  EXPECT_EQ(latch.remaining(), 4u);
+  latch.count_down(4);
   t.join();
   EXPECT_EQ(latch.remaining(), 0u);
 }

@@ -112,6 +112,53 @@ TEST(PairSpace, WorkingSetMatchesEnumeration) {
         }
 }
 
+TEST(PairSpace, WorkingSetItemsMatchEnumeration) {
+  // row_items / col_items / working_set_items feed the tile-batched
+  // execution path: the union must be exactly the sorted distinct items of
+  // the region, and its size must agree with the closed-form count.
+  for (ItemIndex r0 = 0; r0 <= 5; ++r0)
+    for (ItemIndex r1 = r0; r1 <= 6; ++r1)
+      for (ItemIndex c0 = 0; c0 <= 5; ++c0)
+        for (ItemIndex c1 = c0; c1 <= 6; ++c1) {
+          const Region region{r0, r1, c0, c1, 0};
+          std::set<ItemIndex> lefts, rights, all;
+          for_each_pair(region, [&](Pair p) {
+            lefts.insert(p.left);
+            rights.insert(p.right);
+            all.insert(p.left);
+            all.insert(p.right);
+          });
+          const ItemRange rows = row_items(region);
+          const ItemRange cols = col_items(region);
+          std::set<ItemIndex> row_set, col_set;
+          for (ItemIndex i = rows.begin; i < rows.end; ++i) row_set.insert(i);
+          for (ItemIndex j = cols.begin; j < cols.end; ++j) col_set.insert(j);
+          EXPECT_EQ(row_set, lefts)
+              << "rows of [" << r0 << "," << r1 << ")x[" << c0 << "," << c1 << ")";
+          EXPECT_EQ(col_set, rights)
+              << "cols of [" << r0 << "," << r1 << ")x[" << c0 << "," << c1 << ")";
+
+          const std::vector<ItemIndex> ws = working_set_items(region);
+          EXPECT_TRUE(std::is_sorted(ws.begin(), ws.end()));
+          EXPECT_EQ(std::set<ItemIndex>(ws.begin(), ws.end()), all);
+          EXPECT_EQ(ws.size(), all.size()) << "duplicates in working set";
+          EXPECT_EQ(ws.size(), working_set_size(region));
+        }
+}
+
+TEST(PairSpace, WorkingSetItemsOfRootAndLeaf) {
+  const std::vector<ItemIndex> root_ws = working_set_items(root_region(8));
+  ASSERT_EQ(root_ws.size(), 8u);
+  for (ItemIndex i = 0; i < 8; ++i) EXPECT_EQ(root_ws[i], i);
+
+  // Off-diagonal tile: rows and cols are disjoint ranges.
+  const Region tile{0, 2, 6, 8, 3};
+  const std::vector<ItemIndex> ws = working_set_items(tile);
+  EXPECT_EQ(ws, (std::vector<ItemIndex>{0, 1, 6, 7}));
+  EXPECT_EQ(row_items(tile), (ItemRange{0, 2}));
+  EXPECT_EQ(col_items(tile), (ItemRange{6, 8}));
+}
+
 TEST(PairSpace, DeepSplitShrinksWorkingSet) {
   // Locality property motivating divide-and-conquer: each split at least
   // halves (approximately) the referenced item span.

@@ -131,6 +131,52 @@ TEST(NodeRuntime, BioinformaticsMatchesBruteForce) {
   }
 }
 
+TEST(NodeRuntime, TileBatchingMatchesPerPairPath) {
+  // The tile-batched path and the per-pair path must be observationally
+  // identical: same result map, and with an ample cache the same number of
+  // load-pipeline executions (one per item).
+  storage::MemoryStore store;
+  apps::ForensicsConfig cfg;
+  cfg.cameras = 3;
+  cfg.images_per_camera = 4;
+  cfg.width = 64;
+  cfg.height = 48;
+  cfg.seed = 9;
+  apps::ForensicsDataset dataset(cfg, store);
+  apps::ForensicsApplication app(dataset);
+
+  NodeRuntime::Config base;
+  base.devices = {gpu::titanx_maxwell()};
+  base.host_cache_capacity = 16_MiB;
+  base.cpu_threads = 2;
+
+  NodeRuntime::Config tile_cfg = base;
+  tile_cfg.tile_batching = true;
+  NodeRuntime tile_rt(tile_cfg);
+  NodeRuntime::Report tile_report;
+  const ResultMap tile_results = collect(tile_rt, app, store, &tile_report);
+
+  NodeRuntime::Config pair_cfg = base;
+  pair_cfg.tile_batching = false;
+  NodeRuntime pair_rt(pair_cfg);
+  NodeRuntime::Report pair_report;
+  const ResultMap pair_results = collect(pair_rt, app, store, &pair_report);
+
+  ASSERT_EQ(tile_results.size(), pair_results.size());
+  for (const auto& [pair, score] : pair_results) {
+    const auto it = tile_results.find(pair);
+    ASSERT_NE(it, tile_results.end());
+    EXPECT_NEAR(it->second, score, 1e-12)
+        << "pair (" << pair.first << "," << pair.second << ")";
+  }
+  // Cache fits all 12 items: both modes load each item exactly once.
+  EXPECT_EQ(tile_report.loads, app.item_count());
+  EXPECT_EQ(pair_report.loads, app.item_count());
+  EXPECT_GT(tile_report.tiles, 0u);
+  EXPECT_EQ(pair_report.tiles, 0u);
+  EXPECT_EQ(tile_report.pairs, pair_report.pairs);
+}
+
 TEST(NodeRuntime, MultiDeviceSharesWork) {
   storage::MemoryStore store;
   apps::ForensicsConfig cfg;
@@ -189,6 +235,8 @@ TEST(NodeRuntime, TinyCacheStillCorrect) {
 TEST(NodeRuntime, MissingFileFailsPairsNotRun) {
   // Failure injection: drop one input file. Pairs touching it complete
   // with NaN; everything else is still correct, and the run terminates.
+  // Both execution modes must handle the failure identically (TileJob's
+  // load_failed marking and Job::fail_pair are independent code paths).
   storage::MemoryStore store;
   apps::MicroscopyConfig cfg;
   cfg.particles = 5;
@@ -207,18 +255,28 @@ TEST(NodeRuntime, MissingFileFailsPairsNotRun) {
     broken.put(app.file_name(i), store.read(app.file_name(i)));
   }
 
-  NodeRuntime::Config rt;
-  rt.cpu_threads = 2;
-  rt.host_cache_capacity = 1_MiB;
-  NodeRuntime runtime(rt);
-  const ResultMap actual = collect(runtime, app, broken, nullptr);
-  ASSERT_EQ(actual.size(), expected.size());
-  for (const auto& [pair, score] : actual) {
-    if (pair.first == 2 || pair.second == 2) {
-      EXPECT_TRUE(std::isnan(score)) << "pairs on the missing item fail";
-    } else {
-      EXPECT_NEAR(score, expected.at(pair), 1e-9);
+  for (const bool tile_batching : {true, false}) {
+    SCOPED_TRACE(tile_batching ? "tile-batched" : "per-pair");
+    NodeRuntime::Config rt;
+    rt.cpu_threads = 2;
+    rt.host_cache_capacity = 1_MiB;
+    rt.tile_batching = tile_batching;
+    NodeRuntime runtime(rt);
+    NodeRuntime::Report report;
+    const ResultMap actual = collect(runtime, app, broken, &report);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (const auto& [pair, score] : actual) {
+      if (pair.first == 2 || pair.second == 2) {
+        EXPECT_TRUE(std::isnan(score)) << "pairs on the missing item fail";
+      } else {
+        EXPECT_NEAR(score, expected.at(pair), 1e-9);
+      }
     }
+    // Failed pairs still count as processed: per-device accounting sums
+    // to the full pair count in both modes.
+    std::uint64_t device_sum = 0;
+    for (const auto p : report.pairs_per_device) device_sum += p;
+    EXPECT_EQ(device_sum, report.pairs);
   }
 }
 

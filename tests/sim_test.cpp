@@ -66,7 +66,8 @@ TEST(Process, DelayAdvancesVirtualTime) {
   EXPECT_DOUBLE_EQ(log[0], 2.5);
 }
 
-Process parent(std::vector<std::string>* log, Simulation* sim) {
+[[maybe_unused]] Process parent(std::vector<std::string>* log,
+                                Simulation* sim) {
   log->push_back("parent-start");
   Process child = sleeper(nullptr, sim, 0.0);  // placeholder; replaced below
   (void)child;
@@ -211,8 +212,9 @@ TEST(Resource, SerialisesBeyondCapacity) {
   EXPECT_DOUBLE_EQ(res.busy_time(), 40.0);
 }
 
-Process big_then_small(Resource* res, std::vector<int>* order, int id,
-                       std::uint64_t amount) {
+[[maybe_unused]] Process big_then_small(Resource* res,
+                                        std::vector<int>* order, int id,
+                                        std::uint64_t amount) {
   co_await res->acquire(amount);
   order->push_back(id);
   res->release(amount);

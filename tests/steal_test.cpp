@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -269,9 +270,11 @@ TEST(StealExecutor, MultipleWorkersParticipate) {
   std::array<std::atomic<std::uint64_t>, 4> per_worker{};
   exec.run(200, [&](const dnc::Region& region, std::uint32_t worker) {
     per_worker[worker] += dnc::count_pairs(region);
-    // A touch of work so stealing has time to engage.
-    volatile double sink = 0;
-    for (int i = 0; i < 50; ++i) sink = sink + i;
+    // Block long enough for the OS to schedule the other workers even on a
+    // single-core machine (a pure spin lets worker 0 drain everything
+    // before anyone else runs, which made this test flaky in small CI
+    // containers).
+    std::this_thread::sleep_for(std::chrono::microseconds(20));
   });
   int active = 0;
   for (const auto& p : per_worker) {
