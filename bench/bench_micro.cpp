@@ -4,25 +4,32 @@
 // figure regeneration tractable (tens of millions of virtual events).
 //
 // After the registered benchmarks, main() runs a head-to-head of the live
-// runtime's per-pair vs tile-batched execution modes plus MpmcQueue
-// single-op vs bulk-op throughput, and writes the numbers to
-// BENCH_micro.json (machine-readable, for the perf trajectory).
+// runtime's per-pair vs tile-batched execution modes, MpmcQueue single-op
+// vs bulk-op throughput, and the mesh peer-fetch path vs the storage load
+// it replaces, and writes the numbers to BENCH_micro.json
+// (machine-readable, for the perf trajectory).
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <future>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "apps/forensics.hpp"
 #include "cache/slot_cache.hpp"
 #include "common/queue.hpp"
 #include "common/rng.hpp"
 #include "dnc/pair_space.hpp"
+#include "mesh/mesh_node.hpp"
+#include "mesh/transport.hpp"
 #include "runtime/node_runtime.hpp"
 #include "sim/primitives.hpp"
 #include "sim/process.hpp"
@@ -274,6 +281,97 @@ QueueThroughput measure_queue_throughput() {
   return out;
 }
 
+// --- peer fetch vs storage load ------------------------------------------
+
+/// Stand-in host cache for the candidate node: always serves the item.
+struct BenchProbe final : runtime::HostCacheProbe {
+  runtime::ItemId item = 0;
+  runtime::HostBuffer bytes;
+
+  bool probe(runtime::ItemId asked, runtime::HostBuffer& out) override {
+    if (asked != item) return false;
+    out = bytes;
+    return true;
+  }
+};
+
+struct PeerFetchResult {
+  double storage_load_us = 0.0;  // store read + parse (the replaced work)
+  double peer_fetch_us = 0.0;    // full mediator + chain round trip
+};
+
+/// Head-to-head of the §4.1.3 peer-fetch path against the object-store
+/// load it replaces, on a real forensics item: a fetch round-trips
+/// requester → mediator → candidate → requester through the in-process
+/// transport; the storage path re-runs read + image decode.
+PeerFetchResult measure_peer_fetch_vs_storage() {
+  using Clock = std::chrono::steady_clock;
+  storage::MemoryStore store;
+  apps::ForensicsConfig fc;
+  fc.cameras = 1;
+  fc.images_per_camera = 2;
+  fc.width = 128;
+  fc.height = 96;
+  fc.seed = 7;
+  apps::ForensicsDataset dataset(fc, store);
+  apps::ForensicsApplication app(dataset);
+  const runtime::ItemId item = 1;  // mediator_of(1, 2) == node 1
+
+  runtime::HostBuffer parsed;
+  app.parse(item, store.read(app.file_name(item)), parsed);
+  parsed.resize(app.slot_size());  // slot-sized, like a real host slot
+
+  constexpr int kIters = 1000;
+  PeerFetchResult out;
+  {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      runtime::HostBuffer buffer;
+      app.parse(item, store.read(app.file_name(item)), buffer);
+      benchmark::DoNotOptimize(buffer.data());
+    }
+    const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    out.storage_load_us = 1e6 * secs / kIters;
+  }
+  {
+    mesh::InProcessTransport transport(2);
+    const auto done = std::make_shared<std::atomic<bool>>(false);
+    std::vector<std::unique_ptr<mesh::MeshNode>> nodes;
+    for (mesh::NodeId id = 0; id < 2; ++id) {
+      mesh::MeshNode::Config mc;
+      mc.id = id;
+      mc.hop_limit = 2;
+      nodes.push_back(
+          std::make_unique<mesh::MeshNode>(mc, transport, done));
+    }
+    BenchProbe probe;
+    probe.item = item;
+    probe.bytes = parsed;
+    nodes[1]->register_probe(&probe);
+    for (auto& node : nodes) node->start();
+
+    const auto fetch_once = [&](mesh::NodeId from) {
+      std::promise<runtime::HostBuffer> promise;
+      auto future = promise.get_future();
+      nodes[from]->fetch(item, [&promise](runtime::HostBuffer bytes) {
+        promise.set_value(std::move(bytes));
+      });
+      return future.get();
+    };
+    fetch_once(1);  // registers node 1 (the holder) as the candidate
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      benchmark::DoNotOptimize(fetch_once(0).data());
+    }
+    const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    out.peer_fetch_us = 1e6 * secs / kIters;
+
+    transport.close();
+    for (auto& node : nodes) node->join();
+  }
+  return out;
+}
+
 /// Run the execution-mode comparison and write BENCH_micro.json.
 void run_mode_comparison_and_emit_json() {
   constexpr std::uint32_t kItems = 256;
@@ -298,6 +396,7 @@ void run_mode_comparison_and_emit_json() {
                              ? tiled.pairs_per_sec / per_pair.pairs_per_sec
                              : 0.0;
   const QueueThroughput queue = measure_queue_throughput();
+  const PeerFetchResult peer = measure_peer_fetch_vs_storage();
 
   std::printf("\n-- execution mode head-to-head (n=%u, %zu pairs) --\n",
               kItems, per_pair.results.size());
@@ -311,6 +410,11 @@ void run_mode_comparison_and_emit_json() {
   std::printf("queue: single %.0f ops/s, bulk(64) %.0f ops/s (%.2fx)\n",
               queue.single_ops_per_sec, queue.bulk_ops_per_sec,
               queue.bulk_ops_per_sec / queue.single_ops_per_sec);
+  std::printf("peer fetch: %.1f us vs storage load %.1f us (%.2fx)\n",
+              peer.peer_fetch_us, peer.storage_load_us,
+              peer.peer_fetch_us > 0
+                  ? peer.storage_load_us / peer.peer_fetch_us
+                  : 0.0);
 
   FILE* f = std::fopen("BENCH_micro.json", "w");
   if (f == nullptr) {
@@ -337,8 +441,15 @@ void run_mode_comparison_and_emit_json() {
                per_pair.loads == tiled.loads ? "true" : "false");
   std::fprintf(f,
                "  \"queue\": {\"single_ops_per_sec\": %.1f, "
-               "\"bulk_ops_per_sec\": %.1f, \"bulk_batch\": 64}\n",
+               "\"bulk_ops_per_sec\": %.1f, \"bulk_batch\": 64},\n",
                queue.single_ops_per_sec, queue.bulk_ops_per_sec);
+  std::fprintf(f,
+               "  \"peer_fetch\": {\"fetch_us\": %.2f, "
+               "\"storage_load_us\": %.2f, \"speedup\": %.3f}\n",
+               peer.peer_fetch_us, peer.storage_load_us,
+               peer.peer_fetch_us > 0
+                   ? peer.storage_load_us / peer.peer_fetch_us
+                   : 0.0);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote BENCH_micro.json\n");

@@ -28,7 +28,20 @@ using NodeId = std::uint32_t;
 struct DirectoryStats {
   std::uint64_t requests = 0;         // mediator lookups served
   std::uint64_t empty_responses = 0;  // no candidates were known
+  std::uint64_t chain_hits = 0;       // chain walks that found the item on a peer
+  std::uint64_t chain_misses = 0;     // exhausted chains (fell back to a load)
+  std::uint64_t hops = 0;             // candidate hops walked across all chains
 };
+
+/// Aggregate per-node directory stats into cluster totals.
+inline DirectoryStats& operator+=(DirectoryStats& a, const DirectoryStats& b) {
+  a.requests += b.requests;
+  a.empty_responses += b.empty_responses;
+  a.chain_hits += b.chain_hits;
+  a.chain_misses += b.chain_misses;
+  a.hops += b.hops;
+  return a;
+}
 
 class DistributedDirectory {
  public:
@@ -43,6 +56,20 @@ class DistributedDirectory {
   /// the returned chain (querying yourself is useless), mirroring the
   /// paper's note that B or Cx may equal A without harming correctness.
   std::vector<NodeId> on_request(ItemId item, NodeId requester);
+
+  /// Requester-side outcome of a chain walk: `hops_walked` candidates were
+  /// probed and the item was (or was not) found. Mediator lookups and chain
+  /// outcomes happen on different nodes; each side records into its *own*
+  /// node's directory so per-node stats aggregate to cluster totals without
+  /// extra protocol messages.
+  void record_chain_outcome(bool hit, std::uint32_t hops_walked) {
+    if (hit) {
+      ++stats_.chain_hits;
+    } else {
+      ++stats_.chain_misses;
+    }
+    stats_.hops += hops_walked;
+  }
 
   /// Which node mediates `item` in a p-node cluster.
   static NodeId mediator_of(ItemId item, std::uint32_t num_nodes) {

@@ -239,11 +239,13 @@ struct SimCluster::Impl {
                                        net::Tag::kCacheData, wl.app.slot_size);
         peer.host_cache->release(*pin);
         ++dc.hits_at_hop[hop - 1];
+        requester.directory->record_chain_outcome(true, hop);
         *ok = true;
         co_return;
       }
     }
     co_await fabric->control_cost(prev, requester.id, net::Tag::kCacheFailure);
+    requester.directory->record_chain_outcome(false, hop);
     ++dc.misses;
   }
 
@@ -487,6 +489,7 @@ struct SimCluster::Impl {
                            ? static_cast<double>(out.storage_bytes) / makespan
                            : 0.0;
     out.dist_cache = dc;
+    for (const auto& node : nodes) out.directory += node->directory->stats();
     out.steal_stats = scheduler->stats();
     out.traffic = fabric->counters();
 

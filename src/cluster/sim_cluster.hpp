@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "apps/app_model.hpp"
+#include "cache/distributed_directory.hpp"
 #include "common/units.hpp"
 #include "gpu/device_spec.hpp"
 #include "model/performance_model.hpp"
@@ -126,6 +127,10 @@ struct RunMetrics {
 
   // Third-level cache (Fig 11).
   DistCacheMetrics dist_cache;
+
+  // Mediator-directory counters aggregated over all nodes (the same
+  // DirectoryStats the live mesh reports, for live-vs-sim comparability).
+  cache::DirectoryStats directory;
 
   // Scheduler behaviour.
   steal::SchedulerStats steal_stats;

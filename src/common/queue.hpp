@@ -179,10 +179,22 @@ class Semaphore {
 /// in per-pair mode and once per *tile* in tile-batched mode — is a single
 /// fetch_sub; the mutex is only taken by the final decrement to publish the
 /// wakeup, and by waiters.
+///
+/// Also usable as an in-flight gauge: construct with 0, count_up() on
+/// submission, count_down() on completion, and wait() only once all
+/// submissions are in (the count then decreases monotonically to zero).
+/// The mesh runtime needs this form — a node executing a partition plus
+/// stolen-in work cannot know its total up front.
 class CountdownLatch {
  public:
   explicit CountdownLatch(std::size_t count)
       : count_(static_cast<std::int64_t>(count)) {}
+
+  /// Raise the expected count (gauge use; see class comment).
+  void count_up(std::size_t n = 1) {
+    if (n == 0) return;
+    count_.fetch_add(static_cast<std::int64_t>(n), std::memory_order_acq_rel);
+  }
 
   /// Decrement by `n` (a tile counts down its whole pair block at once).
   void count_down(std::size_t n = 1) {

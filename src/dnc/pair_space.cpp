@@ -1,6 +1,7 @@
 #include "dnc/pair_space.hpp"
 
 #include <algorithm>
+#include <tuple>
 
 namespace rocket::dnc {
 
@@ -84,6 +85,47 @@ std::vector<ItemIndex> working_set_items(const Region& r) {
   const ItemIndex col_start =
       rows.empty() ? cols.begin : std::max(cols.begin, rows.end);
   for (ItemIndex j = col_start; j < cols.end; ++j) out.push_back(j);
+  return out;
+}
+
+std::vector<std::vector<Region>> partition_root(ItemIndex n,
+                                                std::uint32_t parts,
+                                                std::uint32_t granularity) {
+  std::vector<std::vector<Region>> out(parts);
+  if (parts == 0) return out;
+  std::vector<Region> regions;
+  const Region root = root_region(n);
+  if (count_pairs(root) > 0) regions.push_back(root);
+
+  const auto target = static_cast<std::uint64_t>(parts) *
+                      std::max<std::uint32_t>(1, granularity);
+  while (regions.size() < target) {
+    const auto it = std::max_element(
+        regions.begin(), regions.end(), [](const Region& a, const Region& b) {
+          return count_pairs(a) < count_pairs(b);
+        });
+    if (it == regions.end() || count_pairs(*it) <= 1) break;
+    const Region victim = *it;
+    regions.erase(it);
+    for (const auto& child : split(victim)) regions.push_back(child);
+  }
+
+  // Largest-first into the lightest part (greedy makespan heuristic); ties
+  // broken by region coordinates so the assignment is deterministic.
+  std::sort(regions.begin(), regions.end(),
+            [](const Region& a, const Region& b) {
+              const auto pa = count_pairs(a), pb = count_pairs(b);
+              if (pa != pb) return pa > pb;
+              return std::tie(a.row_begin, a.col_begin) <
+                     std::tie(b.row_begin, b.col_begin);
+            });
+  std::vector<PairCount> load(parts, 0);
+  for (const auto& region : regions) {
+    const auto lightest = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    out[lightest].push_back(region);
+    load[lightest] += count_pairs(region);
+  }
   return out;
 }
 

@@ -96,4 +96,15 @@ ItemRange col_items(const Region& region);
 /// compares; its size always equals working_set_size(region).
 std::vector<ItemIndex> working_set_items(const Region& region);
 
+/// Static node-level partition of the n-item pair space (the live mesh's
+/// initial work distribution; imbalances are corrected at runtime by
+/// cross-node stealing). Regions are split largest-first until at least
+/// parts × granularity exist (or nothing splits further), then assigned
+/// largest-first to the currently lightest part. Deterministic, and the
+/// lists' union is exactly the root pair set; parts may be empty when the
+/// problem is smaller than the cluster.
+std::vector<std::vector<Region>> partition_root(ItemIndex n,
+                                                std::uint32_t parts,
+                                                std::uint32_t granularity = 4);
+
 }  // namespace rocket::dnc

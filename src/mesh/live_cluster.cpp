@@ -1,0 +1,121 @@
+#include "mesh/live_cluster.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "common/log.hpp"
+#include "dnc/pair_space.hpp"
+
+namespace rocket::mesh {
+
+LiveCluster::Report LiveCluster::run_all_pairs(
+    const runtime::Application& app, storage::ObjectStore& store,
+    const runtime::NodeRuntime::ResultFn& on_result) {
+  const std::uint32_t p = std::max(1u, config_.num_nodes);
+  const std::uint32_t n = app.item_count();
+  const std::uint64_t total_pairs = dnc::count_pairs(dnc::root_region(n));
+
+  InProcessTransport transport(p, {config_.control_message_size});
+  storage::SynchronizedStore shared_store(store);
+  const auto done = std::make_shared<std::atomic<bool>>(total_pairs == 0);
+
+  // Mesh services. The master's completion hook sets the cluster-wide done
+  // flag and wakes every node's steal waiters; no shutdown broadcast is
+  // needed (and none is modelled in the simulator either).
+  std::vector<std::unique_ptr<MeshNode>> meshes(p);
+  for (NodeId id = 0; id < p; ++id) {
+    MeshNode::Config mc;
+    mc.id = id;
+    mc.num_workers =
+        static_cast<std::uint32_t>(config_.node.devices.size());
+    mc.hop_limit = config_.hop_limit;
+    mc.seed = config_.node.seed;
+    if (id == 0) {
+      mc.expected_pairs = total_pairs;
+      mc.on_result = on_result;
+      mc.on_complete = [&done, &meshes] {
+        done->store(true, std::memory_order_release);
+        for (auto& mesh : meshes) {
+          if (mesh) mesh->wake();
+        }
+      };
+    }
+    meshes[id] = std::make_unique<MeshNode>(std::move(mc), transport, done);
+  }
+  for (auto& mesh : meshes) mesh->start();
+
+  const auto partition =
+      dnc::partition_root(n, p, config_.partition_granularity);
+
+  std::vector<runtime::NodeRuntime::Report> node_reports(p);
+  std::vector<std::exception_ptr> errors(p);
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> node_threads;
+  node_threads.reserve(p);
+  for (NodeId id = 0; id < p; ++id) {
+    node_threads.emplace_back([&, id] {
+      try {
+        runtime::NodeRuntime rt(config_.node);
+        MeshNode& mesh = *meshes[id];
+        runtime::MeshPort port;
+        port.regions = partition[id];
+        port.remote_steal = [&mesh](std::uint32_t worker) {
+          return mesh.remote_steal(worker);
+        };
+        port.global_done = [&mesh] { return mesh.global_done(); };
+        if (config_.distributed_cache && p > 1) port.peer_fetch = &mesh;
+        port.register_probe = [&mesh](runtime::HostCacheProbe* probe) {
+          mesh.register_probe(probe);
+        };
+        port.register_exporter = [&mesh](steal::StealExporter* exporter) {
+          mesh.register_exporter(exporter);
+        };
+        node_reports[id] = rt.run_partition(
+            app, shared_store,
+            [&transport, id](const runtime::PairResult& r) {
+              transport.send(id, 0, net::Tag::kResult, ResultMsg{r});
+            },
+            port);
+      } catch (...) {
+        errors[id] = std::current_exception();
+        // Unblock the rest of the cluster; a node failure must not hang
+        // the run (the caller sees the exception below).
+        done->store(true, std::memory_order_release);
+        for (auto& mesh : meshes) {
+          if (mesh) mesh->wake();
+        }
+      }
+    });
+  }
+  for (auto& t : node_threads) t.join();
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count();
+
+  transport.close();
+  for (auto& mesh : meshes) mesh->join();
+  for (auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  Report report;
+  report.pairs = total_pairs;
+  report.wall_seconds = wall;
+  report.traffic = transport.counters();
+  for (NodeId id = 0; id < p; ++id) {
+    report.loads += node_reports[id].loads;
+    report.peer_loads += node_reports[id].peer_loads;
+    report.remote_steals += node_reports[id].steal.remote_steals;
+    report.directory += meshes[id]->directory_stats();
+    report.peer_cache += meshes[id]->peer_stats();
+  }
+  report.nodes = std::move(node_reports);
+  return report;
+}
+
+}  // namespace rocket::mesh

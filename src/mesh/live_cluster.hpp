@@ -1,0 +1,90 @@
+#pragma once
+
+// Live multi-node mesh: N NodeRuntime peers running as one cluster inside
+// a single process, on real threads and wall-clock time.
+//
+// This is the cluster layer of §4 brought to the live runtime: the pair
+// space is statically partitioned across nodes (dnc::partition_root),
+// imbalances are corrected by cross-node steal request/reply messages,
+// host-cache misses consult the §4.1.3 mediator/candidates directory and
+// probe peers for the parsed item before falling back to the shared
+// object store, and every completed pair is aggregated to the master
+// node's user callback. All protocol traffic flows through a
+// mesh::Transport with the same net::Tag accounting as the simulated
+// fabric, so a live run's traffic table is directly comparable to a
+// SimCluster run's.
+//
+// Failure behaviour mirrors the simulator's no-hang invariant (§6.1): a
+// dead or evicted candidate chain degrades to the local-load path, a dead
+// steal victim to an empty-handed sweep; the run always terminates.
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/distributed_directory.hpp"
+#include "mesh/mesh_node.hpp"
+#include "mesh/transport.hpp"
+#include "net/tag.hpp"
+#include "runtime/node_runtime.hpp"
+#include "storage/object_store.hpp"
+
+namespace rocket::mesh {
+
+struct LiveClusterConfig {
+  /// Number of in-process nodes (p). 1 degenerates to a single-node run
+  /// through the same code path.
+  std::uint32_t num_nodes = 2;
+
+  /// Per-node runtime configuration, replicated across nodes (devices,
+  /// caches, execution mode, ...).
+  runtime::NodeRuntime::Config node{};
+
+  /// Third-level (distributed) cache on/off and its hop limit h (§4.1.3).
+  bool distributed_cache = true;
+  std::uint32_t hop_limit = 1;  // paper: h=1 after the Fig 11 study
+
+  /// Regions per node in the static partition; stealing fixes the rest.
+  std::uint32_t partition_granularity = 4;
+
+  /// Wire size charged per control message (traffic-report comparability
+  /// with the simulated fabric).
+  Bytes control_message_size = 128;
+};
+
+struct LiveClusterReport {
+  std::uint64_t pairs = 0;        // results delivered to the master
+  double wall_seconds = 0.0;
+  std::uint64_t loads = 0;        // object-store load pipelines, all nodes
+  std::uint64_t peer_loads = 0;   // loads served from a peer's host cache
+  std::uint64_t remote_steals = 0;  // successful cross-node steals
+
+  net::TrafficCounters traffic;
+  cache::DirectoryStats directory;  // aggregated over all nodes
+  PeerCacheStats peer_cache;        // aggregated requester-side chain stats
+
+  std::vector<runtime::NodeRuntime::Report> nodes;  // per-node detail
+};
+
+class LiveCluster {
+ public:
+  using Config = LiveClusterConfig;
+  using Report = LiveClusterReport;
+
+  explicit LiveCluster(Config config) : config_(std::move(config)) {}
+
+  /// Evaluate every pair (i, j), i < j, of `app`'s items across the mesh.
+  /// `on_result` is the master callback: invoked serially (on the master's
+  /// service thread) exactly once per pair, in completion order. The
+  /// result multiset is identical to a single-node run over the same
+  /// store. Blocks until the whole cluster has finished.
+  Report run_all_pairs(const runtime::Application& app,
+                       storage::ObjectStore& store,
+                       const runtime::NodeRuntime::ResultFn& on_result);
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace rocket::mesh

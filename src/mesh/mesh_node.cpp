@@ -1,0 +1,309 @@
+#include "mesh/mesh_node.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace rocket::mesh {
+
+namespace {
+
+/// How long a thief waits for a steal reply before re-polling its local
+/// deques. Replies normally arrive in microseconds (one inbox hop each
+/// way); the timeout only matters when the victim's service thread is
+/// busy, and the executor's idle backoff bounds how often we re-request.
+constexpr auto kStealReplyTimeout = std::chrono::milliseconds(1);
+
+}  // namespace
+
+PeerCacheStats& operator+=(PeerCacheStats& a, const PeerCacheStats& b) {
+  a.requests += b.requests;
+  a.chain_hits += b.chain_hits;
+  a.chain_misses += b.chain_misses;
+  if (a.hits_at_hop.size() < b.hits_at_hop.size()) {
+    a.hits_at_hop.resize(b.hits_at_hop.size(), 0);
+  }
+  for (std::size_t h = 0; h < b.hits_at_hop.size(); ++h) {
+    a.hits_at_hop[h] += b.hits_at_hop[h];
+  }
+  return a;
+}
+
+MeshNode::MeshNode(Config config, Transport& transport,
+                   std::shared_ptr<std::atomic<bool>> done)
+    : cfg_(std::move(config)), transport_(transport), done_(std::move(done)),
+      directory_(cfg_.hop_limit) {
+  stats_.hits_at_hop.assign(cfg_.hop_limit, 0);
+  for (std::uint32_t w = 0; w < std::max(1u, cfg_.num_workers); ++w) {
+    auto cell = std::make_unique<StealCell>();
+    cell->rng.reseed(cfg_.seed * 0x9E3779B97F4A7C15ULL +
+                     (static_cast<std::uint64_t>(cfg_.id) << 20) + w + 1);
+    cells_.push_back(std::move(cell));
+  }
+}
+
+MeshNode::~MeshNode() { join(); }
+
+void MeshNode::start() {
+  service_ = std::thread([this] { serve_loop(); });
+}
+
+void MeshNode::join() {
+  if (service_.joinable()) service_.join();
+}
+
+void MeshNode::serve_loop() {
+  while (auto msg = transport_.recv(cfg_.id)) {
+    std::visit(
+        [this](auto&& body) {
+          using Body = std::decay_t<decltype(body)>;
+          if constexpr (std::is_same_v<Body, CacheRequest>) {
+            on_cache_request(body);
+          } else if constexpr (std::is_same_v<Body, CacheProbe>) {
+            on_cache_probe(std::move(body));
+          } else if constexpr (std::is_same_v<Body, CacheData>) {
+            on_cache_data(std::move(body));
+          } else if constexpr (std::is_same_v<Body, CacheFailure>) {
+            on_cache_failure(body);
+          } else if constexpr (std::is_same_v<Body, StealRequest>) {
+            on_steal_request(body);
+          } else if constexpr (std::is_same_v<Body, StealReply>) {
+            on_steal_reply(body);
+          } else if constexpr (std::is_same_v<Body, ResultMsg>) {
+            on_result_msg(body);
+          }
+        },
+        std::move(msg->body));
+  }
+}
+
+// --- requester side: peer fetch ------------------------------------------
+
+void MeshNode::fetch(ItemId item, DoneFn done) {
+  const auto p = transport_.num_nodes();
+  if (p < 2 || cfg_.hop_limit == 0) {
+    done({});
+    return;
+  }
+  const NodeId mediator = cache::DistributedDirectory::mediator_of(item, p);
+  {
+    std::scoped_lock lock(mutex_);
+    ++stats_.requests;
+    // The host cache admits one writer per item, so one outstanding fetch
+    // per item per node.
+    ROCKET_CHECK(pending_.find(item) == pending_.end(),
+                 "duplicate peer fetch for item");
+    pending_[item] = std::move(done);
+  }
+  if (!transport_.send(cfg_.id, mediator, net::Tag::kCacheRequest,
+                       CacheRequest{item, cfg_.id})) {
+    complete_fetch(item, {}, 0, false);  // mediator unreachable
+  }
+}
+
+void MeshNode::complete_fetch(ItemId item, runtime::HostBuffer bytes,
+                              std::uint32_t hops, bool hit) {
+  DoneFn done;
+  {
+    std::scoped_lock lock(mutex_);
+    const auto it = pending_.find(item);
+    if (it == pending_.end()) return;
+    done = std::move(it->second);
+    pending_.erase(it);
+    if (hit) {
+      ++stats_.chain_hits;
+      if (hops >= 1 && hops <= stats_.hits_at_hop.size()) {
+        ++stats_.hits_at_hop[hops - 1];
+      }
+    } else {
+      ++stats_.chain_misses;
+    }
+    directory_.record_chain_outcome(hit, hops);
+  }
+  done(std::move(bytes));
+}
+
+void MeshNode::on_cache_data(CacheData data) {
+  complete_fetch(data.item, std::move(data.bytes), data.hop, true);
+}
+
+void MeshNode::on_cache_failure(const CacheFailure& failure) {
+  complete_fetch(failure.item, {}, failure.hops, false);
+}
+
+// --- mediator / candidate side -------------------------------------------
+
+void MeshNode::on_cache_request(const CacheRequest& req) {
+  std::vector<NodeId> chain;
+  {
+    std::scoped_lock lock(mutex_);
+    // The directory retains at most h candidates, so the chain already
+    // respects the hop limit.
+    chain = directory_.on_request(req.item, req.requester);
+  }
+  forward_probe(req.item, req.requester, std::move(chain), 0);
+}
+
+void MeshNode::forward_probe(ItemId item, NodeId requester,
+                             std::vector<NodeId> chain, std::uint32_t index) {
+  const auto hops = static_cast<std::uint32_t>(chain.size());
+  for (std::uint32_t k = index; k < chain.size(); ++k) {
+    const NodeId candidate = chain[k];
+    if (transport_.send(cfg_.id, candidate, net::Tag::kCacheForward,
+                        CacheProbe{item, requester, chain, k})) {
+      return;
+    }
+    // Candidate down: skip the hop, exactly like a probe miss.
+  }
+  transport_.send(cfg_.id, requester, net::Tag::kCacheFailure,
+                  CacheFailure{item, hops});
+}
+
+void MeshNode::on_cache_probe(CacheProbe probe) {
+  runtime::HostBuffer bytes;
+  bool hit = false;
+  {
+    std::scoped_lock lock(probe_mutex_);
+    if (probe_ != nullptr) hit = probe_->probe(probe.item, bytes);
+  }
+  if (hit) {
+    const Bytes payload = bytes.size();
+    transport_.send(cfg_.id, probe.requester, net::Tag::kCacheData,
+                    CacheData{probe.item, probe.index + 1, std::move(bytes)},
+                    payload);
+    return;
+  }
+  forward_probe(probe.item, probe.requester, std::move(probe.chain),
+                probe.index + 1);
+}
+
+// --- stealing -------------------------------------------------------------
+
+std::optional<dnc::Region> MeshNode::remote_steal(std::uint32_t worker) {
+  const auto p = transport_.num_nodes();
+  if (p < 2) return std::nullopt;
+  // Orphans first: regions this node failed to ship to a dead thief.
+  {
+    std::scoped_lock lock(mutex_);
+    if (!orphans_.empty()) {
+      const dnc::Region out = orphans_.front();
+      orphans_.pop_front();
+      return out;
+    }
+  }
+  auto& cell = *cells_[worker % cells_.size()];
+  std::unique_lock lock(cell.mutex);
+  if (!cell.regions.empty()) {
+    const dnc::Region out = cell.regions.front();
+    cell.regions.pop_front();
+    return out;
+  }
+  if (global_done()) return std::nullopt;
+  if (cell.outstanding == 0) {
+    // Uniform victim among the other p-1 nodes.
+    auto victim = static_cast<NodeId>(cell.rng.uniform_index(p - 1));
+    if (victim >= cfg_.id) ++victim;
+    ++cell.outstanding;
+    lock.unlock();
+    const bool sent =
+        transport_.send(cfg_.id, victim, net::Tag::kStealRequest,
+                        StealRequest{cfg_.id, worker});
+    lock.lock();
+    if (!sent) {
+      --cell.outstanding;
+      return std::nullopt;
+    }
+  }
+  cell.cv.wait_for(lock, kStealReplyTimeout, [&] {
+    return !cell.regions.empty() || global_done();
+  });
+  if (!cell.regions.empty()) {
+    const dnc::Region out = cell.regions.front();
+    cell.regions.pop_front();
+    return out;
+  }
+  // Timed out: treat the request as lost so the next attempt may try
+  // another victim. `outstanding` is a throttle, not an exact count — a
+  // late reply still parks its region in the cell (never lost), and the
+  // guarded decrement in on_steal_reply keeps it non-negative.
+  if (cell.outstanding > 0) --cell.outstanding;
+  return std::nullopt;
+}
+
+void MeshNode::on_steal_request(const StealRequest& req) {
+  std::optional<dnc::Region> region;
+  {
+    std::scoped_lock lock(mutex_);
+    if (exporter_ != nullptr) region = exporter_->try_steal();
+  }
+  StealReply reply{req.worker, region.has_value(),
+                   region.value_or(dnc::Region{})};
+  if (!transport_.send(cfg_.id, req.thief, net::Tag::kStealReply,
+                       std::move(reply)) &&
+      region.has_value()) {
+    // The thief vanished after we popped the region: park it as an orphan
+    // so this node's own idle workers re-adopt it (they keep polling
+    // remote_steal until the cluster is done, and the orphan's pairs keep
+    // the done flag false) — pairs are never lost to a dead peer.
+    std::scoped_lock lock(mutex_);
+    orphans_.push_back(*region);
+  }
+}
+
+void MeshNode::on_steal_reply(const StealReply& reply) {
+  auto& cell = *cells_[reply.worker % cells_.size()];
+  {
+    std::scoped_lock lock(cell.mutex);
+    if (cell.outstanding > 0) --cell.outstanding;
+    if (reply.has_region) cell.regions.push_back(reply.region);
+  }
+  cell.cv.notify_all();
+}
+
+void MeshNode::wake() {
+  for (auto& cell : cells_) {
+    std::scoped_lock lock(cell->mutex);
+    cell->cv.notify_all();
+  }
+}
+
+// --- master ---------------------------------------------------------------
+
+void MeshNode::on_result_msg(const ResultMsg& msg) {
+  if (cfg_.on_result) cfg_.on_result(msg.result);
+  ++results_seen_;
+  if (results_seen_ == cfg_.expected_pairs && cfg_.on_complete) {
+    cfg_.on_complete();
+  }
+}
+
+// --- wiring & metrics -----------------------------------------------------
+
+void MeshNode::register_probe(runtime::HostCacheProbe* probe) {
+  std::scoped_lock lock(probe_mutex_);
+  probe_ = probe;
+}
+
+void MeshNode::register_exporter(steal::StealExporter* exporter) {
+  std::scoped_lock lock(mutex_);
+  exporter_ = exporter;
+}
+
+PeerCacheStats MeshNode::peer_stats() const {
+  std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+cache::DirectoryStats MeshNode::directory_stats() const {
+  std::scoped_lock lock(mutex_);
+  return directory_.stats();
+}
+
+std::vector<NodeId> MeshNode::directory_candidates(ItemId item) const {
+  std::scoped_lock lock(mutex_);
+  return directory_.candidates(item);
+}
+
+}  // namespace rocket::mesh

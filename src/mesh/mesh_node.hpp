@@ -1,0 +1,167 @@
+#pragma once
+
+// Per-node mesh service: the live counterpart of the cluster-layer
+// protocols the simulator runs in virtual time.
+//
+// Each node of a LiveCluster owns one MeshNode. A dedicated service
+// thread drains the node's transport inbox and serves four duties:
+//   * mediator  — §4.1.3 directory lookups for the items this node
+//                 mediates (item mod p), answered by forwarding a probe
+//                 along the candidate chain;
+//   * candidate — host-cache probes on behalf of remote requesters,
+//                 through the HostCacheProbe the NodeRuntime registers
+//                 while its engine is live;
+//   * victim    — steal requests answered from the registered
+//                 StealExporter;
+//   * master    — on the master node only: per-pair result aggregation to
+//                 the user callback and the cluster-wide completion
+//                 signal.
+//
+// Requester-side flows never block a runtime thread unboundedly:
+// PeerFetchClient::fetch is fully asynchronous (its callback fires when
+// the data or a failure message arrives, and a failed send completes the
+// fetch as a miss immediately), and remote_steal waits on its reply with
+// a timeout. Together with the rule that the service thread only ever
+// blocks on its own inbox, this is the mesh's deadlock-freedom argument
+// (DESIGN.md §9).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/distributed_directory.hpp"
+#include "common/rng.hpp"
+#include "mesh/transport.hpp"
+#include "runtime/application.hpp"
+#include "runtime/peer_fetch.hpp"
+#include "steal/executor.hpp"
+
+namespace rocket::mesh {
+
+/// Requester-side chain-walk statistics (the live analogue of the
+/// simulator's DistCacheMetrics).
+struct PeerCacheStats {
+  std::uint64_t requests = 0;      // peer fetches issued by this node
+  std::uint64_t chain_hits = 0;    // served from a peer's host cache
+  std::uint64_t chain_misses = 0;  // exhausted or failed chains
+  std::vector<std::uint64_t> hits_at_hop;  // index 0 = first hop
+
+  std::uint64_t total_hits() const {
+    std::uint64_t sum = 0;
+    for (const auto h : hits_at_hop) sum += h;
+    return sum;
+  }
+};
+
+PeerCacheStats& operator+=(PeerCacheStats& a, const PeerCacheStats& b);
+
+class MeshNode final : public runtime::PeerFetchClient {
+ public:
+  using ResultFn = std::function<void(const runtime::PairResult&)>;
+
+  struct Config {
+    NodeId id = 0;
+    std::uint32_t num_workers = 1;  // steal cells, one per executor worker
+    std::uint32_t hop_limit = 1;    // the paper's h
+    std::uint64_t seed = 1;
+
+    // Master duties: set on the node that results are routed to (node 0 in
+    // a LiveCluster); activated by a non-empty on_result/on_complete.
+    std::uint64_t expected_pairs = 0;
+    ResultFn on_result;                // user callback, invoked serially
+    std::function<void()> on_complete; // fired once, on the service thread
+  };
+
+  MeshNode(Config config, Transport& transport,
+           std::shared_ptr<std::atomic<bool>> done);
+  ~MeshNode();
+
+  MeshNode(const MeshNode&) = delete;
+  MeshNode& operator=(const MeshNode&) = delete;
+
+  /// Launch the service thread. Call join() only after Transport::close().
+  void start();
+  void join();
+
+  // ---- NodeRuntime wiring (MeshPort hooks) ----
+
+  /// PeerFetchClient: mediator lookup + candidate chain walk, §4.1.3.
+  void fetch(ItemId item, DoneFn done) override;
+
+  /// Cross-node steal with a bounded reply wait; nullopt on timeout,
+  /// empty-handed victim, or cluster completion.
+  std::optional<dnc::Region> remote_steal(std::uint32_t worker);
+
+  bool global_done() const {
+    return done_->load(std::memory_order_acquire);
+  }
+
+  void register_probe(runtime::HostCacheProbe* probe);
+  void register_exporter(steal::StealExporter* exporter);
+
+  /// Wake blocked steal waiters (called cluster-wide on completion).
+  void wake();
+
+  // ---- metrics (stable once the cluster has quiesced) ----
+  PeerCacheStats peer_stats() const;
+  cache::DirectoryStats directory_stats() const;
+  std::vector<NodeId> directory_candidates(ItemId item) const;  // testing
+
+ private:
+  struct StealCell {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<dnc::Region> regions;  // stolen regions awaiting pickup
+    std::uint32_t outstanding = 0;    // unanswered requests
+    Rng rng{1};
+  };
+
+  void serve_loop();
+  void on_cache_request(const CacheRequest& req);
+  void on_cache_probe(CacheProbe probe);
+  void on_cache_data(CacheData data);
+  void on_cache_failure(const CacheFailure& failure);
+  void on_steal_request(const StealRequest& req);
+  void on_steal_reply(const StealReply& reply);
+  void on_result_msg(const ResultMsg& msg);
+
+  /// Forward the probe to chain[index], skipping unreachable candidates;
+  /// an exhausted chain reports a miss to the requester.
+  void forward_probe(ItemId item, NodeId requester, std::vector<NodeId> chain,
+                     std::uint32_t index);
+
+  /// Resolve the pending fetch for `item` and record the chain outcome.
+  void complete_fetch(ItemId item, runtime::HostBuffer bytes,
+                      std::uint32_t hops, bool hit);
+
+  Config cfg_;
+  Transport& transport_;
+  std::shared_ptr<std::atomic<bool>> done_;
+  std::thread service_;
+
+  mutable std::mutex mutex_;  // directory, exporter, pending, stats, orphans
+  cache::DistributedDirectory directory_;
+  steal::StealExporter* exporter_ = nullptr;
+  std::unordered_map<ItemId, DoneFn> pending_;
+  PeerCacheStats stats_;
+  std::deque<dnc::Region> orphans_;  // steal exports whose thief vanished
+
+  /// Separate lock for the probe pointer: serving a probe copies a whole
+  /// slot-sized buffer, which must not stall requester-side fetch
+  /// bookkeeping or mediator lookups under mutex_.
+  mutable std::mutex probe_mutex_;
+  runtime::HostCacheProbe* probe_ = nullptr;
+
+  std::vector<std::unique_ptr<StealCell>> cells_;
+  std::uint64_t results_seen_ = 0;  // master only; service thread only
+};
+
+}  // namespace rocket::mesh

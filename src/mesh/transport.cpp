@@ -1,0 +1,46 @@
+#include "mesh/transport.hpp"
+
+namespace rocket::mesh {
+
+InProcessTransport::InProcessTransport(std::uint32_t num_nodes, Config config)
+    : config_(config), down_(new std::atomic<bool>[num_nodes]) {
+  inboxes_.reserve(num_nodes);
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    inboxes_.push_back(std::make_unique<MpmcQueue<Message>>());
+    down_[i].store(false, std::memory_order_relaxed);
+  }
+}
+
+bool InProcessTransport::send(NodeId src, NodeId dst, net::Tag tag,
+                              MessageBody body, Bytes payload_bytes) {
+  if (dst >= num_nodes() || closed_.load(std::memory_order_acquire) ||
+      down_[dst].load(std::memory_order_acquire)) {
+    return false;
+  }
+  {
+    std::scoped_lock lock(counters_mutex_);
+    counters_.record(tag, payload_bytes + config_.control_message_size);
+  }
+  inboxes_[dst]->push(Message{src, dst, tag, std::move(body)});
+  return true;
+}
+
+std::optional<Message> InProcessTransport::recv(NodeId node) {
+  return inboxes_[node]->pop();
+}
+
+void InProcessTransport::close() {
+  closed_.store(true, std::memory_order_release);
+  for (auto& inbox : inboxes_) inbox->close();
+}
+
+net::TrafficCounters InProcessTransport::counters() const {
+  std::scoped_lock lock(counters_mutex_);
+  return counters_;
+}
+
+void InProcessTransport::set_down(NodeId node, bool down) {
+  down_[node].store(down, std::memory_order_release);
+}
+
+}  // namespace rocket::mesh

@@ -1,0 +1,160 @@
+#pragma once
+
+// Live cluster transport.
+//
+// mesh::Transport is the live counterpart of the simulated net::Fabric:
+// typed point-to-point messages between p nodes, recorded through the same
+// net::Tag traffic taxonomy so live and simulated traffic reports are
+// directly comparable (a control message costs `control_message_size` wire
+// bytes; a data message additionally counts its payload, mirroring
+// Fabric::send_bulk).
+//
+// The in-process implementation delivers over one MpmcQueue inbox per
+// node — N NodeRuntime peers run as one cluster inside a single process,
+// which is the mesh's first deployment shape (real-socket transports slot
+// in behind the same interface). It also provides per-node failure
+// injection (`set_down`): sends to a down node fail fast, and every
+// protocol layer above treats a failed send as a lost peer and degrades to
+// its local fallback path.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/queue.hpp"
+#include "common/units.hpp"
+#include "dnc/pair_space.hpp"
+#include "net/tag.hpp"
+#include "runtime/application.hpp"
+
+namespace rocket::mesh {
+
+using NodeId = net::NodeId;
+using runtime::ItemId;
+
+// --- typed message bodies -------------------------------------------------
+
+/// Requester → mediator: "who has item i?" (§4.1.3).
+struct CacheRequest {
+  ItemId item = 0;
+  NodeId requester = 0;
+};
+
+/// Mediator/candidate → candidate chain[index]: probe for the item; on a
+/// miss the candidate forwards to chain[index + 1].
+struct CacheProbe {
+  ItemId item = 0;
+  NodeId requester = 0;
+  std::vector<NodeId> chain;
+  std::uint32_t index = 0;
+};
+
+/// Candidate → requester: the host-level item payload, found at 1-based
+/// `hop` of the chain.
+struct CacheData {
+  ItemId item = 0;
+  std::uint32_t hop = 0;
+  runtime::HostBuffer bytes;
+};
+
+/// Exhausted chain → requester: distributed-cache miss after `hops`
+/// candidates were handed out.
+struct CacheFailure {
+  ItemId item = 0;
+  std::uint32_t hops = 0;
+};
+
+/// Idle worker `worker` on node `thief` → victim node.
+struct StealRequest {
+  NodeId thief = 0;
+  std::uint32_t worker = 0;
+};
+
+/// Victim → thief: a region, or empty-handed.
+struct StealReply {
+  std::uint32_t worker = 0;
+  bool has_region = false;
+  dnc::Region region;
+};
+
+/// Worker node → master: one completed pair.
+struct ResultMsg {
+  runtime::PairResult result{0, 0, 0.0};
+};
+
+using MessageBody = std::variant<CacheRequest, CacheProbe, CacheData,
+                                 CacheFailure, StealRequest, StealReply,
+                                 ResultMsg>;
+
+struct Message {
+  NodeId from = 0;
+  NodeId to = 0;
+  net::Tag tag = net::Tag::kControl;
+  MessageBody body;
+};
+
+// --- transport ------------------------------------------------------------
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual std::uint32_t num_nodes() const = 0;
+
+  /// Deliver `body` to `dst`'s inbox. Returns false when the destination
+  /// is down or the transport is closed — the caller treats that exactly
+  /// like a lost peer (skip the candidate, fail the fetch, give up the
+  /// steal). Accounting is recorded only for delivered messages;
+  /// `payload_bytes` adds bulk bytes on top of the control envelope.
+  virtual bool send(NodeId src, NodeId dst, net::Tag tag, MessageBody body,
+                    Bytes payload_bytes = 0) = 0;
+
+  /// Blocking receive for `node`'s service thread; nullopt once the
+  /// transport is closed and the inbox drained.
+  virtual std::optional<Message> recv(NodeId node) = 0;
+
+  /// Close every inbox (wakes all service threads).
+  virtual void close() = 0;
+
+  virtual net::TrafficCounters counters() const = 0;
+};
+
+class InProcessTransport final : public Transport {
+ public:
+  struct Config {
+    /// Wire size charged per message envelope (matches the simulated
+    /// fabric's control_message_size so traffic tables line up).
+    Bytes control_message_size = 128;
+  };
+
+  explicit InProcessTransport(std::uint32_t num_nodes)
+      : InProcessTransport(num_nodes, Config()) {}
+  InProcessTransport(std::uint32_t num_nodes, Config config);
+
+  std::uint32_t num_nodes() const override {
+    return static_cast<std::uint32_t>(inboxes_.size());
+  }
+  bool send(NodeId src, NodeId dst, net::Tag tag, MessageBody body,
+            Bytes payload_bytes = 0) override;
+  std::optional<Message> recv(NodeId node) override;
+  void close() override;
+  net::TrafficCounters counters() const override;
+
+  /// Failure injection (tests): a down node rejects all future sends; its
+  /// already-queued messages still drain.
+  void set_down(NodeId node, bool down = true);
+
+ private:
+  Config config_;
+  std::vector<std::unique_ptr<MpmcQueue<Message>>> inboxes_;
+  std::unique_ptr<std::atomic<bool>[]> down_;
+  std::atomic<bool> closed_{false};
+  mutable std::mutex counters_mutex_;
+  net::TrafficCounters counters_;
+};
+
+}  // namespace rocket::mesh

@@ -3,21 +3,7 @@
 namespace rocket::net {
 
 // Fabric<> is header-only (templated on the message body); this TU anchors
-// the module and provides the tag names used in traffic reports.
-
-const char* tag_name(Tag tag) {
-  switch (tag) {
-    case Tag::kCacheRequest: return "cache-request";
-    case Tag::kCacheForward: return "cache-forward";
-    case Tag::kCacheData: return "cache-data";
-    case Tag::kCacheFailure: return "cache-failure";
-    case Tag::kStealRequest: return "steal-request";
-    case Tag::kStealReply: return "steal-reply";
-    case Tag::kResult: return "result";
-    case Tag::kControl: return "control";
-    case Tag::kCount: break;
-  }
-  return "unknown";
-}
+// the module. The tag taxonomy and traffic counters shared with the live
+// mesh transport live in net/tag.{hpp,cpp}.
 
 }  // namespace rocket::net

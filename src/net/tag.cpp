@@ -1,0 +1,20 @@
+#include "net/tag.hpp"
+
+namespace rocket::net {
+
+const char* tag_name(Tag tag) {
+  switch (tag) {
+    case Tag::kCacheRequest: return "cache-request";
+    case Tag::kCacheForward: return "cache-forward";
+    case Tag::kCacheData: return "cache-data";
+    case Tag::kCacheFailure: return "cache-failure";
+    case Tag::kStealRequest: return "steal-request";
+    case Tag::kStealReply: return "steal-reply";
+    case Tag::kResult: return "result";
+    case Tag::kControl: return "control";
+    case Tag::kCount: break;
+  }
+  return "unknown";
+}
+
+}  // namespace rocket::net

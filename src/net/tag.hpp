@@ -1,0 +1,58 @@
+#pragma once
+
+// Message classes and traffic accounting shared by every cluster fabric.
+//
+// Extracted from the simulated fabric so the live mesh transport
+// (src/mesh/) and the virtual-time interconnect (net/fabric.hpp) record
+// traffic through the same tag taxonomy — a live run's per-tag message and
+// byte counts are directly comparable to a simulated run's.
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace rocket::net {
+
+using NodeId = std::uint32_t;
+
+/// Message classes for traffic accounting.
+enum class Tag : std::uint32_t {
+  kCacheRequest = 0,   // A → mediator: "who has item i?"
+  kCacheForward = 1,   // mediator/candidate → next candidate
+  kCacheData = 2,      // candidate → A: the item payload
+  kCacheFailure = 3,   // exhausted chain → A
+  kStealRequest = 4,   // idle worker → victim
+  kStealReply = 5,     // victim → thief (task or empty)
+  kResult = 6,         // worker → master (result delivery)
+  kControl = 7,        // everything else
+  kCount
+};
+
+/// Human-readable tag name for traffic reports.
+const char* tag_name(Tag tag);
+
+struct TrafficCounters {
+  struct PerTag {
+    std::uint64_t messages = 0;
+    Bytes bytes = 0;
+  };
+  PerTag per_tag[static_cast<std::size_t>(Tag::kCount)] = {};
+
+  void record(Tag tag, Bytes bytes) {
+    auto& t = per_tag[static_cast<std::size_t>(tag)];
+    ++t.messages;
+    t.bytes += bytes;
+  }
+  std::uint64_t total_messages() const {
+    std::uint64_t sum = 0;
+    for (const auto& t : per_tag) sum += t.messages;
+    return sum;
+  }
+  Bytes total_bytes() const {
+    Bytes sum = 0;
+    for (const auto& t : per_tag) sum += t.bytes;
+    return sum;
+  }
+};
+
+}  // namespace rocket::net

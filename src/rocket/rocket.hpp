@@ -14,10 +14,22 @@
 //     std::printf("(%u,%u) -> %f\n", r.left, r.right, r.score);
 //   });
 //
-// Cluster-scale behaviour (multi-node runs, the distributed cache, the
-// paper's figures) is exposed through rocket::cluster::SimCluster — a
-// deterministic virtual-time backend driving the same cache and scheduling
-// policies (see DESIGN.md).
+// Cluster-scale behaviour is available through two backends running the
+// same cache, directory and scheduling policies (see DESIGN.md):
+//
+//   * rocket::LiveCluster — a live multi-node mesh: N node runtimes on
+//     real threads in one process, with the §4.1.3 distributed cache
+//     (mediator directory + peer fetches), cross-node work stealing and
+//     master-side result aggregation. Mirrors the single-node API:
+//
+//       rocket::LiveCluster::Config mesh_cfg;
+//       mesh_cfg.num_nodes = 4;
+//       rocket::LiveCluster mesh(mesh_cfg);
+//       mesh.run_all_pairs(app, store, on_result);   // same result multiset
+//
+//   * rocket::cluster::SimCluster — a deterministic virtual-time backend
+//     for protocol studies and regenerating the paper's figures; its
+//     traffic reports use the same net::Tag taxonomy as the live mesh.
 
 #include "apps/app_model.hpp"
 #include "cache/slot_cache.hpp"
@@ -26,6 +38,7 @@
 #include "common/units.hpp"
 #include "dnc/pair_space.hpp"
 #include "gpu/device_spec.hpp"
+#include "mesh/live_cluster.hpp"
 #include "model/performance_model.hpp"
 #include "runtime/application.hpp"
 #include "runtime/node_runtime.hpp"
@@ -37,6 +50,9 @@ namespace rocket {
 using runtime::Application;
 using runtime::ItemId;
 using runtime::PairResult;
+
+/// The live multi-node engine (see mesh/live_cluster.hpp).
+using mesh::LiveCluster;
 
 /// The live engine: all-pairs execution on this machine's resources.
 class Rocket {

@@ -85,10 +85,19 @@ struct Engine {
   std::vector<std::size_t> cpu_lanes;
 
   std::vector<std::unique_ptr<Semaphore>> job_limits;  // per worker/device
+  /// In-flight pair gauge: count_up at leaf submission, count_down at pair
+  /// completion; waited on only after the executor returns (all
+  /// submissions in). This form works for both the single-node run (total
+  /// known) and a mesh partition run (stolen-in work makes the total
+  /// unknowable up front).
   std::unique_ptr<CountdownLatch> done;
   std::atomic<std::uint64_t> loads{0};
+  std::atomic<std::uint64_t> peer_loads{0};
   std::atomic<std::uint64_t> tiles{0};
   std::mutex result_mutex;
+
+  /// Cluster peer-fetch hook (mesh runs only; null single-node).
+  PeerFetchClient* peer_fetch = nullptr;
 
   // Pool of load-pipeline state blocks. Reuse keeps the hot path free of
   // per-load heap churn: the pooled ByteBuffer/HostBuffer keep their
@@ -256,6 +265,38 @@ void stage_h2d_from_host(LoadOp* op, cache::SlotId host_read_slot) {
   });
 }
 
+/// Host-cache miss with the WRITE slot held (op->hslot): consult the mesh
+/// peer-fetch hook before the object store (§4.1.3 carried to the live
+/// path). Any miss or peer failure falls back to run_load — a dead or
+/// evicted candidate chain can delay a load but never wedge it (§6.1).
+void start_host_fill(LoadOp* op) {
+  Engine& eng = *op->eng;
+  if (eng.peer_fetch == nullptr) {
+    run_load(op);
+    return;
+  }
+  eng.peer_fetch->fetch(op->item, [op](HostBuffer data) {
+    // Possibly on a mesh service thread: hand off to the control lane so
+    // the pipeline continues on runtime threads only.
+    op->eng->post_control([op, data = std::move(data)]() mutable {
+      if (data.empty()) {
+        run_load(op);
+        return;
+      }
+      Engine& eng = *op->eng;
+      eng.peer_loads.fetch_add(1, std::memory_order_relaxed);
+      const cache::SlotId hslot = op->hslot;
+      op->hslot = cache::kInvalidSlot;
+      eng.host_slots[hslot] = std::move(data);
+      {
+        std::scoped_lock lock(eng.host_mutex);
+        eng.host_cache->publish(hslot);  // keeps the writer's read pin
+      }
+      stage_h2d_from_host(op, hslot);
+    });
+  });
+}
+
 void handle_host_grant(LoadOp* op, Grant grant) {
   switch (grant.outcome) {
     case Outcome::kHit:
@@ -263,7 +304,7 @@ void handle_host_grant(LoadOp* op, Grant grant) {
       return;
     case Outcome::kFill:
       op->hslot = grant.slot;
-      run_load(op);
+      start_host_fill(op);
       return;
     case Outcome::kFailed:
       begin_fill(op);  // retry the host level
@@ -674,17 +715,58 @@ void submit_tile(Engine& eng, const dnc::Region& region,
   (new TileJob(eng, dev, worker, region))->start();
 }
 
+/// Non-disruptive host-cache read access served to remote requesters by
+/// the mesh layer (§4.1.3 probe semantics). The read pin taken under the
+/// host mutex keeps the buffer stable for the copy outside it.
+struct HostProbe final : HostCacheProbe {
+  Engine& eng;
+  explicit HostProbe(Engine& engine) : eng(engine) {}
+
+  bool probe(ItemId item, HostBuffer& out) override {
+    cache::SlotId slot;
+    {
+      std::scoped_lock lock(eng.host_mutex);
+      if (!eng.host_cache) return false;
+      const auto pin = eng.host_cache->try_pin(item);
+      if (!pin) return false;
+      slot = *pin;
+    }
+    out = eng.host_slots[slot];
+    {
+      std::scoped_lock lock(eng.host_mutex);
+      eng.host_cache->release(slot);
+    }
+    return true;
+  }
+};
+
 }  // namespace
 
 NodeRuntime::Report NodeRuntime::run(const Application& app,
                                      storage::ObjectStore& store,
                                      const ResultFn& on_result) {
+  return run_impl(app, store, on_result, nullptr);
+}
+
+NodeRuntime::Report NodeRuntime::run_partition(const Application& app,
+                                               storage::ObjectStore& store,
+                                               const ResultFn& on_result,
+                                               const MeshPort& port) {
+  return run_impl(app, store, on_result, &port);
+}
+
+NodeRuntime::Report NodeRuntime::run_impl(const Application& app,
+                                          storage::ObjectStore& store,
+                                          const ResultFn& on_result,
+                                          const MeshPort* port) {
   ROCKET_CHECK(!config_.devices.empty(), "runtime needs at least one device");
   const std::uint32_t n = app.item_count();
   const std::uint64_t total_pairs = dnc::count_pairs(dnc::root_region(n));
 
   Engine eng(config_, app, store, on_result);
-  eng.done = std::make_unique<CountdownLatch>(total_pairs);
+  // In-flight gauge (see Engine::done): leaves count up, completions count
+  // down, waited on once submission has finished.
+  eng.done = std::make_unique<CountdownLatch>(0);
 
   // Host cache.
   const auto host_slots =
@@ -736,6 +818,27 @@ NodeRuntime::Report NodeRuntime::run(const Application& app,
     eng.cpu_lanes.push_back(eng.profiler.add_lane("cpu" + std::to_string(c)));
   }
 
+  // Mesh wiring: the peer-fetch hook needs the host level (peer data fills
+  // a host slot, exactly as in the simulated cluster); the probe serves
+  // this node's host cache to peers for as long as the engine is live.
+  // RAII: the registrations must come off before the probe/engine leave
+  // scope even if this function unwinds — the mesh service threads outlive
+  // a failed node.
+  HostProbe host_probe(eng);
+  struct ProbeRegistration {
+    const MeshPort* port = nullptr;
+    ~ProbeRegistration() {
+      if (port != nullptr) port->register_probe(nullptr);
+    }
+  } probe_registration;
+  if (port != nullptr) {
+    if (eng.host_cache) eng.peer_fetch = port->peer_fetch;
+    if (port->register_probe && eng.host_cache) {
+      port->register_probe(&host_probe);
+      probe_registration.port = port;
+    }
+  }
+
   // Resource threads (§4.3): I/O, CPU pool, and per-device GPU/H2D/D2H.
   std::vector<std::thread> threads;
   threads.emplace_back([&eng] { drain(eng.io_q); });
@@ -769,19 +872,47 @@ NodeRuntime::Report NodeRuntime::run(const Application& app,
   exec_cfg.seed = config_.seed;
   steal::StealExecutor executor(exec_cfg);
   const bool tile_mode = config_.tile_batching;
-  const auto steal_stats = executor.run(
-      n, [&eng, tile_mode](const dnc::Region& region, std::uint32_t worker) {
-        if (tile_mode) {
-          submit_tile(eng, region, worker);
-          return;
-        }
-        dnc::for_each_pair(region, [&](dnc::Pair pair) {
-          eng.job_limits[worker]->acquire();  // back-pressure (§4.2)
-          (new Job(eng, *eng.devices[worker], worker, pair))->start();
-        });
-      });
+  const auto leaf = [&eng, tile_mode](const dnc::Region& region,
+                                      std::uint32_t worker) {
+    eng.done->count_up(dnc::count_pairs(region));
+    if (tile_mode) {
+      submit_tile(eng, region, worker);
+      return;
+    }
+    dnc::for_each_pair(region, [&](dnc::Pair pair) {
+      eng.job_limits[worker]->acquire();  // back-pressure (§4.2)
+      (new Job(eng, *eng.devices[worker], worker, pair))->start();
+    });
+  };
+  steal::ExecutorStats steal_stats;
+  steal::StealExporter exporter;
+  struct ExporterRegistration {
+    const MeshPort* port = nullptr;
+    ~ExporterRegistration() {
+      if (port != nullptr) port->register_exporter(nullptr);
+    }
+  } exporter_registration;
+  if (port == nullptr) {
+    steal_stats = executor.run(n, leaf);
+  } else {
+    if (port->register_exporter) {
+      port->register_exporter(&exporter);
+      exporter_registration.port = port;
+    }
+    steal::StealExecutor::RemoteHooks hooks;
+    hooks.steal = port->remote_steal;
+    hooks.done = port->global_done;
+    steal_stats = executor.run_partition(port->regions, leaf, hooks,
+                                         &exporter);
+  }
 
   eng.done->wait();
+  // Stop serving mesh peers before the engine winds down (the scope
+  // guards above make this exception-safe as well).
+  if (port != nullptr) {
+    if (port->register_exporter) port->register_exporter(nullptr);
+    if (port->register_probe && eng.host_cache) port->register_probe(nullptr);
+  }
   const double wall =
       std::chrono::duration<double>(Profiler::Clock::now() - wall_start)
           .count();
@@ -796,9 +927,16 @@ NodeRuntime::Report NodeRuntime::run(const Application& app,
   for (auto& t : threads) t.join();
 
   Report report;
-  report.pairs = total_pairs;
+  // Pairs this node executed: the full problem in a single-node run, this
+  // node's share (partition ± stolen work) in a mesh run.
+  report.pairs = 0;
+  for (const auto& dev : eng.devices) report.pairs += dev->pairs.load();
+  if (port == nullptr) {
+    ROCKET_CHECK(report.pairs == total_pairs, "runtime lost pairs");
+  }
   report.tiles = eng.tiles.load();
   report.loads = eng.loads.load();
+  report.peer_loads = eng.peer_loads.load();
   report.reuse_factor =
       n > 0 ? static_cast<double>(report.loads) / static_cast<double>(n) : 0.0;
   report.wall_seconds = wall;

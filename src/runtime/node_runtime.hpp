@@ -19,17 +19,53 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "cache/slot_cache.hpp"
 #include "gpu/device_spec.hpp"
 #include "runtime/application.hpp"
+#include "runtime/peer_fetch.hpp"
 #include "runtime/profiler.hpp"
 #include "steal/executor.hpp"
 #include "storage/object_store.hpp"
 
 namespace rocket::runtime {
+
+/// Wiring of one NodeRuntime into a live multi-node mesh (src/mesh/). The
+/// runtime never blocks unboundedly on a peer: the steal hook times out
+/// internally and peer fetches always complete (falling back to the
+/// object store), which is the mesh's deadlock-freedom invariant
+/// (DESIGN.md §9).
+struct MeshPort {
+  /// This node's share of the static pair-space partition; further work
+  /// may arrive through remote_steal.
+  std::vector<dnc::Region> regions;
+
+  /// Cross-node steal: called on an executor worker thread after a failed
+  /// local sweep. May block briefly (bounded by a reply timeout inside the
+  /// mesh); returns a region stolen from a peer or nullopt.
+  std::function<std::optional<dnc::Region>(std::uint32_t worker)>
+      remote_steal;
+
+  /// Cluster-wide termination: true once every pair everywhere completed.
+  std::function<bool()> global_done;
+
+  /// Peer-side provider of parsed items, consulted on a host-cache miss
+  /// before the object store. May be null; ignored when the host cache
+  /// level is disabled (the distributed cache fills host slots, exactly as
+  /// in the simulated cluster).
+  PeerFetchClient* peer_fetch = nullptr;
+
+  /// Called with the engine's host-cache probe just before execution
+  /// starts and with nullptr once the run has drained, so the mesh serves
+  /// peer probes only while the engine is live.
+  std::function<void(HostCacheProbe*)> register_probe;
+
+  /// Same contract for the executor's work exporter (steal-victim side).
+  std::function<void(steal::StealExporter*)> register_exporter;
+};
 
 class NodeRuntime {
  public:
@@ -75,7 +111,8 @@ class NodeRuntime {
   struct Report {
     std::uint64_t pairs = 0;
     std::uint64_t tiles = 0;        // tile jobs executed (0 in per-pair mode)
-    std::uint64_t loads = 0;        // load-pipeline executions
+    std::uint64_t loads = 0;        // object-store load-pipeline executions
+    std::uint64_t peer_loads = 0;   // loads served from a peer's host cache
     double reuse_factor = 0.0;      // loads / n
     double wall_seconds = 0.0;
     cache::CacheStats host_cache;
@@ -96,9 +133,20 @@ class NodeRuntime {
   Report run(const Application& app, storage::ObjectStore& store,
              const ResultFn& on_result);
 
+  /// Run one node's share of a live mesh computation: execute
+  /// `port.regions` (plus anything stolen from peers), serving peer cache
+  /// probes and steal requests meanwhile. `pairs` in the report counts
+  /// pairs this node executed. Blocks until `port.global_done` — i.e.
+  /// until the whole cluster finished, not just this node.
+  Report run_partition(const Application& app, storage::ObjectStore& store,
+                       const ResultFn& on_result, const MeshPort& port);
+
   const Config& config() const { return config_; }
 
  private:
+  Report run_impl(const Application& app, storage::ObjectStore& store,
+                  const ResultFn& on_result, const MeshPort* port);
+
   Config config_;
 };
 

@@ -1,0 +1,47 @@
+#pragma once
+
+// Hooks connecting the live load pipeline to a cluster cache layer
+// (src/mesh/). The runtime stays mesh-agnostic: on a host-cache miss it
+// consults an optional PeerFetchClient before the object store, and while
+// an engine is live it registers a HostCacheProbe so peers can read this
+// node's host cache without disturbing it (the §4.1.3 probe semantics —
+// a remote miss must not touch LRU order or allocate).
+
+#include <functional>
+
+#include "runtime/application.hpp"
+
+namespace rocket::runtime {
+
+/// Requester side of the distributed cache (§4.1.3): asked for an item on
+/// a host-cache miss, before the object-store load pipeline runs.
+class PeerFetchClient {
+ public:
+  virtual ~PeerFetchClient() = default;
+
+  /// Completion callback: the parsed, pre-processed (host-level) bytes of
+  /// the item, or empty on a distributed-cache miss or any peer failure.
+  /// Invoked exactly once, possibly inline, possibly on a mesh service
+  /// thread — the runtime re-posts onto its own queues before continuing.
+  using DoneFn = std::function<void(HostBuffer)>;
+
+  /// Asynchronously try to obtain `item` from a peer's host cache. Must
+  /// never block the caller beyond bounded bookkeeping, and must always
+  /// complete (failures included) so the load pipeline cannot hang — a
+  /// dead mediator or candidate degrades to the local-load path (§6.1
+  /// no-hang invariant).
+  virtual void fetch(ItemId item, DoneFn done) = 0;
+};
+
+/// Candidate side: non-disruptive read access to a live engine's host
+/// cache, served to remote requesters by the mesh layer.
+class HostCacheProbe {
+ public:
+  virtual ~HostCacheProbe() = default;
+
+  /// If `item` is readable in the host cache right now, copy its bytes
+  /// into `out` and return true. Never allocates, queues, or evicts.
+  virtual bool probe(ItemId item, HostBuffer& out) = 0;
+};
+
+}  // namespace rocket::runtime

@@ -48,6 +48,26 @@ Bytes MemoryStore::total_bytes() const {
   return total;
 }
 
+ByteBuffer SynchronizedStore::read(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  return inner_->read(name);
+}
+
+bool SynchronizedStore::exists(const std::string& name) const {
+  std::scoped_lock lock(mutex_);
+  return inner_->exists(name);
+}
+
+Bytes SynchronizedStore::size_of(const std::string& name) const {
+  std::scoped_lock lock(mutex_);
+  return inner_->size_of(name);
+}
+
+std::vector<std::string> SynchronizedStore::list() const {
+  std::scoped_lock lock(mutex_);
+  return inner_->list();
+}
+
 DirectoryStore::DirectoryStore(std::string root) : root_(std::move(root)) {
   fs::create_directories(root_);
 }

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,24 @@ class MemoryStore final : public ObjectStore {
 
  private:
   std::map<std::string, ByteBuffer> objects_;
+};
+
+/// Thread-safe adapter sharing one ObjectStore among several live nodes —
+/// the mesh's stand-in for the paper's central MinIO server (§6.2). Every
+/// node's I/O thread reads through the same mutex, which serialises the
+/// wrapped store's bookkeeping; stats accumulate on the wrapped store.
+class SynchronizedStore final : public ObjectStore {
+ public:
+  explicit SynchronizedStore(ObjectStore& inner) : inner_(&inner) {}
+
+  ByteBuffer read(const std::string& name) override;
+  bool exists(const std::string& name) const override;
+  Bytes size_of(const std::string& name) const override;
+  std::vector<std::string> list() const override;
+
+ private:
+  ObjectStore* inner_;
+  mutable std::mutex mutex_;
 };
 
 /// Real files rooted at a directory.

@@ -452,6 +452,31 @@ TEST(DistributedDirectory, MediatorAssignment) {
   EXPECT_EQ(DistributedDirectory::mediator_of(4979, 16), 4979u % 16);
 }
 
+TEST(DistributedDirectory, ChainOutcomeCounters) {
+  DistributedDirectory dir(3);
+  dir.on_request(9, 0);
+  dir.on_request(9, 1);
+  EXPECT_EQ(dir.stats().requests, 2u);
+  EXPECT_EQ(dir.stats().empty_responses, 1u);
+
+  // Requester-side chain outcomes accumulate independently of lookups.
+  dir.record_chain_outcome(/*hit=*/false, /*hops_walked=*/0);
+  dir.record_chain_outcome(/*hit=*/true, /*hops_walked=*/1);
+  dir.record_chain_outcome(/*hit=*/true, /*hops_walked=*/3);
+  EXPECT_EQ(dir.stats().chain_hits, 2u);
+  EXPECT_EQ(dir.stats().chain_misses, 1u);
+  EXPECT_EQ(dir.stats().hops, 4u);
+
+  // Aggregation across nodes sums every counter.
+  DirectoryStats total;
+  total += dir.stats();
+  total += dir.stats();
+  EXPECT_EQ(total.requests, 4u);
+  EXPECT_EQ(total.chain_hits, 4u);
+  EXPECT_EQ(total.chain_misses, 2u);
+  EXPECT_EQ(total.hops, 8u);
+}
+
 class DirectoryDepthSweep : public ::testing::TestWithParam<std::uint32_t> {};
 
 TEST_P(DirectoryDepthSweep, ListNeverExceedsH) {

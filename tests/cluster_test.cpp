@@ -122,6 +122,12 @@ TEST(SimCluster, HopAccountingIsConsistent) {
   if (m.dist_cache.total_hits() > 20) {
     EXPECT_GT(m.dist_cache.hits_at_hop[0], m.dist_cache.hits_at_hop[2]);
   }
+  // The aggregated directory stats mirror the protocol-level metrics: one
+  // mediator lookup per remote fetch, chain outcomes recorded per walk.
+  EXPECT_EQ(m.directory.requests, m.dist_cache.requests);
+  EXPECT_EQ(m.directory.chain_hits, m.dist_cache.total_hits());
+  EXPECT_EQ(m.directory.chain_misses, m.dist_cache.misses);
+  EXPECT_GE(m.directory.hops, m.directory.chain_hits);
 }
 
 TEST(SimCluster, LoadsAreBoundedByPairDemand) {

@@ -188,5 +188,62 @@ TEST(PairSpace, PairsOfReturnsRowMajor) {
   EXPECT_EQ(pairs[2], (Pair{1, 2}));
 }
 
+TEST(PairSpace, PartitionRootCoversPairSetExactly) {
+  for (const ItemIndex n : {2u, 3u, 17u, 37u}) {
+    for (const std::uint32_t parts : {1u, 2u, 5u, 8u}) {
+      const auto partition = partition_root(n, parts);
+      ASSERT_EQ(partition.size(), parts);
+      std::set<std::pair<ItemIndex, ItemIndex>> seen;
+      for (const auto& regions : partition) {
+        for (const Region& region : regions) {
+          for_each_pair(region, [&](Pair p) {
+            EXPECT_TRUE(seen.insert({p.left, p.right}).second)
+                << "duplicate pair " << p.left << "," << p.right;
+          });
+        }
+      }
+      EXPECT_EQ(seen.size(), static_cast<std::size_t>(n) * (n - 1) / 2)
+          << "n=" << n << " parts=" << parts;
+    }
+  }
+}
+
+TEST(PairSpace, PartitionRootBalancesLoad) {
+  const auto partition = partition_root(64, 4);
+  std::vector<PairCount> load;
+  for (const auto& regions : partition) {
+    PairCount pairs = 0;
+    for (const Region& region : regions) pairs += count_pairs(region);
+    load.push_back(pairs);
+  }
+  const auto [min_it, max_it] = std::minmax_element(load.begin(), load.end());
+  EXPECT_GT(*min_it, 0u) << "every node gets work";
+  // Greedy largest-first keeps the spread modest (not a tight bound; the
+  // mesh corrects residual imbalance by stealing).
+  EXPECT_LE(*max_it, 2 * *min_it);
+}
+
+TEST(PairSpace, PartitionRootIsDeterministic) {
+  const auto a = partition_root(33, 3);
+  const auto b = partition_root(33, 3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PairSpace, PartitionRootEdgeCases) {
+  EXPECT_TRUE(partition_root(10, 0).empty());
+  // More parts than pairs: trailing parts are empty, nothing is lost.
+  const auto partition = partition_root(3, 8);
+  ASSERT_EQ(partition.size(), 8u);
+  PairCount total = 0;
+  for (const auto& regions : partition) {
+    for (const Region& region : regions) total += count_pairs(region);
+  }
+  EXPECT_EQ(total, 3u);
+  // n too small for any pair.
+  for (const auto& regions : partition_root(1, 4)) {
+    EXPECT_TRUE(regions.empty());
+  }
+}
+
 }  // namespace
 }  // namespace rocket::dnc

@@ -1,0 +1,385 @@
+// Live multi-node mesh tests: transport delivery and accounting, the
+// §4.1.3 peer-fetch protocol (including dead and evicted candidate
+// chains), and full LiveCluster runs checked for exact result-multiset
+// equality with a single-node run over the same store.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <map>
+#include <mutex>
+
+#include "apps/forensics.hpp"
+#include "mesh/live_cluster.hpp"
+#include "mesh/mesh_node.hpp"
+#include "mesh/transport.hpp"
+#include "runtime/node_runtime.hpp"
+
+namespace rocket::mesh {
+namespace {
+
+using runtime::ItemId;
+using runtime::PairResult;
+using ResultMap = std::map<std::pair<ItemId, ItemId>, double>;
+
+// --- transport ------------------------------------------------------------
+
+TEST(InProcessTransport, DeliversTypedMessagesAndCounts) {
+  InProcessTransport transport(2, {128});
+  ASSERT_TRUE(transport.send(0, 1, net::Tag::kCacheRequest,
+                             CacheRequest{7, 0}));
+  runtime::HostBuffer payload(1000, 0xAB);
+  ASSERT_TRUE(transport.send(0, 1, net::Tag::kCacheData,
+                             CacheData{7, 1, payload}, payload.size()));
+
+  auto first = transport.recv(1);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->from, 0u);
+  EXPECT_EQ(first->tag, net::Tag::kCacheRequest);
+  EXPECT_EQ(std::get<CacheRequest>(first->body).item, 7u);
+
+  auto second = transport.recv(1);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(std::get<CacheData>(second->body).bytes, payload);
+
+  const auto counters = transport.counters();
+  const auto& req =
+      counters.per_tag[static_cast<std::size_t>(net::Tag::kCacheRequest)];
+  const auto& data =
+      counters.per_tag[static_cast<std::size_t>(net::Tag::kCacheData)];
+  EXPECT_EQ(req.messages, 1u);
+  EXPECT_EQ(req.bytes, 128u);  // control envelope only
+  EXPECT_EQ(data.messages, 1u);
+  EXPECT_EQ(data.bytes, 1000u + 128u);  // payload + envelope
+
+  transport.close();
+  EXPECT_FALSE(transport.recv(0).has_value());
+}
+
+TEST(InProcessTransport, DownNodeRejectsSends) {
+  InProcessTransport transport(3);
+  transport.set_down(2);
+  EXPECT_FALSE(transport.send(0, 2, net::Tag::kCacheRequest,
+                              CacheRequest{1, 0}));
+  EXPECT_TRUE(transport.send(0, 1, net::Tag::kCacheRequest,
+                             CacheRequest{1, 0}));
+  // Rejected sends are not recorded.
+  EXPECT_EQ(transport.counters().total_messages(), 1u);
+  transport.close();
+}
+
+// --- peer-fetch protocol harness ------------------------------------------
+
+/// Stand-in for a live engine's host cache: serves the items it was given.
+struct FakeProbe final : runtime::HostCacheProbe {
+  std::map<ItemId, runtime::HostBuffer> items;
+
+  bool probe(ItemId item, runtime::HostBuffer& out) override {
+    const auto it = items.find(item);
+    if (it == items.end()) return false;
+    out = it->second;
+    return true;
+  }
+};
+
+/// p MeshNodes over an in-process transport, no runtimes attached.
+struct Harness {
+  InProcessTransport transport;
+  std::shared_ptr<std::atomic<bool>> done =
+      std::make_shared<std::atomic<bool>>(false);
+  std::vector<std::unique_ptr<MeshNode>> nodes;
+
+  explicit Harness(std::uint32_t p, std::uint32_t hop_limit = 2)
+      : transport(p) {
+    for (NodeId id = 0; id < p; ++id) {
+      MeshNode::Config mc;
+      mc.id = id;
+      mc.hop_limit = hop_limit;
+      nodes.push_back(std::make_unique<MeshNode>(mc, transport, done));
+    }
+    for (auto& node : nodes) node->start();
+  }
+
+  ~Harness() {
+    transport.close();
+    for (auto& node : nodes) node->join();
+  }
+
+  /// Synchronous fetch: empty buffer = distributed-cache miss.
+  runtime::HostBuffer fetch(NodeId node, ItemId item) {
+    std::promise<runtime::HostBuffer> promise;
+    auto future = promise.get_future();
+    nodes[node]->fetch(item, [&promise](runtime::HostBuffer bytes) {
+      promise.set_value(std::move(bytes));
+    });
+    return future.get();
+  }
+};
+
+TEST(MeshNode, PeerFetchHitsCandidateChain) {
+  Harness mesh(3);
+  const ItemId item = 7;  // mediator_of(7, 3) == 1
+  ASSERT_EQ(cache::DistributedDirectory::mediator_of(item, 3), 1u);
+
+  FakeProbe probe;
+  probe.items[item] = runtime::HostBuffer{1, 2, 3, 4};
+  mesh.nodes[1]->register_probe(&probe);
+
+  // Node 1's own fetch misses (nobody was a candidate yet) but registers
+  // it as the item's freshest candidate at the mediator.
+  EXPECT_TRUE(mesh.fetch(1, item).empty());
+  // Node 2 now walks the chain [1] and gets the bytes from node 1.
+  EXPECT_EQ(mesh.fetch(2, item), (runtime::HostBuffer{1, 2, 3, 4}));
+
+  const auto requester = mesh.nodes[2]->peer_stats();
+  EXPECT_EQ(requester.requests, 1u);
+  EXPECT_EQ(requester.chain_hits, 1u);
+  ASSERT_GE(requester.hits_at_hop.size(), 1u);
+  EXPECT_EQ(requester.hits_at_hop[0], 1u);
+
+  const auto mediator = mesh.nodes[1]->directory_stats();
+  EXPECT_EQ(mediator.requests, 2u);        // both fetches
+  EXPECT_EQ(mediator.empty_responses, 1u); // node 1's first ask
+  // Chain outcomes recorded requester-side: node 1 missed with 0 hops,
+  // node 2 hit at hop 1.
+  EXPECT_EQ(mesh.nodes[2]->directory_stats().chain_hits, 1u);
+  EXPECT_EQ(mesh.nodes[2]->directory_stats().hops, 1u);
+  EXPECT_EQ(mesh.nodes[1]->directory_stats().chain_misses, 1u);
+}
+
+TEST(MeshNode, EvictedCandidateChainMisses) {
+  Harness mesh(3);
+  const ItemId item = 7;  // mediator is node 1
+  FakeProbe empty_probe;  // candidate no longer holds the item
+  mesh.nodes[1]->register_probe(&empty_probe);
+
+  EXPECT_TRUE(mesh.fetch(1, item).empty());  // seeds node 1 as candidate
+  EXPECT_TRUE(mesh.fetch(2, item).empty());  // probe misses, chain exhausts
+
+  const auto stats = mesh.nodes[2]->peer_stats();
+  EXPECT_EQ(stats.chain_hits, 0u);
+  EXPECT_EQ(stats.chain_misses, 1u);
+  EXPECT_EQ(mesh.nodes[2]->directory_stats().hops, 1u);  // one hop walked
+}
+
+TEST(MeshNode, DeadCandidateDegradesToMiss) {
+  Harness mesh(3);
+  const ItemId item = 0;  // mediator is node 0; candidate will be node 1
+  FakeProbe probe;
+  probe.items[item] = runtime::HostBuffer{9};
+  mesh.nodes[1]->register_probe(&probe);
+
+  EXPECT_TRUE(mesh.fetch(1, item).empty());  // node 1 becomes the candidate
+  mesh.transport.set_down(1);
+  // The forward to the dead candidate fails; the mediator reports a miss
+  // instead of hanging.
+  EXPECT_TRUE(mesh.fetch(2, item).empty());
+  EXPECT_EQ(mesh.nodes[2]->peer_stats().chain_misses, 1u);
+}
+
+TEST(MeshNode, DeadMediatorDegradesToMiss) {
+  Harness mesh(3);
+  const ItemId item = 7;  // mediator is node 1
+  mesh.transport.set_down(1);
+  EXPECT_TRUE(mesh.fetch(0, item).empty());
+  EXPECT_EQ(mesh.nodes[0]->peer_stats().chain_misses, 1u);
+}
+
+TEST(MeshNode, UnservedCandidateForwardsAlongChain) {
+  // A candidate with no live engine (no registered probe) behaves exactly
+  // like an evicted one: the probe forwards to the next candidate, which
+  // serves the item at hop 2.
+  Harness mesh(4, /*hop_limit=*/2);
+  const ItemId item = 5;  // mediator_of(5, 4) == 1
+  FakeProbe probe;
+  probe.items[item] = runtime::HostBuffer{42};
+  mesh.nodes[3]->register_probe(&probe);
+
+  EXPECT_TRUE(mesh.fetch(3, item).empty());           // candidates: [3]
+  EXPECT_EQ(mesh.fetch(2, item),
+            (runtime::HostBuffer{42}));               // hop 1; now [2, 3]
+  EXPECT_EQ(mesh.fetch(0, item), (runtime::HostBuffer{42}))
+      << "probe must forward past the unserved node 2 to node 3";
+  const auto stats = mesh.nodes[0]->peer_stats();
+  ASSERT_EQ(stats.hits_at_hop.size(), 2u);
+  EXPECT_EQ(stats.hits_at_hop[1], 1u);  // found at the second hop
+}
+
+// --- LiveCluster end-to-end ----------------------------------------------
+
+ResultMap single_node_reference(const runtime::Application& app,
+                                storage::ObjectStore& store) {
+  runtime::NodeRuntime::Config cfg;
+  cfg.devices = {gpu::titanx_maxwell()};
+  cfg.host_cache_capacity = 64_MiB;
+  cfg.cpu_threads = 2;
+  runtime::NodeRuntime rt(cfg);
+  ResultMap results;
+  std::mutex mutex;
+  rt.run(app, store, [&](const PairResult& r) {
+    std::scoped_lock lock(mutex);
+    results[{r.left, r.right}] = r.score;
+  });
+  return results;
+}
+
+TEST(LiveCluster, FourNodeForensicsMatchesSingleNodeExactly) {
+  storage::MemoryStore store;
+  apps::ForensicsConfig fc;
+  fc.cameras = 4;
+  fc.images_per_camera = 8;
+  fc.width = 64;
+  fc.height = 48;
+  fc.seed = 11;
+  apps::ForensicsDataset dataset(fc, store);
+  apps::ForensicsApplication app(dataset);
+  const std::uint64_t pairs = 32ull * 31 / 2;
+
+  const ResultMap expected = single_node_reference(app, store);
+  ASSERT_EQ(expected.size(), pairs);
+
+  LiveClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.node.devices = {gpu::titanx_maxwell()};
+  cfg.node.host_cache_capacity = 64_MiB;
+  cfg.node.cpu_threads = 2;
+  LiveCluster cluster(cfg);
+
+  // The master callback is serialised on the mesh service thread — no
+  // mutex needed.
+  ResultMap actual;
+  const auto report = cluster.run_all_pairs(
+      app, store, [&](const PairResult& r) { actual[{r.left, r.right}] = r.score; });
+
+  // Exact multiset equality with the single-node run: peer-fetched bytes
+  // are bit-identical to locally loaded ones, so scores match exactly.
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(report.pairs, pairs);
+
+  // Peer fetches actually replaced storage reads.
+  EXPECT_GT(report.directory.chain_hits, 0u);
+  EXPECT_GT(report.peer_loads, 0u);
+  EXPECT_EQ(report.peer_cache.chain_hits, report.directory.chain_hits);
+  EXPECT_EQ(report.peer_cache.total_hits(), report.peer_cache.chain_hits);
+  EXPECT_EQ(report.peer_cache.chain_hits + report.peer_cache.chain_misses,
+            report.peer_cache.requests);
+  EXPECT_EQ(report.peer_loads, report.peer_cache.chain_hits);
+
+  // Traffic accounting: one request message per fetch, one result message
+  // per pair, and per-node pair counts sum to the total.
+  const auto& traffic = report.traffic.per_tag;
+  EXPECT_EQ(traffic[static_cast<std::size_t>(net::Tag::kCacheRequest)].messages,
+            report.peer_cache.requests);
+  EXPECT_EQ(traffic[static_cast<std::size_t>(net::Tag::kResult)].messages,
+            pairs);
+  std::uint64_t node_pairs = 0, node_loads = 0;
+  for (const auto& node : report.nodes) {
+    node_pairs += node.pairs;
+    node_loads += node.loads;
+  }
+  EXPECT_EQ(node_pairs, pairs);
+  EXPECT_EQ(node_loads, report.loads);
+  // Every node pulled its weight.
+  for (const auto& node : report.nodes) EXPECT_GT(node.pairs, 0u);
+}
+
+TEST(LiveCluster, FailedPeerChainsFallBackToStoreInBothModes) {
+  // Starved caches guarantee evicted candidate chains: fetches walk to
+  // peers that have already dropped the item and must fall back to the
+  // object store, in both execution modes, with mode-invariant results
+  // (the §6.1 no-hang invariant, live).
+  storage::MemoryStore store;
+  apps::ForensicsConfig fc;
+  fc.cameras = 3;
+  fc.images_per_camera = 4;
+  fc.width = 64;
+  fc.height = 48;
+  fc.seed = 23;
+  apps::ForensicsDataset dataset(fc, store);
+  apps::ForensicsApplication app(dataset);
+
+  const ResultMap expected = single_node_reference(app, store);
+
+  for (const bool tile_batching : {true, false}) {
+    SCOPED_TRACE(tile_batching ? "tile-batched" : "per-pair");
+    LiveClusterConfig cfg;
+    cfg.num_nodes = 3;
+    cfg.node.devices = {gpu::titanx_maxwell()};
+    cfg.node.cpu_threads = 2;
+    cfg.node.tile_batching = tile_batching;
+    // 3 host slots and 4 device slots per node for 12 items.
+    cfg.node.host_cache_capacity = 3 * app.slot_size();
+    cfg.node.device_cache_capacity = 4 * app.slot_size();
+    LiveCluster cluster(cfg);
+
+    ResultMap actual;
+    const auto report = cluster.run_all_pairs(
+        app, store,
+        [&](const PairResult& r) { actual[{r.left, r.right}] = r.score; });
+
+    EXPECT_EQ(actual, expected);
+    // Chains were walked and missed; the store served the fallbacks.
+    EXPECT_GT(report.peer_cache.chain_misses, 0u);
+    EXPECT_GT(report.loads, 0u);
+  }
+}
+
+TEST(LiveCluster, SingleNodeDegenerates) {
+  storage::MemoryStore store;
+  apps::ForensicsConfig fc;
+  fc.cameras = 2;
+  fc.images_per_camera = 4;
+  fc.width = 64;
+  fc.height = 48;
+  fc.seed = 5;
+  apps::ForensicsDataset dataset(fc, store);
+  apps::ForensicsApplication app(dataset);
+
+  const ResultMap expected = single_node_reference(app, store);
+
+  LiveClusterConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.node.cpu_threads = 2;
+  cfg.node.host_cache_capacity = 16_MiB;
+  LiveCluster cluster(cfg);
+  ResultMap actual;
+  const auto report = cluster.run_all_pairs(
+      app, store,
+      [&](const PairResult& r) { actual[{r.left, r.right}] = r.score; });
+
+  EXPECT_EQ(actual, expected);
+  // No peers: no distributed-cache or steal traffic, only results.
+  EXPECT_EQ(report.peer_cache.requests, 0u);
+  EXPECT_EQ(report.directory.requests, 0u);
+  EXPECT_EQ(report.remote_steals, 0u);
+  EXPECT_EQ(report.traffic.per_tag[static_cast<std::size_t>(
+                net::Tag::kResult)].messages,
+            report.pairs);
+}
+
+TEST(LiveCluster, EmptyAndTrivialProblems) {
+  storage::MemoryStore store;
+  apps::ForensicsConfig fc;
+  fc.cameras = 1;
+  fc.images_per_camera = 2;
+  fc.width = 64;
+  fc.height = 48;
+  apps::ForensicsDataset dataset(fc, store);
+  apps::ForensicsApplication app(dataset);
+
+  LiveClusterConfig cfg;
+  cfg.num_nodes = 4;  // more nodes than work
+  cfg.node.cpu_threads = 1;
+  cfg.node.host_cache_capacity = 16_MiB;
+  LiveCluster cluster(cfg);
+  std::size_t results = 0;
+  const auto report =
+      cluster.run_all_pairs(app, store, [&](const PairResult&) { ++results; });
+  EXPECT_EQ(results, 1u);
+  EXPECT_EQ(report.pairs, 1u);
+}
+
+}  // namespace
+}  // namespace rocket::mesh

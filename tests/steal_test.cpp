@@ -296,5 +296,61 @@ TEST(StealExecutor, EmptyAndTrivialProblems) {
   EXPECT_EQ(leaves.load(), 1);
 }
 
+TEST(StealExecutor, PartitionModeIntegratesRemoteWork) {
+  // One node of a two-node mesh: it seeds its own half of the partition
+  // and pulls the other half region-by-region through the remote-steal
+  // hook; the run ends only on the (externally computed) global-done
+  // signal, and every pair is executed exactly once.
+  const dnc::ItemIndex n = 40;
+  const auto total = dnc::count_pairs(dnc::root_region(n));
+  auto partition = dnc::partition_root(n, 2);
+
+  std::mutex remote_mutex;
+  std::vector<dnc::Region> remote(partition[1]);
+  std::atomic<std::uint64_t> executed{0};
+  std::mutex seen_mutex;
+  std::set<std::pair<dnc::ItemIndex, dnc::ItemIndex>> seen;
+
+  StealExecutor::Config cfg;
+  cfg.num_workers = 2;
+  cfg.max_leaf_pairs = 8;
+  StealExecutor exec(cfg);
+
+  StealExecutor::RemoteHooks hooks;
+  std::atomic<std::uint64_t> remote_served{0};
+  hooks.steal = [&](std::uint32_t) -> std::optional<dnc::Region> {
+    std::scoped_lock lock(remote_mutex);
+    if (remote.empty()) return std::nullopt;
+    const dnc::Region region = remote.back();
+    remote.pop_back();
+    remote_served.fetch_add(1);
+    return region;
+  };
+  hooks.done = [&] { return executed.load() == total; };
+
+  const auto stats = exec.run_partition(
+      partition[0],
+      [&](const dnc::Region& region, std::uint32_t) {
+        {
+          std::scoped_lock lock(seen_mutex);
+          dnc::for_each_pair(region, [&](dnc::Pair p) {
+            EXPECT_TRUE(seen.insert({p.left, p.right}).second);
+          });
+        }
+        executed.fetch_add(dnc::count_pairs(region));
+      },
+      hooks, nullptr);
+
+  EXPECT_EQ(executed.load(), total);
+  EXPECT_EQ(seen.size(), total);
+  EXPECT_EQ(stats.remote_steals, remote_served.load());
+  EXPECT_GT(stats.remote_steals, 0u);
+}
+
+TEST(StealExporter, EmptyOutsideInstallWindow) {
+  StealExporter exporter;
+  EXPECT_FALSE(exporter.try_steal().has_value());
+}
+
 }  // namespace
 }  // namespace rocket::steal
