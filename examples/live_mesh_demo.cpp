@@ -8,6 +8,7 @@
 // verifies the mesh result multiset against a single-node run.
 //
 //   $ ./live_mesh_demo [--nodes 4] [--cameras 4] [--images 8]
+//                      [--cache-shards 0]   (0 = auto: min(16, hw threads))
 
 #include <cmath>
 #include <cstdio>
@@ -55,6 +56,8 @@ int main(int argc, char** argv) {
   mesh_cfg.num_nodes = nodes;
   mesh_cfg.node.host_cache_capacity = rocket::megabytes(64);
   mesh_cfg.node.cpu_threads = 2;
+  mesh_cfg.node.cache_shards =
+      static_cast<std::uint32_t>(opts.get_int("cache-shards", 0));
   rocket::LiveCluster mesh(mesh_cfg);
   ResultMap results;  // master callback is serialised: no lock needed
   const auto report = mesh.run_all_pairs(
@@ -111,6 +114,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report.loads),
               static_cast<unsigned long long>(report.peer_loads),
               static_cast<unsigned long long>(single_report.loads));
+  std::printf("host caches: %llu hits, %llu fills, %llu evictions; "
+              "lock-free fast-path pins (host+device): %llu\n",
+              static_cast<unsigned long long>(report.host_cache.hits),
+              static_cast<unsigned long long>(report.host_cache.fills),
+              static_cast<unsigned long long>(report.host_cache.evictions),
+              static_cast<unsigned long long>(report.cache_fast_hits));
 
   // The mesh must reproduce the single-node result multiset exactly.
   std::size_t mismatches = 0;

@@ -70,6 +70,7 @@ SlotId SlotCache::allocate_for(ItemId item) {
   slot.readers = 0;
   index_[item] = victim;
   ++stats_.fills;
+  notify(victim);
   return victim;
 }
 
@@ -82,6 +83,7 @@ SlotCache::Grant SlotCache::acquire(ItemId item, Callback cb) {
       ++slot.readers;
       ++stats_.hits;
       trace("acquire-hit", item, it->second);
+      notify(it->second);
       return Grant{Outcome::kHit, it->second};
     }
     // WRITE in progress: queue behind the writer.
@@ -129,6 +131,7 @@ void SlotCache::publish(SlotId id) {
   // Writer keeps the first pin; every waiter gets one more.
   slot.readers = 1 + static_cast<std::uint32_t>(slot.waiters.size());
   trace("publish", slot.item, id);
+  notify(id);
   std::vector<Callback> waiters = std::move(slot.waiters);
   slot.waiters.clear();
   stats_.hits += waiters.size();
@@ -144,6 +147,7 @@ void SlotCache::abort(SlotId id) {
   slot.item = kNoItem;
   slot.status = Status::kEmpty;
   slot.readers = 0;
+  notify(id);
   std::vector<Callback> waiters = std::move(slot.waiters);
   slot.waiters.clear();
   stats_.failures += waiters.size() + 1;
@@ -160,9 +164,20 @@ void SlotCache::release(SlotId id) {
   ROCKET_CHECK(slot.readers > 0, "release: no pins held");
   trace("release", slot.item, id);
   if (--slot.readers == 0) {
+    notify(id);
     push_lru_back(id);  // most-recently-used end
     drain_pending();
+  } else {
+    notify(id);
   }
+}
+
+void SlotCache::pin_existing(SlotId id, std::uint32_t n) {
+  Slot& slot = slots_[id];
+  ROCKET_CHECK(slot.status == Status::kRead && slot.readers > 0,
+               "pin_existing: slot not pinned-readable");
+  slot.readers += n;
+  notify(id);
 }
 
 void SlotCache::drain_pending() {
@@ -182,6 +197,7 @@ void SlotCache::drain_pending() {
         if (slot.readers == 0) unlink_lru(slot);
         ++slot.readers;
         ++stats_.hits;
+        notify(it->second);
         if (req.cb) req.cb(Grant{Outcome::kHit, it->second});
       } else {
         ++stats_.write_waits;
@@ -210,6 +226,7 @@ std::optional<SlotId> SlotCache::try_pin(ItemId item) {
   if (slot.readers == 0) unlink_lru(slot);
   ++slot.readers;
   ++probe_hits_;
+  notify(it->second);
   return it->second;
 }
 

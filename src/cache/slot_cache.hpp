@@ -46,6 +46,18 @@ struct CacheStats {
   std::uint64_t failures = 0;      // aborted fills propagated to waiters
 };
 
+/// Merge counters — used to aggregate per-shard stats (ShardedSlotCache)
+/// and per-node stats (LiveCluster reports) into one table.
+inline CacheStats& operator+=(CacheStats& a, const CacheStats& b) {
+  a.hits += b.hits;
+  a.write_waits += b.write_waits;
+  a.fills += b.fills;
+  a.evictions += b.evictions;
+  a.alloc_stalls += b.alloc_stalls;
+  a.failures += b.failures;
+  return a;
+}
+
 class SlotCache {
  public:
   struct Config {
@@ -65,6 +77,18 @@ class SlotCache {
     Outcome outcome;
     SlotId slot = kInvalidSlot;
   };
+
+  enum class Status : std::uint8_t { kEmpty, kWrite, kRead };
+
+  /// Invoked after every mutation of a slot's (item, status, readers)
+  /// triple, with the slot that changed, while the mutating call is still
+  /// on the stack. ShardedSlotCache uses this to mirror slot state into
+  /// its lock-free fast-path words; unset (the default) it costs one
+  /// branch per mutation and the policy is byte-for-byte unchanged.
+  using SlotObserver = std::function<void(SlotId)>;
+  void set_slot_observer(SlotObserver observer) {
+    observer_ = std::move(observer);
+  }
 
   /// Invoked exactly once for queued requests, from within the publish /
   /// abort / release call that unblocked them. Never invoked re-entrantly
@@ -117,6 +141,12 @@ class SlotCache {
   /// counted separately from regular hits/misses.
   std::optional<SlotId> try_pin(ItemId item);
 
+  /// Add `n` read pins to a slot that already holds at least one. Used by
+  /// ShardedSlotCache to fold lock-free fast-path pins back into the
+  /// policy's reader count before a slow-path release; not a cache access,
+  /// so it touches no stats and no LRU state.
+  void pin_existing(SlotId slot, std::uint32_t n);
+
   std::uint64_t probe_hits() const { return probe_hits_; }
   std::uint64_t probe_misses() const { return probe_misses_; }
 
@@ -134,6 +164,7 @@ class SlotCache {
   /// Item currently held by `slot` (kNoItem if empty).
   ItemId item_of(SlotId slot) const { return slots_[slot].item; }
   std::uint32_t readers_of(SlotId slot) const { return slots_[slot].readers; }
+  Status status_of(SlotId slot) const { return slots_[slot].status; }
 
   /// Number of slots currently holding readable items.
   std::uint32_t resident_items() const { return resident_; }
@@ -150,8 +181,6 @@ class SlotCache {
   const std::vector<std::string>& trace_log() const { return trace_log_; }
 
  private:
-  enum class Status : std::uint8_t { kEmpty, kWrite, kRead };
-
   struct Slot {
     ItemId item = kNoItem;
     Status status = Status::kEmpty;
@@ -189,6 +218,10 @@ class SlotCache {
   ItemId trace_item_ = kNoItem;
   std::vector<std::string> trace_log_;
   void trace(const char* op, ItemId item, SlotId slot);
+  SlotObserver observer_;
+  void notify(SlotId slot) {
+    if (observer_) observer_(slot);
+  }
 };
 
 /// Helper: number of slots that fit in `capacity`, clamped to [0, max_items]

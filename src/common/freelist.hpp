@@ -1,0 +1,90 @@
+#pragma once
+
+// Lock-free Treiber-stack freelist for pooled objects.
+//
+// The live runtime recycles LoadOp pipeline-state blocks at a high rate
+// from many threads; a mutex-guarded vector made every pooled allocation a
+// serialization point. This stack is a single 64-bit CAS per push/pop.
+//
+// ABA is defeated by packing a 16-bit generation tag into the upper bits
+// of the head word (user-space pointers occupy 48 bits on every platform
+// we target; checked at runtime). The classic hazard — pop reads head A
+// and A->next, another thread pops A and B and re-pushes A, the first
+// thread's CAS would install the stale next — cannot happen because every
+// successful push/pop bumps the tag.
+//
+// Contract: nodes must stay allocated while any thread may be inside
+// try_pop (they are only deleted at shutdown, via drain()); the intrusive
+// `free_next` field is owned by the freelist while a node is on it.
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/log.hpp"
+
+namespace rocket {
+
+/// T must expose a `std::atomic<T*> free_next` member. The field must be
+/// atomic: a losing try_pop reads the next pointer of a node another
+/// thread may have just popped and handed to its new owner — the tag
+/// check discards the stale value, but the read itself must not be a
+/// data race.
+template <typename T>
+class TreiberFreelist {
+ public:
+  TreiberFreelist() = default;
+  TreiberFreelist(const TreiberFreelist&) = delete;
+  TreiberFreelist& operator=(const TreiberFreelist&) = delete;
+
+  void push(T* node) {
+    std::uint64_t cur = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      node->free_next.store(unpack(cur), std::memory_order_relaxed);
+      const std::uint64_t next = pack(node, tag(cur) + 1);
+      if (head_.compare_exchange_weak(cur, next, std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  T* try_pop() {
+    std::uint64_t cur = head_.load(std::memory_order_acquire);
+    while (unpack(cur) != nullptr) {
+      T* node = unpack(cur);
+      const std::uint64_t next =
+          pack(node->free_next.load(std::memory_order_relaxed), tag(cur) + 1);
+      if (head_.compare_exchange_weak(cur, next, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        node->free_next.store(nullptr, std::memory_order_relaxed);
+        return node;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Pop every node and hand each to `fn` (shutdown cleanup). Not
+  /// concurrency-safe against push/pop.
+  template <typename Fn>
+  void drain(Fn&& fn) {
+    while (T* node = try_pop()) fn(node);
+  }
+
+ private:
+  static constexpr std::uint64_t kPtrMask = (1ULL << 48) - 1;
+
+  static std::uint64_t pack(T* ptr, std::uint64_t tag) {
+    const auto bits = reinterpret_cast<std::uintptr_t>(ptr);
+    ROCKET_CHECK((bits & ~kPtrMask) == 0,
+                 "pointer does not fit the 48-bit packed word");
+    return static_cast<std::uint64_t>(bits) | (tag << 48);
+  }
+  static T* unpack(std::uint64_t word) {
+    return reinterpret_cast<T*>(static_cast<std::uintptr_t>(word & kPtrMask));
+  }
+  static std::uint64_t tag(std::uint64_t word) { return word >> 48; }
+
+  std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace rocket

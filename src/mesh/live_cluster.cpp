@@ -19,7 +19,8 @@ LiveCluster::Report LiveCluster::run_all_pairs(
   const std::uint32_t n = app.item_count();
   const std::uint64_t total_pairs = dnc::count_pairs(dnc::root_region(n));
 
-  InProcessTransport transport(p, {config_.control_message_size});
+  InProcessTransport transport(
+      p, {config_.control_message_size, config_.peer_compress_threshold});
   storage::SynchronizedStore shared_store(store);
   const auto done = std::make_shared<std::atomic<bool>>(total_pairs == 0);
 
@@ -113,6 +114,8 @@ LiveCluster::Report LiveCluster::run_all_pairs(
     report.remote_steals += node_reports[id].steal.remote_steals;
     report.directory += meshes[id]->directory_stats();
     report.peer_cache += meshes[id]->peer_stats();
+    report.host_cache += node_reports[id].host_cache;
+    report.cache_fast_hits += node_reports[id].cache_fast_hits;
   }
   report.nodes = std::move(node_reports);
   return report;

@@ -49,6 +49,11 @@ struct LiveClusterConfig {
   /// Wire size charged per control message (traffic-report comparability
   /// with the simulated fabric).
   Bytes control_message_size = 128;
+
+  /// Peer-fetch payloads at or above this size are lz-compressed on the
+  /// wire (traffic table records compressed bytes; the requester's load
+  /// pipeline decompresses). 0 disables.
+  Bytes peer_compress_threshold = 64_KiB;
 };
 
 struct LiveClusterReport {
@@ -61,6 +66,8 @@ struct LiveClusterReport {
   net::TrafficCounters traffic;
   cache::DirectoryStats directory;  // aggregated over all nodes
   PeerCacheStats peer_cache;        // aggregated requester-side chain stats
+  cache::CacheStats host_cache;     // merged over all nodes' cache shards
+  std::uint64_t cache_fast_hits = 0;  // lock-free fast-path pins, all nodes
 
   std::vector<runtime::NodeRuntime::Report> nodes;  // per-node detail
 };

@@ -103,7 +103,7 @@ void MeshNode::fetch(ItemId item, DoneFn done) {
   }
 }
 
-void MeshNode::complete_fetch(ItemId item, runtime::HostBuffer bytes,
+void MeshNode::complete_fetch(ItemId item, runtime::PeerPayload payload,
                               std::uint32_t hops, bool hit) {
   DoneFn done;
   {
@@ -122,11 +122,13 @@ void MeshNode::complete_fetch(ItemId item, runtime::HostBuffer bytes,
     }
     directory_.record_chain_outcome(hit, hops);
   }
-  done(std::move(bytes));
+  done(std::move(payload));
 }
 
 void MeshNode::on_cache_data(CacheData data) {
-  complete_fetch(data.item, std::move(data.bytes), data.hop, true);
+  complete_fetch(data.item,
+                 runtime::PeerPayload{std::move(data.bytes), data.compressed},
+                 data.hop, true);
 }
 
 void MeshNode::on_cache_failure(const CacheFailure& failure) {
@@ -170,9 +172,10 @@ void MeshNode::on_cache_probe(CacheProbe probe) {
   }
   if (hit) {
     const Bytes payload = bytes.size();
-    transport_.send(cfg_.id, probe.requester, net::Tag::kCacheData,
-                    CacheData{probe.item, probe.index + 1, std::move(bytes)},
-                    payload);
+    transport_.send(
+        cfg_.id, probe.requester, net::Tag::kCacheData,
+        CacheData{probe.item, probe.index + 1, false, std::move(bytes)},
+        payload);
     return;
   }
   forward_probe(probe.item, probe.requester, std::move(probe.chain),

@@ -139,7 +139,7 @@ class MeshNode final : public runtime::PeerFetchClient {
                      std::uint32_t index);
 
   /// Resolve the pending fetch for `item` and record the chain outcome.
-  void complete_fetch(ItemId item, runtime::HostBuffer bytes,
+  void complete_fetch(ItemId item, runtime::PeerPayload payload,
                       std::uint32_t hops, bool hit);
 
   Config cfg_;

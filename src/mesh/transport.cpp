@@ -1,5 +1,7 @@
 #include "mesh/transport.hpp"
 
+#include "common/compress.hpp"
+
 namespace rocket::mesh {
 
 InProcessTransport::InProcessTransport(std::uint32_t num_nodes, Config config)
@@ -16,6 +18,21 @@ bool InProcessTransport::send(NodeId src, NodeId dst, net::Tag tag,
   if (dst >= num_nodes() || closed_.load(std::memory_order_acquire) ||
       down_[dst].load(std::memory_order_acquire)) {
     return false;
+  }
+  // Wire compression of bulk peer-fetch payloads: the traffic table must
+  // account what a real transport would move, so compress before
+  // recording. Kept only when it actually shrinks the payload; the
+  // requester's load pipeline decompresses (CacheData::compressed).
+  if (auto* data = std::get_if<CacheData>(&body)) {
+    if (config_.compress_threshold > 0 && !data->compressed &&
+        data->bytes.size() >= config_.compress_threshold) {
+      ByteBuffer packed = lz_compress(data->bytes);
+      if (packed.size() < data->bytes.size()) {
+        data->bytes = std::move(packed);
+        data->compressed = true;
+      }
+    }
+    payload_bytes = data->bytes.size();
   }
   {
     std::scoped_lock lock(counters_mutex_);

@@ -54,10 +54,14 @@ struct CacheProbe {
 };
 
 /// Candidate → requester: the host-level item payload, found at 1-based
-/// `hop` of the chain.
+/// `hop` of the chain. Large payloads may be lz-compressed by the
+/// transport (see InProcessTransport::Config::compress_threshold); the
+/// flag rides along so the requester's load pipeline can decompress on a
+/// runtime thread.
 struct CacheData {
   ItemId item = 0;
   std::uint32_t hop = 0;
+  bool compressed = false;
   runtime::HostBuffer bytes;
 };
 
@@ -129,6 +133,12 @@ class InProcessTransport final : public Transport {
     /// Wire size charged per message envelope (matches the simulated
     /// fabric's control_message_size so traffic tables line up).
     Bytes control_message_size = 128;
+
+    /// Peer-fetch payloads at or above this size are lz-compressed before
+    /// delivery, and the traffic table records the compressed byte count
+    /// (what a wire transport would actually move). Compression is kept
+    /// only when it shrinks the payload. 0 disables.
+    Bytes compress_threshold = 64_KiB;
   };
 
   explicit InProcessTransport(std::uint32_t num_nodes)

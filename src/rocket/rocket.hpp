@@ -32,6 +32,7 @@
 //     traffic reports use the same net::Tag taxonomy as the live mesh.
 
 #include "apps/app_model.hpp"
+#include "cache/sharded_slot_cache.hpp"
 #include "cache/slot_cache.hpp"
 #include "cluster/experiments.hpp"
 #include "cluster/sim_cluster.hpp"

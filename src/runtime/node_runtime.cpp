@@ -8,6 +8,9 @@
 #include <thread>
 #include <vector>
 
+#include "cache/sharded_slot_cache.hpp"
+#include "common/compress.hpp"
+#include "common/freelist.hpp"
 #include "common/log.hpp"
 #include "common/queue.hpp"
 
@@ -45,11 +48,12 @@ void drain(MpmcQueue<Task>& queue) {
 struct Engine;
 
 /// Per-device state: virtual GPU, device-level cache + buffers, and the
-/// three dedicated threads' queues (kernel, H2D, D2H).
+/// three dedicated threads' queues (kernel, H2D, D2H). The cache is a
+/// sharded concurrent cache — it owns its own (per-shard) locking, so the
+/// runtime calls it directly from any thread.
 struct DeviceState {
   gpu::VirtualDevice vdev;
-  std::unique_ptr<cache::SlotCache> cache;
-  std::mutex cache_mutex;
+  std::unique_ptr<cache::ShardedSlotCache> cache;
   std::vector<gpu::DeviceBuffer> slots;
   MpmcQueue<Task> gpu_q, h2d_q, d2h_q;
   std::size_t gpu_lane = 0, h2d_lane = 0, d2h_lane = 0;
@@ -75,8 +79,7 @@ struct Engine {
   Profiler profiler;
 
   std::vector<std::unique_ptr<DeviceState>> devices;
-  std::unique_ptr<cache::SlotCache> host_cache;  // null if disabled
-  std::mutex host_mutex;
+  std::unique_ptr<cache::ShardedSlotCache> host_cache;  // null if disabled
   std::vector<HostBuffer> host_slots;
 
   MpmcQueue<Task> io_q;
@@ -94,7 +97,12 @@ struct Engine {
   std::atomic<std::uint64_t> loads{0};
   std::atomic<std::uint64_t> peer_loads{0};
   std::atomic<std::uint64_t> tiles{0};
-  std::mutex result_mutex;
+
+  /// Completed results flow through this queue to one dedicated consumer
+  /// thread, which is the only caller of on_result — compare/postprocess
+  /// threads just enqueue (a tile flushes its whole buffer in one bulk
+  /// push) and never serialize on the user callback.
+  MpmcQueue<PairResult> result_q;
 
   /// Cluster peer-fetch hook (mesh runs only; null single-node).
   PeerFetchClient* peer_fetch = nullptr;
@@ -103,14 +111,17 @@ struct Engine {
   // per-load heap churn: the pooled ByteBuffer/HostBuffer keep their
   // capacity across loads, and every pipeline stage captures only the raw
   // LoadOp pointer (small enough for std::function's inline storage).
-  std::mutex load_pool_mutex;
-  std::vector<std::unique_ptr<LoadOp>> load_pool;
+  // Lock-free Treiber stack: one CAS per make/recycle instead of a shared
+  // pool mutex on every load.
+  TreiberFreelist<LoadOp> load_pool;
 
   Engine(const NodeRuntime::Config& config, const Application& application,
          storage::ObjectStore& object_store,
          const NodeRuntime::ResultFn& result_fn)
       : cfg(config), app(application), store(object_store),
         on_result(result_fn), profiler(config.trace) {}
+
+  ~Engine();
 
   /// Defer a continuation out of a cache-callback context (callbacks run
   /// under the cache mutex; continuations must not re-enter it inline).
@@ -140,6 +151,7 @@ struct LoadOp {
   Engine* eng = nullptr;
   DeviceState* dev = nullptr;
   LoadClient* client = nullptr;
+  std::atomic<LoadOp*> free_next{nullptr};  // freelist linkage while pooled
   ItemId item = 0;
   cache::SlotId dslot = cache::kInvalidSlot;  // device WRITE slot (ours)
   cache::SlotId hslot = cache::kInvalidSlot;  // host WRITE slot, if any
@@ -147,17 +159,14 @@ struct LoadOp {
   HostBuffer parsed;
 };
 
+Engine::~Engine() {
+  load_pool.drain([](LoadOp* op) { delete op; });
+}
+
 LoadOp* Engine::make_load(DeviceState& dev, ItemId item, cache::SlotId dslot,
                           LoadClient* client) {
-  std::unique_ptr<LoadOp> op;
-  {
-    std::scoped_lock lock(load_pool_mutex);
-    if (!load_pool.empty()) {
-      op = std::move(load_pool.back());
-      load_pool.pop_back();
-    }
-  }
-  if (!op) op = std::make_unique<LoadOp>();
+  LoadOp* op = load_pool.try_pop();
+  if (op == nullptr) op = new LoadOp();
   op->eng = this;
   op->dev = &dev;
   op->client = client;
@@ -166,14 +175,12 @@ LoadOp* Engine::make_load(DeviceState& dev, ItemId item, cache::SlotId dslot,
   op->hslot = cache::kInvalidSlot;
   op->file.clear();
   op->parsed.clear();
-  return op.release();
+  return op;
 }
 
 void Engine::recycle_load(LoadOp* op) {
-  std::unique_ptr<LoadOp> owned(op);
-  owned->client = nullptr;
-  std::scoped_lock lock(load_pool_mutex);
-  load_pool.push_back(std::move(owned));
+  op->client = nullptr;
+  load_pool.push(op);
 }
 
 // --- shared load pipeline ------------------------------------------------
@@ -216,12 +223,8 @@ void finish_load(LoadOp* op) {
 /// kFailed and re-drive their own loads) and notify the client.
 void fail_load(LoadOp* op, const char* what) {
   ROCKET_ERROR("load of item %u failed: %s", op->item, what);
-  {
-    std::scoped_lock lock(op->dev->cache_mutex);
-    op->dev->cache->abort(op->dslot);
-  }
+  op->dev->cache->abort(op->dslot);
   if (op->hslot != cache::kInvalidSlot && op->eng->host_cache) {
-    std::scoped_lock lock(op->eng->host_mutex);
     op->eng->host_cache->abort(op->hslot);
   }
   LoadClient* client = op->client;
@@ -246,21 +249,12 @@ void stage_h2d_from_host(LoadOp* op, cache::SlotId host_read_slot) {
       std::fill(buffer.data() + src.size(), buffer.data() + buffer.size(),
                 std::uint8_t{0});
     } catch (const std::exception& e) {
-      {
-        std::scoped_lock lock(eng.host_mutex);
-        eng.host_cache->release(host_read_slot);
-      }
+      eng.host_cache->release(host_read_slot);
       fail_load(op, e.what());
       return;
     }
-    {
-      std::scoped_lock lock(dev.cache_mutex);
-      dev.cache->publish(op->dslot);
-    }
-    {
-      std::scoped_lock lock(eng.host_mutex);
-      eng.host_cache->release(host_read_slot);
-    }
+    dev.cache->publish(op->dslot);
+    eng.host_cache->release(host_read_slot);
     finish_load(op);
   });
 }
@@ -275,25 +269,40 @@ void start_host_fill(LoadOp* op) {
     run_load(op);
     return;
   }
-  eng.peer_fetch->fetch(op->item, [op](HostBuffer data) {
-    // Possibly on a mesh service thread: hand off to the control lane so
-    // the pipeline continues on runtime threads only.
-    op->eng->post_control([op, data = std::move(data)]() mutable {
-      if (data.empty()) {
+  // The completion may arrive on a mesh service thread, which outlives
+  // this engine. Hold the in-flight gauge across the callback so run_impl
+  // cannot tear the engine down while the handoff (the queue push below)
+  // is still on the mesh thread's stack.
+  eng.done->count_up();
+  eng.peer_fetch->fetch(op->item, [op](PeerPayload payload) {
+    Engine& engine = *op->eng;
+    // Hand off to the control lane so the pipeline continues on runtime
+    // threads only (decompression of a wire-compressed payload included —
+    // CPU-pool work, not mesh work).
+    engine.post_control([op, payload = std::move(payload)]() mutable {
+      if (payload.empty()) {
         run_load(op);
         return;
+      }
+      if (payload.compressed) {
+        try {
+          payload.bytes = lz_decompress(payload.bytes);
+        } catch (const std::exception& e) {
+          ROCKET_ERROR("peer payload for item %u corrupt: %s", op->item,
+                       e.what());
+          run_load(op);  // degrade to the local-load path, never wedge
+          return;
+        }
       }
       Engine& eng = *op->eng;
       eng.peer_loads.fetch_add(1, std::memory_order_relaxed);
       const cache::SlotId hslot = op->hslot;
       op->hslot = cache::kInvalidSlot;
-      eng.host_slots[hslot] = std::move(data);
-      {
-        std::scoped_lock lock(eng.host_mutex);
-        eng.host_cache->publish(hslot);  // keeps the writer's read pin
-      }
+      eng.host_slots[hslot] = std::move(payload.bytes);
+      eng.host_cache->publish(hslot);  // keeps the writer's read pin
       stage_h2d_from_host(op, hslot);
     });
+    engine.done->count_down();  // handoff complete: engine may wind down
   });
 }
 
@@ -321,13 +330,11 @@ void begin_fill(LoadOp* op) {
     run_load(op);
     return;
   }
-  Grant grant;
-  {
-    std::scoped_lock lock(op->eng->host_mutex);
-    grant = op->eng->host_cache->acquire(op->item, [op](Grant g) {
-      op->eng->post_control([op, g] { handle_host_grant(op, g); });
-    });
-  }
+  // Queued-grant callbacks fire under the owning shard's mutex: defer.
+  const Grant grant =
+      op->eng->host_cache->acquire(op->item, [op](Grant g) {
+        op->eng->post_control([op, g] { handle_host_grant(op, g); });
+      });
   if (grant.outcome != Outcome::kQueued) handle_host_grant(op, grant);
 }
 
@@ -381,10 +388,7 @@ void run_load(LoadOp* op) {
             fail_load(op, e.what());
             return;
           }
-          {
-            std::scoped_lock lock(dev.cache_mutex);
-            dev.cache->publish(op->dslot);
-          }
+          dev.cache->publish(op->dslot);
           if (op->hslot != cache::kInvalidSlot) {
             dev.d2h_q.push([op] {
               Engine& eng = *op->eng;
@@ -395,11 +399,8 @@ void run_load(LoadOp* op) {
                 eng.host_slots[op->hslot].assign(buf.data(),
                                                  buf.data() + buf.size());
               }
-              {
-                std::scoped_lock lock(eng.host_mutex);
-                eng.host_cache->publish(op->hslot);
-                eng.host_cache->release(op->hslot);
-              }
+              eng.host_cache->publish(op->hslot);
+              eng.host_cache->release(op->hslot);
               finish_load(op);
             });
           } else {
@@ -437,14 +438,10 @@ struct Job final : LoadClient {
       compare();
       return;
     }
-    Grant grant;
-    {
-      std::scoped_lock lock(dev.cache_mutex);
-      grant = dev.cache->acquire(items[next_pin], [this](Grant g) {
-        // Invoked under dev.cache_mutex from publish/release: defer.
-        eng.post_control([this, g] { handle_grant(g); });
-      });
-    }
+    // Queued grants fire under the owning shard's mutex: defer.
+    const Grant grant = dev.cache->acquire(items[next_pin], [this](Grant g) {
+      eng.post_control([this, g] { handle_grant(g); });
+    });
     if (grant.outcome != Outcome::kQueued) handle_grant(grant);
   }
 
@@ -491,15 +488,9 @@ struct Job final : LoadClient {
       eng.cpu_q.push(CpuTask{TaskKind::kPostprocess, [this, score] {
         const double final_score =
             eng.app.postprocess(items[0], items[1], score);
-        {
-          std::scoped_lock lock(eng.result_mutex);
-          eng.on_result(PairResult{items[0], items[1], final_score});
-        }
-        {
-          std::scoped_lock lock(dev.cache_mutex);
-          dev.cache->release(pins[0]);
-          dev.cache->release(pins[1]);
-        }
+        eng.result_q.push(PairResult{items[0], items[1], final_score});
+        dev.cache->release(pins[0]);
+        dev.cache->release(pins[1]);
         dev.pairs.fetch_add(1, std::memory_order_relaxed);
         eng.job_limits[worker]->release();
         eng.done->count_down();
@@ -512,17 +503,11 @@ struct Job final : LoadClient {
   /// the run always terminates (paper leaves fault tolerance to future
   /// work; we guarantee no hangs and surface the failure in the result).
   void fail_pair() {
-    {
-      std::scoped_lock lock(dev.cache_mutex);
-      for (int k = 0; k < next_pin; ++k) {
-        if (pins[k] != cache::kInvalidSlot) dev.cache->release(pins[k]);
-      }
+    for (int k = 0; k < next_pin; ++k) {
+      if (pins[k] != cache::kInvalidSlot) dev.cache->release(pins[k]);
     }
-    {
-      std::scoped_lock lock(eng.result_mutex);
-      eng.on_result(PairResult{items[0], items[1],
-                               std::numeric_limits<double>::quiet_NaN()});
-    }
+    eng.result_q.push(PairResult{items[0], items[1],
+                                 std::numeric_limits<double>::quiet_NaN()});
     // Failed pairs still count as processed by this device (the tile path
     // counts every emitted result), so per-device accounting always sums
     // to Report.pairs in both modes.
@@ -572,14 +557,12 @@ struct TileJob final : LoadClient {
   void start() {
     remaining.store(static_cast<std::uint32_t>(items.size()),
                     std::memory_order_relaxed);
-    std::vector<Grant> grants;
-    {
-      std::scoped_lock lock(dev.cache_mutex);
-      grants = dev.cache->acquire_batch(items, [this](std::size_t k, Grant g) {
-        // Fires under dev.cache_mutex from publish/abort/release: defer.
-        eng.post_control([this, k, g] { handle_grant(k, g); });
-      });
-    }
+    // One grouped pass: lock-free pins first, then one lock acquisition
+    // per shard touched. Queued grants fire under a shard mutex: defer.
+    std::vector<Grant> grants =
+        dev.cache->acquire_batch(items, [this](std::size_t k, Grant g) {
+          eng.post_control([this, k, g] { handle_grant(k, g); });
+        });
     for (std::size_t k = 0; k < grants.size(); ++k) {
       if (grants[k].outcome != Outcome::kQueued) handle_grant(k, grants[k]);
     }
@@ -604,13 +587,9 @@ struct TileJob final : LoadClient {
 
   /// Another tile's writer aborted under us: retry this single item.
   void re_acquire(std::size_t k) {
-    Grant grant;
-    {
-      std::scoped_lock lock(dev.cache_mutex);
-      grant = dev.cache->acquire(items[k], [this, k](Grant g) {
-        eng.post_control([this, k, g] { handle_grant(k, g); });
-      });
-    }
+    const Grant grant = dev.cache->acquire(items[k], [this, k](Grant g) {
+      eng.post_control([this, k, g] { handle_grant(k, g); });
+    });
     if (grant.outcome != Outcome::kQueued) handle_grant(k, grant);
   }
 
@@ -665,8 +644,9 @@ struct TileJob final : LoadClient {
     });
   }
 
-  /// Post-process on the CPU pool, flush the tile's results in one locked
-  /// batch, release every pin under one cache-mutex acquisition.
+  /// Post-process on the CPU pool, hand the tile's buffered results to
+  /// the result consumer in one bulk queue push, release every pin in one
+  /// batched (per-shard) pass.
   void finish() {
     // Failed pairs keep their NaN sentinel (matching Job::fail_pair);
     // every successful compare goes through postprocess, even if the
@@ -678,19 +658,17 @@ struct TileJob final : LoadClient {
         r.score = eng.app.postprocess(r.left, r.right, r.score);
       }
     }
-    {
-      std::scoped_lock lock(eng.result_mutex);
-      for (const auto& r : results) eng.on_result(r);
-    }
-    {
-      std::scoped_lock lock(dev.cache_mutex);
-      for (std::size_t k = 0; k < items.size(); ++k) {
-        if (!load_failed[k] && slots[k] != cache::kInvalidSlot) {
-          dev.cache->release(slots[k]);
-        }
+    const std::size_t flushed = results.size();
+    eng.result_q.push_bulk(results);
+    std::vector<cache::SlotId> pins;
+    pins.reserve(items.size());
+    for (std::size_t k = 0; k < items.size(); ++k) {
+      if (!load_failed[k] && slots[k] != cache::kInvalidSlot) {
+        pins.push_back(slots[k]);
       }
     }
-    dev.pairs.fetch_add(results.size(), std::memory_order_relaxed);
+    dev.cache->release_batch(pins);
+    dev.pairs.fetch_add(flushed, std::memory_order_relaxed);
     eng.tiles.fetch_add(1, std::memory_order_relaxed);
     eng.done->count_down(static_cast<std::size_t>(pair_count));
     eng.job_limits[worker]->release();
@@ -716,26 +694,19 @@ void submit_tile(Engine& eng, const dnc::Region& region,
 }
 
 /// Non-disruptive host-cache read access served to remote requesters by
-/// the mesh layer (§4.1.3 probe semantics). The read pin taken under the
-/// host mutex keeps the buffer stable for the copy outside it.
+/// the mesh layer (§4.1.3 probe semantics). The read pin keeps the buffer
+/// stable for the copy; with sharding, a probe of an already-pinned item
+/// is two CASes and no mutex at all.
 struct HostProbe final : HostCacheProbe {
   Engine& eng;
   explicit HostProbe(Engine& engine) : eng(engine) {}
 
   bool probe(ItemId item, HostBuffer& out) override {
-    cache::SlotId slot;
-    {
-      std::scoped_lock lock(eng.host_mutex);
-      if (!eng.host_cache) return false;
-      const auto pin = eng.host_cache->try_pin(item);
-      if (!pin) return false;
-      slot = *pin;
-    }
-    out = eng.host_slots[slot];
-    {
-      std::scoped_lock lock(eng.host_mutex);
-      eng.host_cache->release(slot);
-    }
+    if (!eng.host_cache) return false;
+    const auto pin = eng.host_cache->try_pin(item);
+    if (!pin) return false;
+    out = eng.host_slots[*pin];
+    eng.host_cache->release(*pin);
     return true;
   }
 };
@@ -768,12 +739,22 @@ NodeRuntime::Report NodeRuntime::run_impl(const Application& app,
   // down, waited on once submission has finished.
   eng.done = std::make_unique<CountdownLatch>(0);
 
+  // Cache sharding degree: explicit, or min(16, hardware threads). Every
+  // cache clamps further so each shard keeps at least two slots, and the
+  // device caches clamp to preserve the batched-pinning invariant below.
+  const std::uint32_t hw_threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  const std::uint32_t shards_requested =
+      config_.cache_shards != 0 ? config_.cache_shards
+                                : std::min(16u, hw_threads);
+
   // Host cache.
   const auto host_slots =
       cache::slots_for_capacity(config_.host_cache_capacity, app.slot_size(), n);
   if (host_slots > 0) {
-    eng.host_cache = std::make_unique<cache::SlotCache>(
-        cache::SlotCache::Config{host_slots, app.slot_size(), "host"});
+    eng.host_cache = std::make_unique<cache::ShardedSlotCache>(
+        cache::ShardedSlotCache::Config{host_slots, app.slot_size(), "host",
+                                        shards_requested, n});
     eng.host_slots.resize(host_slots);
   }
 
@@ -791,8 +772,19 @@ NodeRuntime::Report NodeRuntime::run_impl(const Application& app,
                              : spec.cache_capacity();
     const auto slots = std::max(
         2u, cache::slots_for_capacity(budget, app.slot_size(), n));
-    dev->cache = std::make_unique<cache::SlotCache>(
-        cache::SlotCache::Config{slots, app.slot_size(), "device"});
+    // Deadlock-freedom with sharding (DESIGN.md §10): item hashing can in
+    // the worst case land every pin of every in-flight job in ONE shard,
+    // so the per-shard slot supply must cover the whole concurrent pin
+    // demand. Clamp the shard count so each shard holds at least two pins
+    // per in-flight job, then rederive the job limit and tile budget from
+    // the smallest shard instead of the whole cache.
+    const auto limit0 = std::min(config_.job_limit_per_worker,
+                                 std::max<std::uint32_t>(1, slots / 2));
+    const std::uint32_t dev_shards = std::min(
+        shards_requested, std::max(1u, slots / std::max(2u, 2 * limit0)));
+    dev->cache = std::make_unique<cache::ShardedSlotCache>(
+        cache::ShardedSlotCache::Config{slots, app.slot_size(), "device",
+                                        dev_shards, n});
     dev->slots.resize(slots);
     if (config_.emulate_heterogeneity && spec.relative_speed > 0.0) {
       dev->stretch = max_speed / spec.relative_speed - 1.0;
@@ -802,13 +794,16 @@ NodeRuntime::Report NodeRuntime::run_impl(const Application& app,
     dev->h2d_lane = eng.profiler.add_lane("h2d" + std::to_string(d));
     dev->d2h_lane = eng.profiler.add_lane("d2h" + std::to_string(d));
 
-    const auto max_jobs = std::max<std::uint32_t>(1, slots / 2);
-    const auto limit = std::min(config_.job_limit_per_worker, max_jobs);
+    const auto min_shard = dev->cache->min_shard_slots();
+    const auto limit =
+        std::min(limit0, std::max<std::uint32_t>(1, min_shard / 2));
     if (config_.tile_batching) {
-      // `limit` tiles in flight, each pinning at most slots/limit items:
-      // concurrent pin demand can never exceed the slot supply, so batched
-      // pinning cannot deadlock (see DESIGN.md §6).
-      dev->tile_ws_budget = std::max(2u, slots / std::max(1u, limit));
+      // `limit` tiles in flight, each pinning at most min_shard/limit
+      // items: concurrent pin demand can never exceed the slot supply of
+      // any single shard, so batched pinning cannot deadlock even if a
+      // whole working set hashes into one shard (DESIGN.md §6, §10).
+      dev->tile_ws_budget =
+          std::max(2u, min_shard / std::max(1u, limit));
     }
     eng.devices.push_back(std::move(dev));
     eng.job_limits.push_back(std::make_unique<Semaphore>(limit));
@@ -839,9 +834,19 @@ NodeRuntime::Report NodeRuntime::run_impl(const Application& app,
     }
   }
 
-  // Resource threads (§4.3): I/O, CPU pool, and per-device GPU/H2D/D2H.
+  // Resource threads (§4.3): I/O, CPU pool, per-device GPU/H2D/D2H, and
+  // the single result consumer — the only thread that ever calls the user
+  // callback, so result delivery stays serialised without a lock on the
+  // compare/postprocess path.
   std::vector<std::thread> threads;
   threads.emplace_back([&eng] { drain(eng.io_q); });
+  threads.emplace_back([&eng] {
+    for (;;) {
+      auto batch = eng.result_q.pop_bulk(64);
+      if (batch.empty()) return;
+      for (const auto& r : batch) eng.on_result(r);
+    }
+  });
   for (std::uint32_t c = 0; c < config_.cpu_threads; ++c) {
     threads.emplace_back([&eng, c] {
       const std::size_t lane = eng.cpu_lanes[c];
@@ -919,6 +924,7 @@ NodeRuntime::Report NodeRuntime::run_impl(const Application& app,
 
   eng.io_q.close();
   eng.cpu_q.close();
+  eng.result_q.close();  // all producers have counted down: safe to drain
   for (auto& dev : eng.devices) {
     dev->gpu_q.close();
     dev->h2d_q.close();
@@ -940,10 +946,14 @@ NodeRuntime::Report NodeRuntime::run_impl(const Application& app,
   report.reuse_factor =
       n > 0 ? static_cast<double>(report.loads) / static_cast<double>(n) : 0.0;
   report.wall_seconds = wall;
-  if (eng.host_cache) report.host_cache = eng.host_cache->stats();
+  if (eng.host_cache) {
+    report.host_cache = eng.host_cache->stats();
+    report.cache_fast_hits += eng.host_cache->fast_hits();
+  }
   for (const auto& dev : eng.devices) {
     report.device_caches.push_back(dev->cache->stats());
     report.pairs_per_device.push_back(dev->pairs.load());
+    report.cache_fast_hits += dev->cache->fast_hits();
   }
   report.steal = steal_stats;
   report.lane_busy = eng.profiler.busy_per_lane();

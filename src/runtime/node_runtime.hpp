@@ -81,6 +81,14 @@ class NodeRuntime {
 
     std::uint32_t cpu_threads = 2;
 
+    /// Shard count for the host and device software caches
+    /// (cache::ShardedSlotCache). 0 = auto: min(16, hardware threads).
+    /// 1 reproduces the historical single-lock policy exactly (the
+    /// simulator/paper-replay escape hatch). Device caches may be clamped
+    /// further so the batched-pinning deadlock-freedom invariant holds
+    /// per shard (see DESIGN.md §10).
+    std::uint32_t cache_shards = 0;
+
     /// Concurrent jobs per worker (§4.2); clamped to half the device
     /// slot count so two pins per job can never wedge allocation. In
     /// tile-batched mode this counts *tiles* in flight, and each tile's
@@ -115,8 +123,13 @@ class NodeRuntime {
     std::uint64_t peer_loads = 0;   // loads served from a peer's host cache
     double reuse_factor = 0.0;      // loads / n
     double wall_seconds = 0.0;
-    cache::CacheStats host_cache;
-    std::vector<cache::CacheStats> device_caches;
+    cache::CacheStats host_cache;   // merged over host-cache shards
+    std::vector<cache::CacheStats> device_caches;  // merged per device
+    /// Read pins granted by the shards' lock-free fast path, host +
+    /// devices. Counts both acquire hits (folded into the hit totals
+    /// above) and remote probe pins (counted in the probe counters, not
+    /// in hits). 0 when cache_shards == 1.
+    std::uint64_t cache_fast_hits = 0;
     std::vector<std::uint64_t> pairs_per_device;
     steal::ExecutorStats steal;
     std::vector<std::pair<std::string, double>> lane_busy;

@@ -13,6 +13,17 @@
 
 namespace rocket::runtime {
 
+/// Payload of a successful peer fetch. The transport may compress large
+/// payloads on the wire (mesh::Transport, above its size threshold); the
+/// `compressed` flag survives delivery so the loader's peer stage can run
+/// lz_decompress on a runtime thread instead of the mesh service thread.
+struct PeerPayload {
+  HostBuffer bytes;
+  bool compressed = false;
+
+  bool empty() const { return bytes.empty(); }
+};
+
 /// Requester side of the distributed cache (§4.1.3): asked for an item on
 /// a host-cache miss, before the object-store load pipeline runs.
 class PeerFetchClient {
@@ -20,10 +31,11 @@ class PeerFetchClient {
   virtual ~PeerFetchClient() = default;
 
   /// Completion callback: the parsed, pre-processed (host-level) bytes of
-  /// the item, or empty on a distributed-cache miss or any peer failure.
+  /// the item (possibly still wire-compressed, see PeerPayload), or an
+  /// empty payload on a distributed-cache miss or any peer failure.
   /// Invoked exactly once, possibly inline, possibly on a mesh service
   /// thread — the runtime re-posts onto its own queues before continuing.
-  using DoneFn = std::function<void(HostBuffer)>;
+  using DoneFn = std::function<void(PeerPayload)>;
 
   /// Asynchronously try to obtain `item` from a peer's host cache. Must
   /// never block the caller beyond bounded bookkeeping, and must always

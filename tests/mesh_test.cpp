@@ -12,6 +12,7 @@
 #include <mutex>
 
 #include "apps/forensics.hpp"
+#include "common/compress.hpp"
 #include "mesh/live_cluster.hpp"
 #include "mesh/mesh_node.hpp"
 #include "mesh/transport.hpp"
@@ -32,7 +33,8 @@ TEST(InProcessTransport, DeliversTypedMessagesAndCounts) {
                              CacheRequest{7, 0}));
   runtime::HostBuffer payload(1000, 0xAB);
   ASSERT_TRUE(transport.send(0, 1, net::Tag::kCacheData,
-                             CacheData{7, 1, payload}, payload.size()));
+                             CacheData{7, 1, false, payload},
+                             payload.size()));
 
   auto first = transport.recv(1);
   ASSERT_TRUE(first.has_value());
@@ -56,6 +58,40 @@ TEST(InProcessTransport, DeliversTypedMessagesAndCounts) {
 
   transport.close();
   EXPECT_FALSE(transport.recv(0).has_value());
+}
+
+TEST(InProcessTransport, CompressesLargePeerPayloadsOnTheWire) {
+  InProcessTransport::Config tc;
+  tc.control_message_size = 128;
+  tc.compress_threshold = 1_KiB;
+  InProcessTransport transport(2, tc);
+
+  // Highly compressible payload above the threshold: must arrive
+  // compressed, with the traffic table charging the compressed bytes.
+  runtime::HostBuffer big(32 * 1024, 0x5A);
+  ASSERT_TRUE(transport.send(0, 1, net::Tag::kCacheData,
+                             CacheData{3, 1, false, big}, big.size()));
+  auto msg = transport.recv(1);
+  ASSERT_TRUE(msg.has_value());
+  auto& data = std::get<CacheData>(msg->body);
+  EXPECT_TRUE(data.compressed);
+  EXPECT_LT(data.bytes.size(), big.size());
+  EXPECT_EQ(lz_decompress(data.bytes), big);
+
+  const auto& tag =
+      transport.counters().per_tag[static_cast<std::size_t>(
+          net::Tag::kCacheData)];
+  EXPECT_EQ(tag.bytes, data.bytes.size() + tc.control_message_size);
+
+  // Below the threshold: delivered verbatim.
+  runtime::HostBuffer small(64, 0x5A);
+  ASSERT_TRUE(transport.send(0, 1, net::Tag::kCacheData,
+                             CacheData{4, 1, false, small}, small.size()));
+  msg = transport.recv(1);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_FALSE(std::get<CacheData>(msg->body).compressed);
+  EXPECT_EQ(std::get<CacheData>(msg->body).bytes, small);
+  transport.close();
 }
 
 TEST(InProcessTransport, DownNodeRejectsSends) {
@@ -107,12 +143,14 @@ struct Harness {
     for (auto& node : nodes) node->join();
   }
 
-  /// Synchronous fetch: empty buffer = distributed-cache miss.
+  /// Synchronous fetch: empty buffer = distributed-cache miss. Undoes
+  /// wire compression like the runtime's peer stage would.
   runtime::HostBuffer fetch(NodeId node, ItemId item) {
     std::promise<runtime::HostBuffer> promise;
     auto future = promise.get_future();
-    nodes[node]->fetch(item, [&promise](runtime::HostBuffer bytes) {
-      promise.set_value(std::move(bytes));
+    nodes[node]->fetch(item, [&promise](runtime::PeerPayload payload) {
+      promise.set_value(payload.compressed ? lz_decompress(payload.bytes)
+                                           : std::move(payload.bytes));
     });
     return future.get();
   }
@@ -245,6 +283,10 @@ TEST(LiveCluster, FourNodeForensicsMatchesSingleNodeExactly) {
   cfg.node.devices = {gpu::titanx_maxwell()};
   cfg.node.host_cache_capacity = 64_MiB;
   cfg.node.cpu_threads = 2;
+  // Force multi-shard caches (with their lock-free fast path) regardless
+  // of the host's core count: the exact-multiset guarantee must hold with
+  // sharding enabled.
+  cfg.node.cache_shards = 4;
   LiveCluster cluster(cfg);
 
   // The master callback is serialised on the mesh service thread — no
@@ -324,6 +366,82 @@ TEST(LiveCluster, FailedPeerChainsFallBackToStoreInBothModes) {
     EXPECT_GT(report.peer_cache.chain_misses, 0u);
     EXPECT_GT(report.loads, 0u);
   }
+}
+
+/// Items whose parsed form is highly compressible — exercises the wire
+/// compression of peer-fetch payloads end-to-end (compress in transport,
+/// decompress in the requester's load pipeline).
+class CompressibleApp final : public runtime::Application {
+ public:
+  CompressibleApp(std::uint32_t n, storage::MemoryStore& store) : n_(n) {
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      ByteBuffer bytes(kItemBytes, static_cast<std::uint8_t>(i % 5));
+      store.put(file_name(i), std::move(bytes));
+    }
+  }
+
+  std::string name() const override { return "compressible"; }
+  std::uint32_t item_count() const override { return n_; }
+  std::string file_name(runtime::ItemId item) const override {
+    return "cmp_" + std::to_string(item);
+  }
+  void parse(runtime::ItemId, const ByteBuffer& file,
+             runtime::HostBuffer& out) const override {
+    out.assign(file.begin(), file.end());
+  }
+  double compare(runtime::ItemId left, const gpu::DeviceBuffer& left_data,
+                 runtime::ItemId right,
+                 const gpu::DeviceBuffer& right_data) const override {
+    return static_cast<double>(left_data.data()[0]) * 31.0 +
+           static_cast<double>(right_data.data()[0]) +
+           static_cast<double>(left) * 1e-3 +
+           static_cast<double>(right) * 1e-6;
+  }
+  Bytes slot_size() const override { return kItemBytes; }
+
+ private:
+  static constexpr std::size_t kItemBytes = 16 * 1024;
+  std::uint32_t n_;
+};
+
+TEST(LiveCluster, PeerFetchPayloadsCompressOnTheWire) {
+  storage::MemoryStore store;
+  CompressibleApp app(12, store);
+
+  runtime::NodeRuntime::Config ncfg;
+  ncfg.devices = {gpu::titanx_maxwell()};
+  ncfg.host_cache_capacity = 16_MiB;
+  ncfg.cpu_threads = 2;
+  ncfg.cache_shards = 4;
+  runtime::NodeRuntime reference(ncfg);
+  ResultMap expected;
+  std::mutex mutex;
+  reference.run(app, store, [&](const PairResult& r) {
+    std::scoped_lock lock(mutex);
+    expected[{r.left, r.right}] = r.score;
+  });
+
+  LiveClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.node = ncfg;
+  cfg.peer_compress_threshold = 1_KiB;  // well below the 16 KiB items
+  LiveCluster cluster(cfg);
+  ResultMap actual;
+  const auto report = cluster.run_all_pairs(
+      app, store,
+      [&](const PairResult& r) { actual[{r.left, r.right}] = r.score; });
+
+  // Decompression in the loader's peer stage is bit-faithful: scores are
+  // exact, and peer fetches actually happened.
+  EXPECT_EQ(actual, expected);
+  ASSERT_GT(report.peer_loads, 0u);
+
+  // Every delivered payload was compressed: the per-message average of
+  // the kCacheData traffic must be far below the raw slot size.
+  const auto& data = report.traffic.per_tag[static_cast<std::size_t>(
+      net::Tag::kCacheData)];
+  ASSERT_GT(data.messages, 0u);
+  EXPECT_LT(data.bytes / data.messages, app.slot_size() / 2);
 }
 
 TEST(LiveCluster, SingleNodeDegenerates) {

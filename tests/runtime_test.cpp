@@ -177,6 +177,63 @@ TEST(NodeRuntime, TileBatchingMatchesPerPairPath) {
   EXPECT_EQ(tile_report.pairs, pair_report.pairs);
 }
 
+TEST(NodeRuntime, ShardedCacheMatchesSingleLockPolicy) {
+  // shards=1 is the historical single-lock policy; shards=8 runs the
+  // sharded caches with their lock-free fast path. Result maps must be
+  // identical, and with an ample cache both load each item exactly once.
+  storage::MemoryStore store;
+  apps::ForensicsConfig cfg;
+  cfg.cameras = 3;
+  cfg.images_per_camera = 4;
+  cfg.width = 64;
+  cfg.height = 48;
+  cfg.seed = 17;
+  apps::ForensicsDataset dataset(cfg, store);
+  apps::ForensicsApplication app(dataset);
+
+  NodeRuntime::Config base;
+  base.devices = {gpu::titanx_maxwell()};
+  base.host_cache_capacity = 16_MiB;
+  base.cpu_threads = 4;
+  // 12 device slots at 2 jobs in flight shard the device cache 3 ways
+  // (the deadlock-freedom clamp allows slots / (2*jobs) shards); in-flight
+  // jobs overlap on shared items, which is what drives the fast path.
+  base.job_limit_per_worker = 2;
+
+  for (const bool tile_batching : {true, false}) {
+    SCOPED_TRACE(tile_batching ? "tile-batched" : "per-pair");
+    base.tile_batching = tile_batching;
+
+    NodeRuntime::Config single_cfg = base;
+    single_cfg.cache_shards = 1;
+    NodeRuntime single_rt(single_cfg);
+    NodeRuntime::Report single_report;
+    const ResultMap single_results =
+        collect(single_rt, app, store, &single_report);
+
+    NodeRuntime::Config sharded_cfg = base;
+    sharded_cfg.cache_shards = 8;
+    NodeRuntime sharded_rt(sharded_cfg);
+    NodeRuntime::Report sharded_report;
+    const ResultMap sharded_results =
+        collect(sharded_rt, app, store, &sharded_report);
+
+    ASSERT_EQ(single_results.size(), sharded_results.size());
+    for (const auto& [pair, score] : single_results) {
+      const auto it = sharded_results.find(pair);
+      ASSERT_NE(it, sharded_results.end());
+      EXPECT_EQ(it->second, score)
+          << "pair (" << pair.first << "," << pair.second << ")";
+    }
+    EXPECT_EQ(single_report.loads, app.item_count());
+    EXPECT_EQ(sharded_report.loads, app.item_count());
+    EXPECT_EQ(single_report.cache_fast_hits, 0u);
+    // Every item stays resident and repeatedly re-pinned: the sharded run
+    // must actually exercise the lock-free path.
+    EXPECT_GT(sharded_report.cache_fast_hits, 0u);
+  }
+}
+
 TEST(NodeRuntime, MultiDeviceSharesWork) {
   storage::MemoryStore store;
   apps::ForensicsConfig cfg;

@@ -1,0 +1,333 @@
+// ShardedSlotCache: shards=1 bit-compatibility with the single-threaded
+// SlotCache policy, hashed shard placement, the lock-free read fast path,
+// batched (shard-grouped) acquire/release, and a multi-threaded contention
+// stress run with per-shard invariant audits (exercised under TSAN in CI).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "cache/sharded_slot_cache.hpp"
+#include "cache/slot_cache.hpp"
+
+namespace rocket::cache {
+namespace {
+
+using Outcome = SlotCache::Outcome;
+using Grant = SlotCache::Grant;
+
+ShardedSlotCache::Config make_config(std::uint32_t slots,
+                                     std::uint32_t shards,
+                                     std::uint32_t max_items) {
+  return ShardedSlotCache::Config{slots, megabytes(1), "test", shards,
+                                  max_items};
+}
+
+TEST(ShardedSlotCache, ShardCountIsClampedToTwoSlotsPerShard) {
+  ShardedSlotCache tiny(make_config(4, 16, 100));
+  EXPECT_EQ(tiny.num_shards(), 2u);
+  EXPECT_EQ(tiny.num_slots(), 4u);
+  EXPECT_EQ(tiny.min_shard_slots(), 2u);
+
+  ShardedSlotCache wide(make_config(64, 8, 100));
+  EXPECT_EQ(wide.num_shards(), 8u);
+  EXPECT_EQ(wide.min_shard_slots(), 8u);
+}
+
+TEST(ShardedSlotCache, ItemAlwaysHashesToTheSameShardAndSpreads) {
+  ShardedSlotCache cache(make_config(64, 8, 256));
+  std::set<std::uint32_t> used;
+  for (ItemId i = 0; i < 256; ++i) {
+    const auto s = cache.shard_of(i);
+    EXPECT_EQ(s, cache.shard_of(i));
+    EXPECT_LT(s, cache.num_shards());
+    used.insert(s);
+  }
+  // 256 items over 8 shards: a hash that funnels everything into one or
+  // two shards would resurrect the global serialization point.
+  EXPECT_GE(used.size(), 6u);
+}
+
+// Drive an identical operation script through a bare SlotCache and a
+// shards=1 ShardedSlotCache and demand identical grants and identical
+// stats — the escape hatch the simulator-equivalence argument rests on.
+TEST(ShardedSlotCache, ShardsOneIsBitCompatibleWithSlotCache) {
+  SlotCache plain({4, megabytes(1), "plain"});
+  ShardedSlotCache sharded(make_config(4, 1, 16));
+
+  const auto step = [&](ItemId item) {
+    const Grant a = plain.acquire(item, [](Grant) {});
+    const Grant b = sharded.acquire(item, [](Grant) {});
+    ASSERT_EQ(a.outcome, b.outcome);
+    ASSERT_EQ(a.slot, b.slot);
+    if (a.outcome == Outcome::kFill) {
+      plain.publish(a.slot);
+      sharded.publish(b.slot);
+    }
+    if (a.outcome == Outcome::kHit || a.outcome == Outcome::kFill) {
+      plain.release(a.slot);
+      sharded.release(b.slot);
+    }
+  };
+  // Fills, hits, evictions, a probe, and an abort — the full stat surface.
+  for (const ItemId item : {0u, 1u, 2u, 3u, 0u, 1u, 4u, 5u, 6u, 2u, 0u}) {
+    step(item);
+  }
+  {
+    const auto a = plain.try_pin(9);
+    const auto b = sharded.try_pin(9);
+    EXPECT_EQ(a.has_value(), b.has_value());
+  }
+  {
+    const Grant a = plain.acquire(10, nullptr);
+    const Grant b = sharded.acquire(10, nullptr);
+    ASSERT_EQ(a.outcome, Outcome::kFill);
+    ASSERT_EQ(b.outcome, Outcome::kFill);
+    plain.abort(a.slot);
+    sharded.abort(b.slot);
+  }
+
+  const CacheStats sa = plain.stats();
+  const CacheStats sb = sharded.stats();
+  EXPECT_EQ(sa.hits, sb.hits);
+  EXPECT_EQ(sa.write_waits, sb.write_waits);
+  EXPECT_EQ(sa.fills, sb.fills);
+  EXPECT_EQ(sa.evictions, sb.evictions);
+  EXPECT_EQ(sa.alloc_stalls, sb.alloc_stalls);
+  EXPECT_EQ(sa.failures, sb.failures);
+  EXPECT_EQ(plain.probe_hits(), sharded.probe_hits());
+  EXPECT_EQ(plain.probe_misses(), sharded.probe_misses());
+  EXPECT_EQ(plain.resident_items(), sharded.resident_items());
+  EXPECT_EQ(sharded.fast_hits(), 0u);  // fast path is off at shards=1
+  plain.check_invariants();
+  sharded.check_invariants();
+}
+
+TEST(ShardedSlotCache, FastPathPinsAlreadyPinnedItemsWithoutTheLock) {
+  ShardedSlotCache cache(make_config(16, 4, 16));
+  std::vector<SlotId> base;
+  for (ItemId i = 0; i < 8; ++i) {
+    const Grant g = cache.acquire(i, nullptr);
+    ASSERT_EQ(g.outcome, Outcome::kFill);
+    cache.publish(g.slot);
+    base.push_back(g.slot);  // keep the writer pin: fast path eligible
+  }
+  EXPECT_EQ(cache.fast_hits(), 0u);
+  for (ItemId i = 0; i < 8; ++i) {
+    const Grant g = cache.acquire(i, nullptr);
+    ASSERT_EQ(g.outcome, Outcome::kHit);
+    EXPECT_EQ(g.slot, base[i]);
+    cache.release(g.slot);
+  }
+  EXPECT_EQ(cache.fast_hits(), 8u);
+  EXPECT_EQ(cache.stats().hits, 8u);  // fast hits fold into merged stats
+
+  // try_pin rides the same fast path and counts as a probe hit.
+  const auto pin = cache.try_pin(3);
+  ASSERT_TRUE(pin.has_value());
+  cache.release(*pin);
+  EXPECT_EQ(cache.probe_hits(), 1u);
+
+  // Unpinned items (policy readers == 0) must take the locked path — a
+  // lock-free pin there could race eviction.
+  for (const auto slot : base) cache.release(slot);
+  const auto before = cache.fast_hits();
+  const Grant g = cache.acquire(2, nullptr);
+  EXPECT_EQ(g.outcome, Outcome::kHit);
+  cache.release(g.slot);
+  EXPECT_EQ(cache.fast_hits(), before);
+  cache.check_invariants();
+}
+
+TEST(ShardedSlotCache, BatchAcquireAndReleaseSpanShards) {
+  ShardedSlotCache cache(make_config(32, 4, 64));
+  std::vector<ItemId> items;
+  for (ItemId i = 0; i < 12; ++i) items.push_back(i);
+
+  const auto grants = cache.acquire_batch(items, nullptr);
+  ASSERT_EQ(grants.size(), items.size());
+  std::vector<SlotId> slots;
+  for (const auto& g : grants) {
+    ASSERT_EQ(g.outcome, Outcome::kFill);  // cold cache: all fills
+    cache.publish(g.slot);
+    slots.push_back(g.slot);
+  }
+  EXPECT_EQ(cache.resident_items(), 12u);
+
+  // Second batch: all hits, slots stable, grants index-aligned.
+  const auto again = cache.acquire_batch(items, nullptr);
+  for (std::size_t k = 0; k < again.size(); ++k) {
+    EXPECT_EQ(again[k].outcome, Outcome::kHit);
+    EXPECT_EQ(again[k].slot, slots[k]);
+  }
+
+  std::vector<SlotId> all = slots;
+  all.insert(all.end(), slots.begin(), slots.end());
+  cache.release_batch(all);  // writer pins + batch pins in one pass
+  EXPECT_EQ(cache.resident_items(), 12u);
+  cache.check_invariants();
+}
+
+TEST(ShardedSlotCache, QueuedBatchEntriesResolveWithOriginalIndices) {
+  ShardedSlotCache cache(make_config(8, 2, 16));
+  // Make item 5 busy: a writer holds its slot in WRITE.
+  const Grant writer = cache.acquire(5, nullptr);
+  ASSERT_EQ(writer.outcome, Outcome::kFill);
+
+  std::vector<std::pair<std::size_t, Grant>> resolved;
+  const std::vector<ItemId> items = {1, 5, 2};
+  const auto grants = cache.acquire_batch(
+      items, [&](std::size_t k, Grant g) { resolved.push_back({k, g}); });
+  EXPECT_EQ(grants[0].outcome, Outcome::kFill);
+  EXPECT_EQ(grants[1].outcome, Outcome::kQueued);
+  EXPECT_EQ(grants[2].outcome, Outcome::kFill);
+
+  cache.publish(writer.slot);
+  ASSERT_EQ(resolved.size(), 1u);
+  EXPECT_EQ(resolved[0].first, 1u);  // the batch's index of item 5
+  EXPECT_EQ(resolved[0].second.outcome, Outcome::kHit);
+
+  cache.release(writer.slot);
+  cache.release(resolved[0].second.slot);
+  cache.publish(grants[0].slot);
+  cache.publish(grants[2].slot);
+  cache.release_batch({grants[0].slot, grants[2].slot});
+  cache.check_invariants();
+}
+
+// Many threads race hits, fills, aborts, probes and batched tile pins
+// across shards; afterwards every shard's policy invariants and the
+// fast-path word mirror must audit clean. Run under TSAN in CI.
+TEST(ShardedSlotCacheStress, ContentionAcrossShards) {
+  constexpr std::uint32_t kItems = 48;
+  constexpr std::uint32_t kSlots = 64;
+  constexpr unsigned kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  ShardedSlotCache cache(make_config(kSlots, 8, kItems));
+
+  // Queued grants resolve from inside another thread's publish/abort/
+  // release, with the shard mutex held — exactly like the runtime, the
+  // callback must not re-enter the cache. Park them here and settle after
+  // the workers join.
+  std::mutex late_mutex;
+  std::vector<Grant> late;
+  const auto park = [&](Grant g) {
+    std::scoped_lock lock(late_mutex);
+    late.push_back(g);
+  };
+
+  std::atomic<std::uint64_t> completed{0};
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      std::uint64_t rng = 0x9E3779B97F4A7C15ULL * (t + 1);
+      const auto next = [&rng] {
+        rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+        return rng >> 33;
+      };
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const auto kind = next() % 10;
+        if (kind < 6) {
+          // Pair-style access: pin two items (fill on miss, sometimes
+          // abort the fill), then release.
+          std::vector<SlotId> pins;
+          for (int p = 0; p < 2; ++p) {
+            const auto item = static_cast<ItemId>(next() % kItems);
+            const Grant g = cache.acquire(item, park);
+            if (g.outcome == Outcome::kFill) {
+              if (next() % 8 == 0) {
+                cache.abort(g.slot);
+              } else {
+                cache.publish(g.slot);
+                pins.push_back(g.slot);
+              }
+            } else if (g.outcome == Outcome::kHit) {
+              pins.push_back(g.slot);
+            }
+          }
+          for (const auto slot : pins) cache.release(slot);
+        } else if (kind < 8) {
+          // Tile-style batch over a small working set.
+          std::vector<ItemId> items;
+          const auto start = static_cast<ItemId>(next() % kItems);
+          for (ItemId i = 0; i < 4; ++i) {
+            items.push_back((start + i) % kItems);
+          }
+          std::sort(items.begin(), items.end());
+          items.erase(std::unique(items.begin(), items.end()), items.end());
+          const auto grants = cache.acquire_batch(
+              items, [&](std::size_t, Grant g) { park(g); });
+          std::vector<SlotId> pins;
+          for (const auto& g : grants) {
+            if (g.outcome == Outcome::kFill) {
+              cache.publish(g.slot);
+              pins.push_back(g.slot);
+            } else if (g.outcome == Outcome::kHit) {
+              pins.push_back(g.slot);
+            }
+          }
+          cache.release_batch(pins);
+        } else {
+          // Remote-style probe: non-disruptive pin + release.
+          const auto pin = cache.try_pin(static_cast<ItemId>(next() % kItems));
+          if (pin) cache.release(*pin);
+        }
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(completed.load(), kThreads * kOpsPerThread);
+
+  // Settle the parked grants: hits drop their pin, fills publish and
+  // drop. Settling can unblock further queued grants (the callbacks run
+  // inline now), so loop until the list drains.
+  for (;;) {
+    std::vector<Grant> batch;
+    {
+      std::scoped_lock lock(late_mutex);
+      batch.swap(late);
+    }
+    if (batch.empty()) break;
+    for (const auto& g : batch) {
+      if (g.outcome == Outcome::kHit) {
+        cache.release(g.slot);
+      } else if (g.outcome == Outcome::kFill) {
+        cache.publish(g.slot);
+        cache.release(g.slot);
+      }
+    }
+  }
+
+  cache.check_invariants();
+  const auto stats = cache.stats();
+  EXPECT_GT(stats.fills, 0u);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(cache.fast_hits(), 0u);
+  // Every shard saw traffic (hashing spreads the key space).
+  for (std::uint32_t s = 0; s < cache.num_shards(); ++s) {
+    const auto shard = cache.shard_stats(s);
+    EXPECT_GT(shard.hits + shard.fills, 0u) << "shard " << s;
+  }
+}
+
+TEST(CacheStatsMerge, AccumulatesEveryCounter) {
+  CacheStats a{1, 2, 3, 4, 5, 6};
+  const CacheStats b{10, 20, 30, 40, 50, 60};
+  a += b;
+  EXPECT_EQ(a.hits, 11u);
+  EXPECT_EQ(a.write_waits, 22u);
+  EXPECT_EQ(a.fills, 33u);
+  EXPECT_EQ(a.evictions, 44u);
+  EXPECT_EQ(a.alloc_stalls, 55u);
+  EXPECT_EQ(a.failures, 66u);
+}
+
+}  // namespace
+}  // namespace rocket::cache
