@@ -116,6 +116,8 @@ LiveCluster::Report LiveCluster::run_all_pairs(
     report.peer_cache += meshes[id]->peer_stats();
     report.host_cache += node_reports[id].host_cache;
     report.cache_fast_hits += node_reports[id].cache_fast_hits;
+    report.prefetch_hits += node_reports[id].prefetch_hits;
+    report.stall_seconds += node_reports[id].stall_seconds;
   }
   report.nodes = std::move(node_reports);
   return report;

@@ -68,6 +68,12 @@ struct LiveClusterReport {
   PeerCacheStats peer_cache;        // aggregated requester-side chain stats
   cache::CacheStats host_cache;     // merged over all nodes' cache shards
   std::uint64_t cache_fast_hits = 0;  // lock-free fast-path pins, all nodes
+  /// Tiles whose loads fully overlapped computation, all nodes (the
+  /// prefetch pipeline's hit count; peer fetches prefetched ahead of need
+  /// count exactly like store loads — the window drives the same load
+  /// pipeline).
+  std::uint64_t prefetch_hits = 0;
+  double stall_seconds = 0.0;  // summed device load-stall time, all nodes
 
   std::vector<runtime::NodeRuntime::Report> nodes;  // per-node detail
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <limits>
 #include <mutex>
 #include <thread>
@@ -21,6 +22,7 @@ namespace {
 using Task = std::function<void()>;
 using Grant = cache::SlotCache::Grant;
 using Outcome = cache::SlotCache::Outcome;
+using AllocPriority = cache::SlotCache::AllocPriority;
 
 /// Batch size for worker drains: one lock acquisition hands a worker up to
 /// this many tasks (tasks are short; larger batches only add latency).
@@ -51,6 +53,8 @@ struct Engine;
 /// three dedicated threads' queues (kernel, H2D, D2H). The cache is a
 /// sharded concurrent cache — it owns its own (per-shard) locking, so the
 /// runtime calls it directly from any thread.
+struct TileJob;
+
 struct DeviceState {
   gpu::VirtualDevice vdev;
   std::unique_ptr<cache::ShardedSlotCache> cache;
@@ -58,11 +62,26 @@ struct DeviceState {
   MpmcQueue<Task> gpu_q, h2d_q, d2h_q;
   std::size_t gpu_lane = 0, h2d_lane = 0, d2h_lane = 0;
   double stretch = 0.0;  // extra sleep per kernel second (heterogeneity)
-  /// Max distinct items one tile may pin; sized so that (tiles in flight) ×
-  /// (working set per tile) never exceeds the slot count — the invariant
-  /// that makes batched pinning deadlock-free.
+  /// Max distinct items one tile may pin; sized so that (tiles in flight,
+  /// compute + prefetch) × (working set per tile) never exceeds the slot
+  /// count — the invariant that makes batched pinning deadlock-free.
   std::uint32_t tile_ws_budget = 2;
   std::atomic<std::uint64_t> pairs{0};
+
+  /// Compute gate of the prefetch pipeline: at most `compute_limit` tiles
+  /// may occupy the GPU compare stage; resolved tiles beyond that wait in
+  /// `ready_tiles` and are launched by the finishing tile's GPU task — the
+  /// handoff never round-trips through the executor. With prefetch off,
+  /// tiles in flight never exceed the token supply and the gate is
+  /// pass-through (identical schedule). Tokens are released by the GPU
+  /// task itself, so they always cycle and the gate cannot wedge.
+  std::mutex gate_mutex;
+  std::deque<TileJob*> ready_tiles;  // guarded by gate_mutex
+  std::uint32_t compute_tokens = 0;  // guarded by gate_mutex
+  std::uint32_t compute_limit = 0;
+  /// Tiles in flight on this device; admissions beyond compute_limit are
+  /// the prefetch lane (their cache allocations yield to compute tiles').
+  std::atomic<std::uint32_t> in_flight{0};
 
   DeviceState(int ordinal, const gpu::DeviceSpec& spec)
       : vdev(ordinal, spec) {}
@@ -97,6 +116,7 @@ struct Engine {
   std::atomic<std::uint64_t> loads{0};
   std::atomic<std::uint64_t> peer_loads{0};
   std::atomic<std::uint64_t> tiles{0};
+  std::atomic<std::uint64_t> prefetch_hits{0};
 
   /// Completed results flow through this queue to one dedicated consumer
   /// thread, which is the only caller of on_result — compare/postprocess
@@ -130,7 +150,8 @@ struct Engine {
   }
 
   LoadOp* make_load(DeviceState& dev, ItemId item, cache::SlotId dslot,
-                    LoadClient* client);
+                    LoadClient* client,
+                    AllocPriority prio = AllocPriority::kDemand);
   void recycle_load(LoadOp* op);
 };
 
@@ -155,6 +176,9 @@ struct LoadOp {
   ItemId item = 0;
   cache::SlotId dslot = cache::kInvalidSlot;  // device WRITE slot (ours)
   cache::SlotId hslot = cache::kInvalidSlot;  // host WRITE slot, if any
+  /// Allocation class inherited from the requesting tile: a prefetch
+  /// tile's host-cache allocations also yield to compute tiles'.
+  AllocPriority prio = AllocPriority::kDemand;
   ByteBuffer file;
   HostBuffer parsed;
 };
@@ -164,7 +188,7 @@ Engine::~Engine() {
 }
 
 LoadOp* Engine::make_load(DeviceState& dev, ItemId item, cache::SlotId dslot,
-                          LoadClient* client) {
+                          LoadClient* client, AllocPriority prio) {
   LoadOp* op = load_pool.try_pop();
   if (op == nullptr) op = new LoadOp();
   op->eng = this;
@@ -173,6 +197,7 @@ LoadOp* Engine::make_load(DeviceState& dev, ItemId item, cache::SlotId dslot,
   op->item = item;
   op->dslot = dslot;
   op->hslot = cache::kInvalidSlot;
+  op->prio = prio;
   op->file.clear();
   op->parsed.clear();
   return op;
@@ -334,7 +359,7 @@ void begin_fill(LoadOp* op) {
   const Grant grant =
       op->eng->host_cache->acquire(op->item, [op](Grant g) {
         op->eng->post_control([op, g] { handle_host_grant(op, g); });
-      });
+      }, op->prio);
   if (grant.outcome != Outcome::kQueued) handle_host_grant(op, grant);
 }
 
@@ -531,6 +556,10 @@ struct TileJob final : LoadClient {
   Engine& eng;
   DeviceState& dev;
   std::uint32_t worker;
+  /// Admitted beyond the device's compute budget (the look-ahead window):
+  /// this tile exists to drive loads early, so its cache allocations
+  /// yield to compute-lane tiles' (AllocPriority::kPrefetch).
+  bool prefetch_lane = false;
   dnc::Region region;
   std::uint64_t pair_count;
   std::vector<ItemId> items;             // sorted distinct working set
@@ -541,12 +570,16 @@ struct TileJob final : LoadClient {
   std::atomic<std::uint32_t> remaining{0};
 
   TileJob(Engine& engine, DeviceState& device, std::uint32_t worker_id,
-          const dnc::Region& r)
-      : eng(engine), dev(device), worker(worker_id), region(r),
-        pair_count(dnc::count_pairs(r)),
+          bool prefetch, const dnc::Region& r)
+      : eng(engine), dev(device), worker(worker_id), prefetch_lane(prefetch),
+        region(r), pair_count(dnc::count_pairs(r)),
         items(dnc::working_set_items(r)) {
     slots.assign(items.size(), cache::kInvalidSlot);
     load_failed.assign(items.size(), 0);
+  }
+
+  AllocPriority priority() const {
+    return prefetch_lane ? AllocPriority::kPrefetch : AllocPriority::kDemand;
   }
 
   std::size_t index_of(ItemId item) const {
@@ -562,7 +595,7 @@ struct TileJob final : LoadClient {
     std::vector<Grant> grants =
         dev.cache->acquire_batch(items, [this](std::size_t k, Grant g) {
           eng.post_control([this, k, g] { handle_grant(k, g); });
-        });
+        }, priority());
     for (std::size_t k = 0; k < grants.size(); ++k) {
       if (grants[k].outcome != Outcome::kQueued) handle_grant(k, grants[k]);
     }
@@ -575,7 +608,8 @@ struct TileJob final : LoadClient {
         item_done();
         return;
       case Outcome::kFill:
-        begin_fill(eng.make_load(dev, items[k], grant.slot, this));
+        begin_fill(eng.make_load(dev, items[k], grant.slot, this,
+                                 priority()));
         return;
       case Outcome::kFailed:
         re_acquire(k);
@@ -589,7 +623,7 @@ struct TileJob final : LoadClient {
   void re_acquire(std::size_t k) {
     const Grant grant = dev.cache->acquire(items[k], [this, k](Grant g) {
       eng.post_control([this, k, g] { handle_grant(k, g); });
-    });
+    }, priority());
     if (grant.outcome != Outcome::kQueued) handle_grant(k, grant);
   }
 
@@ -607,12 +641,35 @@ struct TileJob final : LoadClient {
   /// thread by the release/acquire pair on `remaining`.
   void item_done() {
     if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      compare_all();
+      request_compute();
     }
   }
 
-  /// The whole working set is resolved: run every compare of the tile as
-  /// one GPU-queue task, buffering results.
+  /// The whole working set is resolved: claim a compute token and launch
+  /// the compare batch immediately, or park in the device's ready queue
+  /// until a finishing tile hands its token over. A parked tile is the
+  /// pipeline working as intended — its loads ran entirely under the
+  /// shadow of other tiles' kernels — which is what Report::prefetch_hits
+  /// counts. With prefetch off the token supply covers every tile that
+  /// can be in flight, so this is pass-through.
+  void request_compute() {
+    {
+      std::scoped_lock lock(dev.gate_mutex);
+      if (dev.compute_tokens == 0) {
+        dev.ready_tiles.push_back(this);
+        eng.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      --dev.compute_tokens;
+    }
+    compare_all();
+  }
+
+  /// Run every compare of the tile as one GPU-queue task, buffering
+  /// results. Caller holds a compute token; the GPU task passes it to the
+  /// next ready tile (or returns it) before handing off to postprocess,
+  /// so the compare stage back-to-backs resolved tiles with no executor
+  /// round trip.
   void compare_all() {
     dev.gpu_q.push([this] {
       results.clear();
@@ -640,6 +697,17 @@ struct TileJob final : LoadClient {
         pair_failed.push_back(failed ? 1 : 0);
       });
       stretch_kernel(dev, t0);
+      TileJob* next = nullptr;
+      {
+        std::scoped_lock lock(dev.gate_mutex);
+        if (!dev.ready_tiles.empty()) {
+          next = dev.ready_tiles.front();
+          dev.ready_tiles.pop_front();
+        } else {
+          ++dev.compute_tokens;
+        }
+      }
+      if (next != nullptr) next->compare_all();  // token handed over
       eng.cpu_q.push(CpuTask{TaskKind::kPostprocess, [this] { finish(); }});
     });
   }
@@ -671,6 +739,7 @@ struct TileJob final : LoadClient {
     dev.pairs.fetch_add(flushed, std::memory_order_relaxed);
     eng.tiles.fetch_add(1, std::memory_order_relaxed);
     eng.done->count_down(static_cast<std::size_t>(pair_count));
+    dev.in_flight.fetch_sub(1, std::memory_order_relaxed);
     eng.job_limits[worker]->release();
     delete this;
   }
@@ -678,8 +747,11 @@ struct TileJob final : LoadClient {
 
 /// Submit one leaf region as tile jobs, splitting further while the
 /// working set exceeds the device's per-tile budget. Back-pressure (tiles
-/// in flight) is applied here, on the steal worker's thread, exactly as
-/// the per-pair path throttles pair submission (§4.2).
+/// in flight, compute budget + prefetch window) is applied here, on the
+/// steal worker's thread, exactly as the per-pair path throttles pair
+/// submission (§4.2) — an enlarged admission budget is what lets the
+/// worker run ahead and start tiles T+1..T+W loading while tile T
+/// computes.
 void submit_tile(Engine& eng, const dnc::Region& region,
                  std::uint32_t worker) {
   DeviceState& dev = *eng.devices[worker];
@@ -690,7 +762,12 @@ void submit_tile(Engine& eng, const dnc::Region& region,
     return;
   }
   eng.job_limits[worker]->acquire();
-  (new TileJob(eng, dev, worker, region))->start();
+  // Admissions beyond the compute budget are the look-ahead window: their
+  // allocations must not starve the tiles the device is computing from.
+  const bool prefetch =
+      dev.in_flight.fetch_add(1, std::memory_order_relaxed) >=
+      dev.compute_limit;
+  (new TileJob(eng, dev, worker, prefetch, region))->start();
 }
 
 /// Non-disruptive host-cache read access served to remote requesters by
@@ -758,6 +835,12 @@ NodeRuntime::Report NodeRuntime::run_impl(const Application& app,
     eng.host_slots.resize(host_slots);
   }
 
+  // Look-ahead window (tile-batched mode only; the per-pair path has no
+  // tile pipeline to feed). Clamped per device below so compute + prefetch
+  // pin demand stays within every shard's slot supply.
+  const std::uint32_t prefetch_cfg =
+      config_.tile_batching ? config_.prefetch_tiles : 0;
+
   // Devices: speed-normalise so the fastest runs unstretched.
   double max_speed = 0.0;
   for (const auto& spec : config_.devices) {
@@ -775,13 +858,16 @@ NodeRuntime::Report NodeRuntime::run_impl(const Application& app,
     // Deadlock-freedom with sharding (DESIGN.md §10): item hashing can in
     // the worst case land every pin of every in-flight job in ONE shard,
     // so the per-shard slot supply must cover the whole concurrent pin
-    // demand. Clamp the shard count so each shard holds at least two pins
-    // per in-flight job, then rederive the job limit and tile budget from
-    // the smallest shard instead of the whole cache.
+    // demand — now *compute budget + prefetch window* of in-flight tiles
+    // (DESIGN.md §11). Clamp the shard count so each shard holds at least
+    // two pins per in-flight job, then rederive the job limit, the
+    // prefetch window and the tile budget from the smallest shard instead
+    // of the whole cache.
     const auto limit0 = std::min(config_.job_limit_per_worker,
                                  std::max<std::uint32_t>(1, slots / 2));
+    const std::uint32_t combined0 = limit0 + prefetch_cfg;
     const std::uint32_t dev_shards = std::min(
-        shards_requested, std::max(1u, slots / std::max(2u, 2 * limit0)));
+        shards_requested, std::max(1u, slots / std::max(2u, 2 * combined0)));
     dev->cache = std::make_unique<cache::ShardedSlotCache>(
         cache::ShardedSlotCache::Config{slots, app.slot_size(), "device",
                                         dev_shards, n});
@@ -797,16 +883,24 @@ NodeRuntime::Report NodeRuntime::run_impl(const Application& app,
     const auto min_shard = dev->cache->min_shard_slots();
     const auto limit =
         std::min(limit0, std::max<std::uint32_t>(1, min_shard / 2));
+    // The look-ahead window rides on whatever slot headroom remains past
+    // the compute budget; a slot-starved device degrades to window 0
+    // (prefetch off) rather than shrinking compute's share.
+    const std::uint32_t window = std::min(
+        prefetch_cfg, min_shard / 2 > limit ? min_shard / 2 - limit : 0);
+    dev->compute_limit = limit;
+    dev->compute_tokens = limit;
     if (config_.tile_batching) {
-      // `limit` tiles in flight, each pinning at most min_shard/limit
-      // items: concurrent pin demand can never exceed the slot supply of
-      // any single shard, so batched pinning cannot deadlock even if a
-      // whole working set hashes into one shard (DESIGN.md §6, §10).
+      // `limit + window` tiles in flight, each pinning at most
+      // min_shard/(limit+window) items: concurrent pin demand (compute +
+      // prefetch) can never exceed the slot supply of any single shard,
+      // so batched pinning cannot deadlock even if a whole working set
+      // hashes into one shard (DESIGN.md §6, §10, §11).
       dev->tile_ws_budget =
-          std::max(2u, min_shard / std::max(1u, limit));
+          std::max(2u, min_shard / std::max(1u, limit + window));
     }
     eng.devices.push_back(std::move(dev));
-    eng.job_limits.push_back(std::make_unique<Semaphore>(limit));
+    eng.job_limits.push_back(std::make_unique<Semaphore>(limit + window));
   }
   eng.io_lane = eng.profiler.add_lane("io");
   for (std::uint32_t c = 0; c < config_.cpu_threads; ++c) {
@@ -875,6 +969,7 @@ NodeRuntime::Report NodeRuntime::run_impl(const Application& app,
   exec_cfg.num_workers = static_cast<std::uint32_t>(eng.devices.size());
   exec_cfg.max_leaf_pairs = config_.max_leaf_pairs;
   exec_cfg.seed = config_.seed;
+  exec_cfg.leaf_order = config_.leaf_order;
   steal::StealExecutor executor(exec_cfg);
   const bool tile_mode = config_.tile_batching;
   const auto leaf = [&eng, tile_mode](const dnc::Region& region,
@@ -943,8 +1038,14 @@ NodeRuntime::Report NodeRuntime::run_impl(const Application& app,
   report.tiles = eng.tiles.load();
   report.loads = eng.loads.load();
   report.peer_loads = eng.peer_loads.load();
+  report.prefetch_hits = eng.prefetch_hits.load();
+  // Guarded both ways: n == 0 (empty problem) must not divide by zero,
+  // and a loadless run (everything served from warm caches, or nothing to
+  // do) reports a clean 0.0 rather than relying on the division.
   report.reuse_factor =
-      n > 0 ? static_cast<double>(report.loads) / static_cast<double>(n) : 0.0;
+      (report.loads == 0 || n == 0)
+          ? 0.0
+          : static_cast<double>(report.loads) / static_cast<double>(n);
   report.wall_seconds = wall;
   if (eng.host_cache) {
     report.host_cache = eng.host_cache->stats();
@@ -954,6 +1055,15 @@ NodeRuntime::Report NodeRuntime::run_impl(const Application& app,
     report.device_caches.push_back(dev->cache->stats());
     report.pairs_per_device.push_back(dev->pairs.load());
     report.cache_fast_hits += dev->cache->fast_hits();
+    // Overlap accounting: a device's GPU lane is busy for its compare +
+    // preprocess kernels; the remainder of the wall clock is time the
+    // device sat starved of resolved tiles (load stall + scheduling
+    // slack) — the quantity the prefetch pipeline shrinks.
+    const double busy = eng.profiler.lane_busy_seconds(dev->gpu_lane);
+    report.device_busy_seconds.push_back(busy);
+    const double stall = wall > busy ? wall - busy : 0.0;
+    report.device_stall_seconds.push_back(stall);
+    report.stall_seconds += stall;
   }
   report.steal = steal_stats;
   report.lane_busy = eng.profiler.busy_per_lane();

@@ -46,6 +46,11 @@ std::vector<std::pair<std::string, double>> Profiler::busy_per_lane() const {
   return out;
 }
 
+double Profiler::lane_busy_seconds(std::size_t lane) const {
+  std::scoped_lock lock(mutex_);
+  return lane < lanes_.size() ? lanes_[lane].busy : 0.0;
+}
+
 double Profiler::busy_for_kind(TaskKind kind) const {
   std::scoped_lock lock(mutex_);
   double total = 0.0;

@@ -62,6 +62,11 @@ class Profiler {
   /// Aggregate busy seconds per lane.
   std::vector<std::pair<std::string, double>> busy_per_lane() const;
 
+  /// Busy seconds of one lane — the overlap accounting's input: a
+  /// device's load-stall time is its run wall time minus its GPU lane's
+  /// busy time.
+  double lane_busy_seconds(std::size_t lane) const;
+
   /// Total busy seconds for a task kind across lanes.
   double busy_for_kind(TaskKind kind) const;
 

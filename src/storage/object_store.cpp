@@ -1,9 +1,11 @@
 #include "storage/object_store.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <thread>
 
 namespace rocket::storage {
 
@@ -65,6 +67,25 @@ Bytes SynchronizedStore::size_of(const std::string& name) const {
 
 std::vector<std::string> SynchronizedStore::list() const {
   std::scoped_lock lock(mutex_);
+  return inner_->list();
+}
+
+ByteBuffer ThrottledStore::read(const std::string& name) {
+  if (read_latency_us_ > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(read_latency_us_));
+  }
+  return inner_->read(name);
+}
+
+bool ThrottledStore::exists(const std::string& name) const {
+  return inner_->exists(name);
+}
+
+Bytes ThrottledStore::size_of(const std::string& name) const {
+  return inner_->size_of(name);
+}
+
+std::vector<std::string> ThrottledStore::list() const {
   return inner_->list();
 }
 

@@ -79,6 +79,26 @@ class SynchronizedStore final : public ObjectStore {
   mutable std::mutex mutex_;
 };
 
+/// Latency-injecting decorator: every read sleeps for a fixed wall-clock
+/// delay before delegating. The live counterpart of SimulatedStore for
+/// load-bound experiments — with it, a runtime configuration is I/O-bound
+/// by construction, which is what the prefetch-pipeline head-to-head in
+/// bench_micro needs. Thread-safe iff the wrapped store is.
+class ThrottledStore final : public ObjectStore {
+ public:
+  ThrottledStore(ObjectStore& inner, std::uint64_t read_latency_us)
+      : inner_(&inner), read_latency_us_(read_latency_us) {}
+
+  ByteBuffer read(const std::string& name) override;
+  bool exists(const std::string& name) const override;
+  Bytes size_of(const std::string& name) const override;
+  std::vector<std::string> list() const override;
+
+ private:
+  ObjectStore* inner_;
+  std::uint64_t read_latency_us_;
+};
+
 /// Real files rooted at a directory.
 class DirectoryStore final : public ObjectStore {
  public:

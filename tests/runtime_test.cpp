@@ -234,6 +234,154 @@ TEST(NodeRuntime, ShardedCacheMatchesSingleLockPolicy) {
   }
 }
 
+TEST(NodeRuntime, ModeEquivalenceAcrossPrefetchTilingAndSharding) {
+  // The full execution-mode matrix must be observationally identical:
+  // prefetch {0, 4} x tile_batching {on, off} x cache_shards {1, 8} all
+  // produce the exact same result multiset. (Prefetch rides the tile
+  // pipeline — on the per-pair path the axis verifies it is inert.)
+  storage::MemoryStore store;
+  apps::ForensicsConfig cfg;
+  cfg.cameras = 3;
+  cfg.images_per_camera = 4;
+  cfg.width = 64;
+  cfg.height = 48;
+  cfg.seed = 23;
+  apps::ForensicsDataset dataset(cfg, store);
+  apps::ForensicsApplication app(dataset);
+
+  NodeRuntime::Config base;
+  base.devices = {gpu::titanx_maxwell()};
+  base.host_cache_capacity = 16_MiB;
+  base.cpu_threads = 4;
+  base.job_limit_per_worker = 2;
+
+  ResultMap reference;
+  bool have_reference = false;
+  for (const std::uint32_t prefetch : {0u, 4u}) {
+    for (const bool tile_batching : {true, false}) {
+      for (const std::uint32_t shards : {1u, 8u}) {
+        SCOPED_TRACE("prefetch=" + std::to_string(prefetch) +
+                     " tile=" + std::to_string(tile_batching) +
+                     " shards=" + std::to_string(shards));
+        NodeRuntime::Config rt_cfg = base;
+        rt_cfg.prefetch_tiles = prefetch;
+        rt_cfg.tile_batching = tile_batching;
+        rt_cfg.cache_shards = shards;
+        NodeRuntime runtime(rt_cfg);
+        NodeRuntime::Report report;
+        const ResultMap results = collect(runtime, app, store, &report);
+        if (!have_reference) {
+          reference = results;
+          have_reference = true;
+          continue;
+        }
+        ASSERT_EQ(results.size(), reference.size());
+        for (const auto& [pair, score] : reference) {
+          const auto it = results.find(pair);
+          ASSERT_NE(it, results.end());
+          EXPECT_EQ(it->second, score)
+              << "pair (" << pair.first << "," << pair.second << ")";
+        }
+        // Ample cache: every mode loads each item exactly once, prefetch
+        // or not — the window changes *when* loads start, never how many.
+        EXPECT_EQ(report.loads, app.item_count());
+        if (prefetch == 0 || !tile_batching) {
+          EXPECT_EQ(report.prefetch_hits, 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST(NodeRuntime, PrefetchCorrectUnderEvictionPressure) {
+  // A small sharded device cache under an active look-ahead window: the
+  // clamped combined budget must keep batched pinning deadlock-free and
+  // the results exact. job_limit 1 + window 6 means every resolved tile
+  // beyond the single compute slot waited on the gate at least while a
+  // predecessor computed.
+  storage::MemoryStore store;
+  apps::ForensicsConfig cfg;
+  cfg.cameras = 4;
+  cfg.images_per_camera = 5;
+  cfg.width = 64;
+  cfg.height = 48;
+  cfg.seed = 31;
+  apps::ForensicsDataset dataset(cfg, store);
+  apps::ForensicsApplication app(dataset);
+
+  const ResultMap expected = brute_force(app, store);
+
+  NodeRuntime::Config rt;
+  rt.cpu_threads = 2;
+  rt.host_cache_capacity = 0;
+  rt.device_cache_capacity = 16 * app.slot_size();
+  rt.job_limit_per_worker = 1;
+  rt.prefetch_tiles = 6;
+  rt.max_leaf_pairs = 16;
+  NodeRuntime runtime(rt);
+  NodeRuntime::Report report;
+  const ResultMap actual = collect(runtime, app, store, &report);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (const auto& [pair, score] : expected) {
+    EXPECT_NEAR(actual.at(pair), score, 1e-9);
+  }
+  // The window was active: some tiles resolved while the one compute
+  // slot was occupied.
+  EXPECT_GT(report.prefetch_hits, 0u);
+  ASSERT_EQ(report.device_stall_seconds.size(), 1u);
+  ASSERT_EQ(report.device_busy_seconds.size(), 1u);
+  EXPECT_GE(report.device_busy_seconds[0], 0.0);
+}
+
+/// Degenerate application: no items at all (or one item, zero pairs) —
+/// the Report must come back with finite, zeroed rates, not NaN.
+class EmptyApp final : public runtime::Application {
+ public:
+  explicit EmptyApp(std::uint32_t n) : n_(n) {}
+  std::string name() const override { return "empty"; }
+  std::uint32_t item_count() const override { return n_; }
+  std::string file_name(ItemId item) const override {
+    return "none_" + std::to_string(item);
+  }
+  void parse(ItemId, const ByteBuffer&, HostBuffer&) const override {}
+  double compare(ItemId, const gpu::DeviceBuffer&, ItemId,
+                 const gpu::DeviceBuffer&) const override {
+    return 0.0;
+  }
+  Bytes slot_size() const override { return 64; }
+
+ private:
+  std::uint32_t n_;
+};
+
+TEST(NodeRuntime, ReuseFactorFiniteOnDegenerateRuns) {
+  // Regression: zero loads / zero items must never surface NaN or inf in
+  // reuse_factor (or leave stall accounting unsized). Exercise both
+  // execution modes for n = 0 (nothing exists) and n = 1 (an item but no
+  // pair — the store is empty, and no load may even start).
+  for (const bool tile_batching : {true, false}) {
+    for (const std::uint32_t n : {0u, 1u}) {
+      SCOPED_TRACE("tile=" + std::to_string(tile_batching) +
+                   " n=" + std::to_string(n));
+      EmptyApp app(n);
+      storage::MemoryStore store;  // deliberately empty
+      NodeRuntime::Config rt;
+      rt.cpu_threads = 1;
+      rt.tile_batching = tile_batching;
+      NodeRuntime runtime(rt);
+      NodeRuntime::Report report;
+      const ResultMap results = collect(runtime, app, store, &report);
+      EXPECT_TRUE(results.empty());
+      EXPECT_EQ(report.pairs, 0u);
+      EXPECT_EQ(report.loads, 0u);
+      EXPECT_TRUE(std::isfinite(report.reuse_factor));
+      EXPECT_EQ(report.reuse_factor, 0.0);
+      ASSERT_EQ(report.device_stall_seconds.size(), 1u);
+      EXPECT_TRUE(std::isfinite(report.device_stall_seconds[0]));
+    }
+  }
+}
+
 TEST(NodeRuntime, MultiDeviceSharesWork) {
   storage::MemoryStore store;
   apps::ForensicsConfig cfg;
