@@ -10,6 +10,12 @@
 //   $ ./live_mesh_demo [--nodes 4] [--cameras 4] [--images 8]
 //                      [--cache-shards 0]   (0 = auto: min(16, hw threads))
 //                      [--prefetch 0]       (look-ahead tiles per device)
+//                      [--kill-node N]      (chaos: kill node N mid-run;
+//                                            N >= 1 — the master survives)
+//                      [--kill-after T]     (seconds until the kill, 0.02;
+//                                            must land inside the run — a
+//                                            mid-run kill stretches the run
+//                                            until recovery completes)
 
 #include <cmath>
 #include <cstdio>
@@ -61,6 +67,30 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(opts.get_int("cache-shards", 0));
   mesh_cfg.node.prefetch_tiles =
       static_cast<std::uint32_t>(opts.get_int("prefetch", 0));
+
+  // Chaos: kill a non-master node mid-run (DESIGN.md §12). The run must
+  // still finish with the exact single-node multiset — the failure
+  // detector declares the death, the master re-grants the dead node's
+  // uncompleted regions, and duplicates are dropped at the ledger.
+  const auto kill_node = opts.get_int("kill-node", -1);
+  const double kill_after = opts.get_double("kill-after", 0.02);
+  if (kill_node >= 0) {
+    if (kill_node == 0 || kill_node >= static_cast<std::int64_t>(nodes)) {
+      std::printf("--kill-node must name a non-master node (1..%u)\n",
+                  nodes - 1);
+      return 1;
+    }
+    rocket::mesh::Fault fault;
+    fault.node = static_cast<rocket::mesh::NodeId>(kill_node);
+    fault.after_seconds = kill_after;
+    mesh_cfg.faults.faults.push_back(fault);
+    // An aggressive failover clock so the demo shows the recovery, not a
+    // five-second detection wait.
+    mesh_cfg.lease_timeout_s = 0.1;
+    mesh_cfg.heartbeat_interval_s = 0.01;
+    std::printf("chaos: killing node %lld after %.2fs\n",
+                static_cast<long long>(kill_node), kill_after);
+  }
   rocket::LiveCluster mesh(mesh_cfg);
   ResultMap results;  // master callback is serialised: no lock needed
   const auto report = mesh.run_all_pairs(
@@ -145,6 +175,15 @@ int main(int argc, char** argv) {
               report.stall_seconds,
               static_cast<unsigned long long>(report.prefetch_hits),
               mesh_cfg.node.prefetch_tiles);
+  if (report.node_deaths > 0) {
+    std::printf("failover: %llu node death(s), %llu regions re-executed, "
+                "%llu duplicate results dropped, %llu fetch retries\n",
+                static_cast<unsigned long long>(report.node_deaths),
+                static_cast<unsigned long long>(report.regions_reexecuted),
+                static_cast<unsigned long long>(
+                    report.duplicate_results_dropped),
+                static_cast<unsigned long long>(report.peer_retries));
+  }
 
   // The mesh must reproduce the single-node result multiset exactly.
   std::size_t mismatches = 0;

@@ -15,6 +15,10 @@ std::vector<NodeId> DistributedDirectory::on_request(ItemId item,
     if (node != requester) chain.push_back(node);
   }
   if (chain.empty()) ++stats_.empty_responses;
+  if (max_chain_hops_ > 0 && chain.size() > max_chain_hops_) {
+    chain.resize(max_chain_hops_);
+    ++stats_.chain_aborts;
+  }
 
   // Record the requester as the freshest candidate: it is about to obtain
   // the item (from a peer or by loading) and will hold it for a while.
@@ -25,6 +29,13 @@ std::vector<NodeId> DistributedDirectory::on_request(ItemId item,
   while (list.size() > max_candidates_) list.pop_back();
 
   return chain;
+}
+
+void DistributedDirectory::remove_node(NodeId node) {
+  for (auto& [item, list] : candidates_) {
+    const auto it = std::find(list.begin(), list.end(), node);
+    if (it != list.end()) list.erase(it);
+  }
 }
 
 std::vector<NodeId> DistributedDirectory::candidates(ItemId item) const {

@@ -19,14 +19,23 @@ LiveCluster::Report LiveCluster::run_all_pairs(
   const std::uint32_t n = app.item_count();
   const std::uint64_t total_pairs = dnc::count_pairs(dnc::root_region(n));
 
-  InProcessTransport transport(
-      p, {config_.control_message_size, config_.peer_compress_threshold});
+  InProcessTransport::Config tc;
+  tc.control_message_size = config_.control_message_size;
+  tc.compress_threshold = config_.peer_compress_threshold;
+  tc.faults = config_.faults;
+  InProcessTransport transport(p, tc);
   storage::SynchronizedStore shared_store(store);
   const auto done = std::make_shared<std::atomic<bool>>(total_pairs == 0);
 
+  const auto partition =
+      dnc::partition_root(n, p, config_.partition_granularity);
+
   // Mesh services. The master's completion hook sets the cluster-wide done
   // flag and wakes every node's steal waiters; no shutdown broadcast is
-  // needed (and none is modelled in the simulator either).
+  // needed (and none is modelled in the simulator either). On multi-node
+  // meshes the master additionally runs the failure model (DESIGN.md §12):
+  // the initial partition seeds its re-execution ledger, victims report
+  // steal transfers, and heartbeat leases feed its failure detector.
   std::vector<std::unique_ptr<MeshNode>> meshes(p);
   for (NodeId id = 0; id < p; ++id) {
     MeshNode::Config mc;
@@ -34,7 +43,17 @@ LiveCluster::Report LiveCluster::run_all_pairs(
     mc.num_workers =
         static_cast<std::uint32_t>(config_.node.devices.size());
     mc.hop_limit = config_.hop_limit;
+    mc.max_chain_hops = config_.max_chain_hops;
     mc.seed = config_.node.seed;
+    if (p > 1) {
+      mc.heartbeat_interval_s = config_.heartbeat_interval_s;
+      if (config_.heartbeat_interval_s > 0) {
+        mc.lease_timeout_s = config_.lease_timeout_s;
+      }
+      mc.fetch_timeout_s = config_.fetch_timeout_s;
+      mc.max_fetch_retries = config_.max_fetch_retries;
+      mc.export_leases = true;
+    }
     if (id == 0) {
       mc.expected_pairs = total_pairs;
       mc.on_result = on_result;
@@ -44,13 +63,14 @@ LiveCluster::Report LiveCluster::run_all_pairs(
           if (mesh) mesh->wake();
         }
       };
+      if (p > 1) {
+        mc.ledger_items = n;
+        mc.initial_grants = partition;
+      }
     }
     meshes[id] = std::make_unique<MeshNode>(std::move(mc), transport, done);
   }
   for (auto& mesh : meshes) mesh->start();
-
-  const auto partition =
-      dnc::partition_root(n, p, config_.partition_granularity);
 
   std::vector<runtime::NodeRuntime::Report> node_reports(p);
   std::vector<std::exception_ptr> errors(p);
@@ -114,11 +134,17 @@ LiveCluster::Report LiveCluster::run_all_pairs(
     report.remote_steals += node_reports[id].steal.remote_steals;
     report.directory += meshes[id]->directory_stats();
     report.peer_cache += meshes[id]->peer_stats();
+    report.failover += meshes[id]->failover_stats();
     report.host_cache += node_reports[id].host_cache;
     report.cache_fast_hits += node_reports[id].cache_fast_hits;
     report.prefetch_hits += node_reports[id].prefetch_hits;
     report.stall_seconds += node_reports[id].stall_seconds;
   }
+  report.node_deaths = report.failover.node_deaths;
+  report.regions_reexecuted = report.failover.regions_reexecuted;
+  report.duplicate_results_dropped =
+      report.failover.duplicate_results_dropped;
+  report.peer_retries = report.peer_cache.retries;
   report.nodes = std::move(node_reports);
   return report;
 }

@@ -54,6 +54,35 @@ struct LiveClusterConfig {
   /// wire (traffic table records compressed bytes; the requester's load
   /// pipeline decompresses). 0 disables.
   Bytes peer_compress_threshold = 64_KiB;
+
+  // --- failure model (DESIGN.md §12) ---
+
+  /// Heartbeat period for each node's liveness lease at the master.
+  /// 0 disables heartbeats and the failure detector entirely.
+  double heartbeat_interval_s = 0.025;
+
+  /// Master silence threshold before a node is declared dead. Generous by
+  /// default so a healthy-but-busy node is never declared dead in normal
+  /// runs (a false positive is safe — dedup — but wastes re-execution);
+  /// chaos tests shrink it aggressively.
+  double lease_timeout_s = 5.0;
+
+  /// Peer-fetch deadline: a pending fetch older than this is
+  /// retransmitted with exponential backoff, then completed as a miss
+  /// (object-store fallback) after `max_fetch_retries`. This is also what
+  /// unblocks a killed node's own in-flight fetches so its threads can
+  /// drain. 0 disables deadlines.
+  double fetch_timeout_s = 0.25;
+  std::uint32_t max_fetch_retries = 3;
+
+  /// Mediator chain-walk cap (0 = the hop limit h); truncations are
+  /// counted in DirectoryStats::chain_aborts.
+  std::uint32_t max_chain_hops = 0;
+
+  /// Scripted, replayable node kills (chaos tests, the demo's
+  /// --kill-node). Node 0 is the master: killing it is not survivable and
+  /// must not be scheduled (DESIGN.md §12).
+  FaultSchedule faults;
 };
 
 struct LiveClusterReport {
@@ -74,6 +103,13 @@ struct LiveClusterReport {
   /// pipeline).
   std::uint64_t prefetch_hits = 0;
   double stall_seconds = 0.0;  // summed device load-stall time, all nodes
+
+  // --- failure model (all zero in a fault-free run) ---
+  std::uint64_t node_deaths = 0;        // death verdicts issued
+  std::uint64_t regions_reexecuted = 0; // regions re-granted to survivors
+  std::uint64_t duplicate_results_dropped = 0;  // master dedup drops
+  std::uint64_t peer_retries = 0;       // fetch retransmits, all nodes
+  FailoverStats failover;               // full failover detail, aggregated
 
   std::vector<runtime::NodeRuntime::Report> nodes;  // per-node detail
 };

@@ -16,12 +16,19 @@ namespace {
 /// busy, and the executor's idle backoff bounds how often we re-request.
 constexpr auto kStealReplyTimeout = std::chrono::milliseconds(1);
 
+std::chrono::steady_clock::duration seconds_to_duration(double s) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
 }  // namespace
 
 PeerCacheStats& operator+=(PeerCacheStats& a, const PeerCacheStats& b) {
   a.requests += b.requests;
   a.chain_hits += b.chain_hits;
   a.chain_misses += b.chain_misses;
+  a.retries += b.retries;
+  a.timeouts += b.timeouts;
   if (a.hits_at_hop.size() < b.hits_at_hop.size()) {
     a.hits_at_hop.resize(b.hits_at_hop.size(), 0);
   }
@@ -31,33 +38,90 @@ PeerCacheStats& operator+=(PeerCacheStats& a, const PeerCacheStats& b) {
   return a;
 }
 
+FailoverStats& operator+=(FailoverStats& a, const FailoverStats& b) {
+  a.node_deaths += b.node_deaths;
+  a.regions_reexecuted += b.regions_reexecuted;
+  a.duplicate_results_dropped += b.duplicate_results_dropped;
+  a.results_received += b.results_received;
+  a.regions_adopted += b.regions_adopted;
+  return a;
+}
+
 MeshNode::MeshNode(Config config, Transport& transport,
                    std::shared_ptr<std::atomic<bool>> done)
     : cfg_(std::move(config)), transport_(transport), done_(std::move(done)),
-      directory_(cfg_.hop_limit) {
+      directory_(cfg_.hop_limit, cfg_.max_chain_hops),
+      epoch_(std::chrono::steady_clock::now()) {
   stats_.hits_at_hop.assign(cfg_.hop_limit, 0);
+  const auto p = transport_.num_nodes();
+  dead_ = std::make_unique<std::atomic<bool>[]>(p);
+  last_seen_ns_ = std::make_unique<std::atomic<std::int64_t>[]>(p);
+  for (std::uint32_t k = 0; k < p; ++k) {
+    dead_[k].store(false, std::memory_order_relaxed);
+    last_seen_ns_[k].store(0, std::memory_order_relaxed);
+  }
+  declared_.assign(p, false);
   for (std::uint32_t w = 0; w < std::max(1u, cfg_.num_workers); ++w) {
     auto cell = std::make_unique<StealCell>();
     cell->rng.reseed(cfg_.seed * 0x9E3779B97F4A7C15ULL +
                      (static_cast<std::uint64_t>(cfg_.id) << 20) + w + 1);
     cells_.push_back(std::move(cell));
   }
+  if (cfg_.ledger_items > 0 && !cfg_.initial_grants.empty()) {
+    ledger_ = std::make_unique<ResultLedger>(cfg_.ledger_items, p);
+    for (NodeId node = 0; node < cfg_.initial_grants.size(); ++node) {
+      for (const auto& region : cfg_.initial_grants[node]) {
+        ledger_->grant(node, region, /*reexecution=*/false);
+      }
+    }
+  }
 }
 
 MeshNode::~MeshNode() { join(); }
 
 void MeshNode::start() {
+  const auto p = transport_.num_nodes();
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count();
+  for (std::uint32_t k = 0; k < p; ++k) {
+    last_seen_ns_[k].store(now_ns, std::memory_order_relaxed);
+  }
   service_ = std::thread([this] { serve_loop(); });
+  const bool detector = is_master() && cfg_.lease_timeout_s > 0;
+  const bool heartbeats =
+      !is_master() && cfg_.heartbeat_interval_s > 0 && p > 1;
+  const bool deadlines = cfg_.fetch_timeout_s > 0;
+  if (detector || heartbeats || deadlines) {
+    ticker_ = std::thread([this] { ticker_loop(); });
+  }
 }
 
 void MeshNode::join() {
+  {
+    std::scoped_lock lock(ticker_mutex_);
+    ticker_stop_ = true;
+  }
+  ticker_cv_.notify_all();
+  if (ticker_.joinable()) ticker_.join();
   if (service_.joinable()) service_.join();
 }
 
 void MeshNode::serve_loop() {
   while (auto msg = transport_.recv(cfg_.id)) {
+    const NodeId from = msg->from;
+    if (from < transport_.num_nodes()) {
+      // Any traffic renews the sender's lease, not just heartbeats — a
+      // node busy shipping results is evidently alive.
+      const std::int64_t now_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - epoch_)
+              .count();
+      last_seen_ns_[from].store(now_ns, std::memory_order_release);
+    }
     std::visit(
-        [this](auto&& body) {
+        [this, from](auto&& body) {
           using Body = std::decay_t<decltype(body)>;
           if constexpr (std::is_same_v<Body, CacheRequest>) {
             on_cache_request(body);
@@ -73,10 +137,115 @@ void MeshNode::serve_loop() {
             on_steal_reply(body);
           } else if constexpr (std::is_same_v<Body, ResultMsg>) {
             on_result_msg(body);
+          } else if constexpr (std::is_same_v<Body, Heartbeat>) {
+            // Lease already renewed above; the body carries nothing else.
+          } else if constexpr (std::is_same_v<Body, NodeDown>) {
+            on_node_down(body, from);
+          } else if constexpr (std::is_same_v<Body, StealExport>) {
+            on_steal_export(body);
+          } else if constexpr (std::is_same_v<Body, RegionGrant>) {
+            on_region_grant(body);
           }
         },
         std::move(msg->body));
   }
+}
+
+// --- ticker: heartbeats, failure detection, fetch deadlines ---------------
+
+void MeshNode::ticker_loop() {
+  // Tick at the finest enabled granularity (heartbeats may renew more
+  // often than their nominal interval, which is harmless).
+  double period_s = 1.0;
+  if (cfg_.heartbeat_interval_s > 0) {
+    period_s = std::min(period_s, cfg_.heartbeat_interval_s);
+  }
+  if (is_master() && cfg_.lease_timeout_s > 0) {
+    period_s = std::min(period_s, cfg_.lease_timeout_s / 4);
+  }
+  if (cfg_.fetch_timeout_s > 0) {
+    period_s = std::min(period_s, cfg_.fetch_timeout_s / 2);
+  }
+  const auto tick = seconds_to_duration(std::max(period_s, 1e-4));
+
+  std::unique_lock lock(ticker_mutex_);
+  while (!ticker_cv_.wait_for(lock, tick, [this] { return ticker_stop_; })) {
+    lock.unlock();
+    if (!is_master() && cfg_.heartbeat_interval_s > 0 &&
+        transport_.num_nodes() > 1) {
+      transport_.send(cfg_.id, kMaster, net::Tag::kHeartbeat,
+                      Heartbeat{cfg_.id, ++heartbeat_seq_});
+    }
+    if (is_master() && cfg_.lease_timeout_s > 0) check_leases();
+    if (cfg_.fetch_timeout_s > 0) check_fetch_deadlines();
+    lock.lock();
+  }
+}
+
+void MeshNode::check_leases() {
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count();
+  const auto lease_ns =
+      static_cast<std::int64_t>(cfg_.lease_timeout_s * 1e9);
+  const auto p = transport_.num_nodes();
+  for (NodeId k = 0; k < p; ++k) {
+    if (k == cfg_.id || declared_[k]) continue;
+    if (dead_[k].load(std::memory_order_acquire)) {
+      declared_[k] = true;
+      continue;
+    }
+    if (now_ns - last_seen_ns_[k].load(std::memory_order_acquire) <
+        lease_ns) {
+      continue;
+    }
+    declared_[k] = true;
+    // Deliver the verdict through our own inbox so every ledger mutation
+    // happens on the service thread. A false positive (slow node, not a
+    // dead one) is safe: its late results still dedup per pair.
+    transport_.send(cfg_.id, cfg_.id, net::Tag::kFailover, NodeDown{k, 0});
+  }
+}
+
+void MeshNode::check_fetch_deadlines() {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<ItemId> retry;
+  std::vector<ItemId> expired;
+  {
+    std::scoped_lock lock(mutex_);
+    for (auto& [item, pending] : pending_) {
+      if (pending.deadline.time_since_epoch().count() == 0 ||
+          now < pending.deadline) {
+        continue;
+      }
+      if (pending.attempts < cfg_.max_fetch_retries) {
+        ++pending.attempts;
+        // Exponential backoff: 2^attempts base timeouts until the next
+        // retransmit fires.
+        pending.deadline =
+            now + seconds_to_duration(cfg_.fetch_timeout_s *
+                                      static_cast<double>(
+                                          1u << std::min(pending.attempts,
+                                                         10u)));
+        ++stats_.retries;
+        retry.push_back(item);
+      } else {
+        ++stats_.timeouts;
+        expired.push_back(item);
+      }
+    }
+  }
+  const auto p = transport_.num_nodes();
+  for (const ItemId item : retry) {
+    const NodeId mediator = cache::DistributedDirectory::mediator_of(item, p);
+    if (dead_[mediator].load(std::memory_order_acquire) ||
+        !transport_.send(cfg_.id, mediator, net::Tag::kCacheRequest,
+                         CacheRequest{item, cfg_.id})) {
+      complete_fetch(item, {}, 0, false);
+    }
+  }
+  for (const ItemId item : expired) complete_fetch(item, {}, 0, false);
 }
 
 // --- requester side: peer fetch ------------------------------------------
@@ -95,9 +264,18 @@ void MeshNode::fetch(ItemId item, DoneFn done) {
     // per item per node.
     ROCKET_CHECK(pending_.find(item) == pending_.end(),
                  "duplicate peer fetch for item");
-    pending_[item] = std::move(done);
+    auto& pending = pending_[item];
+    pending.done = std::move(done);
+    if (cfg_.fetch_timeout_s > 0) {
+      pending.deadline =
+          std::chrono::steady_clock::now() +
+          seconds_to_duration(cfg_.fetch_timeout_s);
+    }
   }
-  if (!transport_.send(cfg_.id, mediator, net::Tag::kCacheRequest,
+  // Dead-peer fast path: a mediator already declared dead is not worth a
+  // deadline wait; fall straight back to the object store.
+  if (dead_[mediator].load(std::memory_order_acquire) ||
+      !transport_.send(cfg_.id, mediator, net::Tag::kCacheRequest,
                        CacheRequest{item, cfg_.id})) {
     complete_fetch(item, {}, 0, false);  // mediator unreachable
   }
@@ -110,7 +288,7 @@ void MeshNode::complete_fetch(ItemId item, runtime::PeerPayload payload,
     std::scoped_lock lock(mutex_);
     const auto it = pending_.find(item);
     if (it == pending_.end()) return;
-    done = std::move(it->second);
+    done = std::move(it->second.done);
     pending_.erase(it);
     if (hit) {
       ++stats_.chain_hits;
@@ -142,7 +320,7 @@ void MeshNode::on_cache_request(const CacheRequest& req) {
   {
     std::scoped_lock lock(mutex_);
     // The directory retains at most h candidates, so the chain already
-    // respects the hop limit.
+    // respects the hop limit (and the walk cap, when configured).
     chain = directory_.on_request(req.item, req.requester);
   }
   forward_probe(req.item, req.requester, std::move(chain), 0);
@@ -153,11 +331,14 @@ void MeshNode::forward_probe(ItemId item, NodeId requester,
   const auto hops = static_cast<std::uint32_t>(chain.size());
   for (std::uint32_t k = index; k < chain.size(); ++k) {
     const NodeId candidate = chain[k];
+    // Declared-dead candidates are skipped without a wire attempt; a
+    // rejected send (transport-level down) skips the hop exactly like a
+    // probe miss.
+    if (dead_[candidate].load(std::memory_order_acquire)) continue;
     if (transport_.send(cfg_.id, candidate, net::Tag::kCacheForward,
                         CacheProbe{item, requester, chain, k})) {
       return;
     }
-    // Candidate down: skip the hop, exactly like a probe miss.
   }
   transport_.send(cfg_.id, requester, net::Tag::kCacheFailure,
                   CacheFailure{item, hops});
@@ -187,7 +368,8 @@ void MeshNode::on_cache_probe(CacheProbe probe) {
 std::optional<dnc::Region> MeshNode::remote_steal(std::uint32_t worker) {
   const auto p = transport_.num_nodes();
   if (p < 2) return std::nullopt;
-  // Orphans first: regions this node failed to ship to a dead thief.
+  // Orphans first: re-execution grants parked here and regions this node
+  // failed to ship to a dead thief.
   {
     std::scoped_lock lock(mutex_);
     if (!orphans_.empty()) {
@@ -205,9 +387,17 @@ std::optional<dnc::Region> MeshNode::remote_steal(std::uint32_t worker) {
   }
   if (global_done()) return std::nullopt;
   if (cell.outstanding == 0) {
-    // Uniform victim among the other p-1 nodes.
-    auto victim = static_cast<NodeId>(cell.rng.uniform_index(p - 1));
-    if (victim >= cfg_.id) ++victim;
+    // Uniform victim among the other *live* nodes (with nobody dead this
+    // draws the same victim sequence as the pre-failure-model code).
+    std::vector<NodeId> victims;
+    victims.reserve(p - 1);
+    for (NodeId v = 0; v < p; ++v) {
+      if (v != cfg_.id && !dead_[v].load(std::memory_order_acquire)) {
+        victims.push_back(v);
+      }
+    }
+    if (victims.empty()) return std::nullopt;
+    const NodeId victim = victims[cell.rng.uniform_index(victims.size())];
     ++cell.outstanding;
     lock.unlock();
     const bool sent =
@@ -244,14 +434,25 @@ void MeshNode::on_steal_request(const StealRequest& req) {
   StealReply reply{req.worker, region.has_value(),
                    region.value_or(dnc::Region{})};
   if (!transport_.send(cfg_.id, req.thief, net::Tag::kStealReply,
-                       std::move(reply)) &&
-      region.has_value()) {
-    // The thief vanished after we popped the region: park it as an orphan
-    // so this node's own idle workers re-adopt it (they keep polling
-    // remote_steal until the cluster is done, and the orphan's pairs keep
-    // the done flag false) — pairs are never lost to a dead peer.
-    std::scoped_lock lock(mutex_);
-    orphans_.push_back(*region);
+                       std::move(reply))) {
+    if (region.has_value()) {
+      // The thief vanished after we popped the region: park it as an
+      // orphan so this node's own idle workers re-adopt it (they keep
+      // polling remote_steal until the cluster is done, and the orphan's
+      // pairs keep the done flag false) — pairs are never lost to a dead
+      // peer.
+      std::scoped_lock lock(mutex_);
+      orphans_.push_back(*region);
+    }
+    return;
+  }
+  if (region.has_value() && cfg_.export_leases) {
+    // Lease transfer notice, sent only AFTER the reply demonstrably
+    // reached the thief's inbox: from here on the thief owns the region,
+    // and the master's ledger must re-grant it if the *thief* dies (the
+    // victim's own death no longer covers these pairs).
+    transport_.send(cfg_.id, kMaster, net::Tag::kFailover,
+                    StealExport{*region, req.thief});
   }
 }
 
@@ -272,14 +473,105 @@ void MeshNode::wake() {
   }
 }
 
-// --- master ---------------------------------------------------------------
+// --- master: results, deaths, re-grants -----------------------------------
 
 void MeshNode::on_result_msg(const ResultMsg& msg) {
+  ++failover_.results_received;
+  if (ledger_ != nullptr &&
+      !ledger_->record(msg.result.left, msg.result.right)) {
+    // Duplicate: a re-executed pair whose original owner also delivered,
+    // or a late result from a node declared dead. Dropped, never
+    // double-counted — the exactly-once invariant (DESIGN.md §12).
+    return;
+  }
   if (cfg_.on_result) cfg_.on_result(msg.result);
   ++results_seen_;
   if (results_seen_ == cfg_.expected_pairs && cfg_.on_complete) {
     cfg_.on_complete();
   }
+}
+
+void MeshNode::on_node_down(const NodeDown& down, NodeId from) {
+  const auto p = transport_.num_nodes();
+  if (down.node >= p || down.node == cfg_.id) return;
+  if (dead_[down.node].exchange(true, std::memory_order_acq_rel)) return;
+  {
+    std::scoped_lock lock(mutex_);
+    // Mediator prune: never hand a dead node out as a candidate again.
+    directory_.remove_node(down.node);
+  }
+  if (is_master() && from == cfg_.id) {
+    // Locally-originated verdict (our own failure detector): broadcast to
+    // the survivors, then re-grant the dead node's uncompleted lease.
+    ++death_epoch_;
+    ++failover_.node_deaths;
+    for (NodeId peer = 0; peer < p; ++peer) {
+      if (peer == cfg_.id || dead_[peer].load(std::memory_order_acquire)) {
+        continue;
+      }
+      transport_.send(cfg_.id, peer, net::Tag::kFailover,
+                      NodeDown{down.node, death_epoch_});
+    }
+    if (ledger_ != nullptr) {
+      for (const auto& region : ledger_->undelivered_of(down.node)) {
+        regrant_region(region);
+      }
+    }
+  }
+  wake();
+}
+
+void MeshNode::on_steal_export(const StealExport& exp) {
+  if (ledger_ == nullptr || exp.thief >= transport_.num_nodes()) return;
+  if (!dead_[exp.thief].load(std::memory_order_acquire)) {
+    ledger_->transfer(exp.region, exp.thief);
+    return;
+  }
+  // The thief died between the victim's reply and this notice landing:
+  // no live node holds the region any more — re-grant it immediately.
+  regrant_region(exp.region);
+}
+
+void MeshNode::on_region_grant(const RegionGrant& grant) {
+  {
+    std::scoped_lock lock(mutex_);
+    orphans_.push_back(grant.region);
+  }
+  ++failover_.regions_adopted;
+  wake();
+}
+
+NodeId MeshNode::pick_survivor() {
+  const auto p = transport_.num_nodes();
+  for (std::uint32_t step = 0; step < p; ++step) {
+    const NodeId candidate = next_regrant_;
+    next_regrant_ = (next_regrant_ + 1) % p;
+    if (!dead_[candidate].load(std::memory_order_acquire)) return candidate;
+  }
+  return cfg_.id;  // everyone else is gone: the master executes it
+}
+
+void MeshNode::regrant_region(const dnc::Region& region) {
+  if (dnc::count_pairs(region) == 0) return;
+  const NodeId to = pick_survivor();
+  if (to != cfg_.id) {
+    ledger_->grant(to, region, /*reexecution=*/true);
+    if (transport_.send(cfg_.id, to, net::Tag::kFailover,
+                        RegionGrant{region, death_epoch_})) {
+      return;
+    }
+    // The chosen survivor is unreachable after all: take the lease back
+    // so the ledger matches who will actually run it.
+    ledger_->grant(cfg_.id, region, /*reexecution=*/false);
+  } else {
+    ledger_->grant(cfg_.id, region, /*reexecution=*/true);
+  }
+  {
+    std::scoped_lock lock(mutex_);
+    orphans_.push_back(region);
+  }
+  ++failover_.regions_adopted;
+  wake();
 }
 
 // --- wiring & metrics -----------------------------------------------------
@@ -302,6 +594,15 @@ PeerCacheStats MeshNode::peer_stats() const {
 cache::DirectoryStats MeshNode::directory_stats() const {
   std::scoped_lock lock(mutex_);
   return directory_.stats();
+}
+
+FailoverStats MeshNode::failover_stats() const {
+  FailoverStats out = failover_;
+  if (ledger_ != nullptr) {
+    out.duplicate_results_dropped = ledger_->duplicates();
+    out.regions_reexecuted = ledger_->regions_regranted();
+  }
+  return out;
 }
 
 std::vector<NodeId> MeshNode::directory_candidates(ItemId item) const {

@@ -13,20 +13,31 @@
 //                 while its engine is live;
 //   * victim    — steal requests answered from the registered
 //                 StealExporter;
-//   * master    — on the master node only: per-pair result aggregation to
-//                 the user callback and the cluster-wide completion
-//                 signal.
+//   * master    — on the master node only: exactly-once per-pair result
+//                 aggregation (ResultLedger dedup), the failure detector's
+//                 death verdicts with re-execution grants, and the
+//                 cluster-wide completion signal.
+//
+// A second, low-rate ticker thread drives everything timeout-shaped
+// (DESIGN.md §12): heartbeat leases to the master, the master's
+// missed-lease failure detector, and pending-peer-fetch deadlines (retry
+// with backoff, then complete as a miss so the load pipeline falls back
+// to the object store — the mechanism that also unblocks a *killed*
+// node's own in-flight fetches). The ticker never mutates protocol state
+// directly: death verdicts travel through the master's own inbox, so the
+// ledger stays single-threaded on the service thread.
 //
 // Requester-side flows never block a runtime thread unboundedly:
 // PeerFetchClient::fetch is fully asynchronous (its callback fires when
-// the data or a failure message arrives, and a failed send completes the
-// fetch as a miss immediately), and remote_steal waits on its reply with
-// a timeout. Together with the rule that the service thread only ever
-// blocks on its own inbox, this is the mesh's deadlock-freedom argument
-// (DESIGN.md §9).
+// the data or a failure message arrives, a failed send completes the
+// fetch as a miss immediately, and the ticker bounds how long a silent
+// peer can stall it), and remote_steal waits on its reply with a timeout.
+// Together with the rule that the service thread only ever blocks on its
+// own inbox, this is the mesh's deadlock-freedom argument (DESIGN.md §9).
 
 #include <atomic>
 #include <condition_variable>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -39,6 +50,7 @@
 
 #include "cache/distributed_directory.hpp"
 #include "common/rng.hpp"
+#include "mesh/result_ledger.hpp"
 #include "mesh/transport.hpp"
 #include "runtime/application.hpp"
 #include "runtime/peer_fetch.hpp"
@@ -52,6 +64,8 @@ struct PeerCacheStats {
   std::uint64_t requests = 0;      // peer fetches issued by this node
   std::uint64_t chain_hits = 0;    // served from a peer's host cache
   std::uint64_t chain_misses = 0;  // exhausted or failed chains
+  std::uint64_t retries = 0;       // fetch retransmits after a deadline
+  std::uint64_t timeouts = 0;      // fetches failed after the retry budget
   std::vector<std::uint64_t> hits_at_hop;  // index 0 = first hop
 
   std::uint64_t total_hits() const {
@@ -63,21 +77,66 @@ struct PeerCacheStats {
 
 PeerCacheStats& operator+=(PeerCacheStats& a, const PeerCacheStats& b);
 
+/// Failure-model observability (DESIGN.md §12). Master fields are zero on
+/// non-master nodes; stable once the cluster has quiesced.
+struct FailoverStats {
+  std::uint64_t node_deaths = 0;        // master: death verdicts issued
+  std::uint64_t regions_reexecuted = 0; // master: regions re-granted
+  std::uint64_t duplicate_results_dropped = 0;  // master: dedup drops
+  std::uint64_t results_received = 0;   // master: raw ResultMsg count
+  std::uint64_t regions_adopted = 0;    // re-execution grants parked here
+};
+
+FailoverStats& operator+=(FailoverStats& a, const FailoverStats& b);
+
 class MeshNode final : public runtime::PeerFetchClient {
  public:
   using ResultFn = std::function<void(const runtime::PairResult&)>;
+
+  /// The LiveCluster master (aggregator, failure detector, ledger).
+  static constexpr NodeId kMaster = 0;
 
   struct Config {
     NodeId id = 0;
     std::uint32_t num_workers = 1;  // steal cells, one per executor worker
     std::uint32_t hop_limit = 1;    // the paper's h
+    std::uint32_t max_chain_hops = 0;  // mediator hand-out cap (0 = h)
     std::uint64_t seed = 1;
+
+    // --- failure model (DESIGN.md §12) ---
+
+    /// Period of the liveness lease this node renews at the master.
+    /// 0 disables heartbeats (single-node runs, protocol unit tests).
+    double heartbeat_interval_s = 0.0;
+
+    /// Master only: a non-master node silent for longer than this is
+    /// declared dead. 0 disables the failure detector.
+    double lease_timeout_s = 0.0;
+
+    /// Pending peer fetches older than this are retransmitted with
+    /// exponential backoff, then completed as a miss once
+    /// `max_fetch_retries` is spent (the load pipeline falls back to the
+    /// object store). 0 disables deadlines: a fetch then fails fast only
+    /// when its send is rejected.
+    double fetch_timeout_s = 0.0;
+    std::uint32_t max_fetch_retries = 3;
+
+    /// Victim side: notify the master of every successful steal transfer
+    /// (StealExport) so the re-execution ledger tracks real ownership.
+    /// Enabled by LiveCluster together with the master's ledger.
+    bool export_leases = false;
 
     // Master duties: set on the node that results are routed to (node 0 in
     // a LiveCluster); activated by a non-empty on_result/on_complete.
     std::uint64_t expected_pairs = 0;
     ResultFn on_result;                // user callback, invoked serially
     std::function<void()> on_complete; // fired once, on the service thread
+
+    /// Master only: item count and initial partition (indexed by node) —
+    /// seeds the exactly-once ResultLedger. Zero items / empty grants
+    /// disable the ledger (no dedup, pre-failure-model aggregation).
+    std::uint32_t ledger_items = 0;
+    std::vector<std::vector<dnc::Region>> initial_grants;
   };
 
   MeshNode(Config config, Transport& transport,
@@ -87,7 +146,8 @@ class MeshNode final : public runtime::PeerFetchClient {
   MeshNode(const MeshNode&) = delete;
   MeshNode& operator=(const MeshNode&) = delete;
 
-  /// Launch the service thread. Call join() only after Transport::close().
+  /// Launch the service thread (and the ticker when any timeout feature
+  /// is enabled). Call join() only after Transport::close().
   void start();
   void join();
 
@@ -97,7 +157,8 @@ class MeshNode final : public runtime::PeerFetchClient {
   void fetch(ItemId item, DoneFn done) override;
 
   /// Cross-node steal with a bounded reply wait; nullopt on timeout,
-  /// empty-handed victim, or cluster completion.
+  /// empty-handed victim, or cluster completion. Nodes declared dead are
+  /// skipped as victims.
   std::optional<dnc::Region> remote_steal(std::uint32_t worker);
 
   bool global_done() const {
@@ -113,7 +174,14 @@ class MeshNode final : public runtime::PeerFetchClient {
   // ---- metrics (stable once the cluster has quiesced) ----
   PeerCacheStats peer_stats() const;
   cache::DirectoryStats directory_stats() const;
+  /// Master aggregation + this node's adoption counters. Unlocked master
+  /// fields: call only after join() (reads are ordered by the thread
+  /// join, like the report aggregation in LiveCluster).
+  FailoverStats failover_stats() const;
   std::vector<NodeId> directory_candidates(ItemId item) const;  // testing
+  bool is_dead(NodeId node) const {
+    return dead_[node].load(std::memory_order_acquire);
+  }
 
  private:
   struct StealCell {
@@ -124,7 +192,18 @@ class MeshNode final : public runtime::PeerFetchClient {
     Rng rng{1};
   };
 
+  /// One in-flight peer fetch (requester side). `deadline`/`attempts`
+  /// drive the ticker's retry sweep when fetch_timeout_s > 0.
+  struct PendingFetch {
+    DoneFn done;
+    std::uint32_t attempts = 0;
+    std::chrono::steady_clock::time_point deadline{};
+  };
+
   void serve_loop();
+  void ticker_loop();
+  void check_leases();
+  void check_fetch_deadlines();
   void on_cache_request(const CacheRequest& req);
   void on_cache_probe(CacheProbe probe);
   void on_cache_data(CacheData data);
@@ -132,6 +211,14 @@ class MeshNode final : public runtime::PeerFetchClient {
   void on_steal_request(const StealRequest& req);
   void on_steal_reply(const StealReply& reply);
   void on_result_msg(const ResultMsg& msg);
+  void on_node_down(const NodeDown& down, NodeId from);
+  void on_steal_export(const StealExport& exp);
+  void on_region_grant(const RegionGrant& grant);
+
+  /// Master, service thread: re-grant `region` to a live survivor (or
+  /// park it locally when no send succeeds).
+  void regrant_region(const dnc::Region& region);
+  NodeId pick_survivor();
 
   /// Forward the probe to chain[index], skipping unreachable candidates;
   /// an exhausted chain reports a miss to the requester.
@@ -142,6 +229,8 @@ class MeshNode final : public runtime::PeerFetchClient {
   void complete_fetch(ItemId item, runtime::PeerPayload payload,
                       std::uint32_t hops, bool hit);
 
+  bool is_master() const { return cfg_.id == kMaster; }
+
   Config cfg_;
   Transport& transport_;
   std::shared_ptr<std::atomic<bool>> done_;
@@ -150,9 +239,9 @@ class MeshNode final : public runtime::PeerFetchClient {
   mutable std::mutex mutex_;  // directory, exporter, pending, stats, orphans
   cache::DistributedDirectory directory_;
   steal::StealExporter* exporter_ = nullptr;
-  std::unordered_map<ItemId, DoneFn> pending_;
+  std::unordered_map<ItemId, PendingFetch> pending_;
   PeerCacheStats stats_;
-  std::deque<dnc::Region> orphans_;  // steal exports whose thief vanished
+  std::deque<dnc::Region> orphans_;  // regions awaiting local re-adoption
 
   /// Separate lock for the probe pointer: serving a probe copies a whole
   /// slot-sized buffer, which must not stall requester-side fetch
@@ -161,7 +250,25 @@ class MeshNode final : public runtime::PeerFetchClient {
   runtime::HostCacheProbe* probe_ = nullptr;
 
   std::vector<std::unique_ptr<StealCell>> cells_;
-  std::uint64_t results_seen_ = 0;  // master only; service thread only
+
+  // --- master state (service thread only) ---
+  std::uint64_t results_seen_ = 0;   // accepted (post-dedup) results
+  std::unique_ptr<ResultLedger> ledger_;
+  FailoverStats failover_;
+  std::uint32_t death_epoch_ = 0;
+  NodeId next_regrant_ = 0;  // round-robin survivor cursor
+
+  // --- liveness (shared between service thread and ticker) ---
+  std::unique_ptr<std::atomic<bool>[]> dead_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> last_seen_ns_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::uint64_t heartbeat_seq_ = 0;  // ticker thread only
+  std::vector<bool> declared_;       // ticker thread only: verdicts sent
+
+  std::thread ticker_;
+  std::mutex ticker_mutex_;
+  std::condition_variable ticker_cv_;
+  bool ticker_stop_ = false;  // guarded by ticker_mutex_
 };
 
 }  // namespace rocket::mesh

@@ -1,22 +1,80 @@
 #include "mesh/transport.hpp"
 
 #include "common/compress.hpp"
+#include "common/rng.hpp"
 
 namespace rocket::mesh {
 
+FaultSchedule FaultSchedule::single_kill(std::uint64_t seed,
+                                         std::uint32_t num_nodes,
+                                         std::uint64_t max_messages) {
+  FaultSchedule schedule;
+  if (num_nodes < 2 || max_messages == 0) return schedule;
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+  Fault fault;
+  // Node 0 is the master by LiveCluster convention; master death is a
+  // documented abort, not a survivable fault (DESIGN.md §12).
+  fault.node = 1 + static_cast<NodeId>(rng.uniform_index(num_nodes - 1));
+  fault.after_messages = 1 + rng.uniform_index(max_messages);
+  schedule.faults.push_back(fault);
+  return schedule;
+}
+
 InProcessTransport::InProcessTransport(std::uint32_t num_nodes, Config config)
-    : config_(config), down_(new std::atomic<bool>[num_nodes]) {
+    : config_(std::move(config)), down_(new std::atomic<bool>[num_nodes]),
+      link_down_(new std::atomic<bool>[static_cast<std::size_t>(num_nodes) *
+                                       num_nodes]),
+      epoch_(std::chrono::steady_clock::now()),
+      fault_fired_(config_.faults.faults.size(), false) {
   inboxes_.reserve(num_nodes);
   for (std::uint32_t i = 0; i < num_nodes; ++i) {
     inboxes_.push_back(std::make_unique<MpmcQueue<Message>>());
     down_[i].store(false, std::memory_order_relaxed);
   }
+  for (std::size_t l = 0; l < static_cast<std::size_t>(num_nodes) * num_nodes;
+       ++l) {
+    link_down_[l].store(false, std::memory_order_relaxed);
+  }
+  faults_pending_.store(!config_.faults.empty(), std::memory_order_relaxed);
+}
+
+void InProcessTransport::check_faults() {
+  if (!faults_pending_.load(std::memory_order_acquire)) return;
+  const std::uint64_t delivered = delivered_.load(std::memory_order_acquire);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_)
+          .count();
+  std::scoped_lock lock(fault_mutex_);
+  bool remaining = false;
+  for (std::size_t f = 0; f < config_.faults.faults.size(); ++f) {
+    if (fault_fired_[f]) continue;
+    const Fault& fault = config_.faults.faults[f];
+    const bool by_messages =
+        fault.after_messages > 0 && delivered >= fault.after_messages;
+    const bool by_time =
+        fault.after_seconds > 0.0 && elapsed >= fault.after_seconds;
+    if (by_messages || by_time) {
+      fault_fired_[f] = true;
+      set_down(fault.node);
+    } else {
+      remaining = true;
+    }
+  }
+  if (!remaining) faults_pending_.store(false, std::memory_order_release);
 }
 
 bool InProcessTransport::send(NodeId src, NodeId dst, net::Tag tag,
                               MessageBody body, Bytes payload_bytes) {
+  check_faults();
+  // A dead node is dead in both directions: it cannot receive (dst down)
+  // and it cannot speak (src down) — a killed node's unsent results are
+  // lost exactly as a crashed process's would be.
   if (dst >= num_nodes() || closed_.load(std::memory_order_acquire) ||
-      down_[dst].load(std::memory_order_acquire)) {
+      down_[dst].load(std::memory_order_acquire) ||
+      (src < num_nodes() && down_[src].load(std::memory_order_acquire)) ||
+      (src < num_nodes() &&
+       link_down_[static_cast<std::size_t>(src) * num_nodes() + dst].load(
+           std::memory_order_acquire))) {
     return false;
   }
   // Wire compression of bulk peer-fetch payloads: the traffic table must
@@ -38,6 +96,7 @@ bool InProcessTransport::send(NodeId src, NodeId dst, net::Tag tag,
     std::scoped_lock lock(counters_mutex_);
     counters_.record(tag, payload_bytes + config_.control_message_size);
   }
+  delivered_.fetch_add(1, std::memory_order_acq_rel);
   inboxes_[dst]->push(Message{src, dst, tag, std::move(body)});
   return true;
 }
@@ -58,6 +117,11 @@ net::TrafficCounters InProcessTransport::counters() const {
 
 void InProcessTransport::set_down(NodeId node, bool down) {
   down_[node].store(down, std::memory_order_release);
+}
+
+void InProcessTransport::set_link_down(NodeId src, NodeId dst, bool down) {
+  link_down_[static_cast<std::size_t>(src) * num_nodes() + dst].store(
+      down, std::memory_order_release);
 }
 
 }  // namespace rocket::mesh

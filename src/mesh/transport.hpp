@@ -18,6 +18,7 @@
 // its local fallback path.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -90,15 +91,79 @@ struct ResultMsg {
   runtime::PairResult result{0, 0, 0.0};
 };
 
+/// Node → master: periodic liveness lease renewal. The master's failure
+/// detector declares a node dead after a configurable run of missed
+/// leases (MeshNode::Config::lease_timeout_s).
+struct Heartbeat {
+  NodeId node = 0;
+  std::uint64_t seq = 0;
+};
+
+/// Master → everyone (and master → itself, so the verdict is serialised
+/// with result handling): `node` is declared dead. Mediators prune it
+/// from candidate chains, thieves stop picking it as a victim, and the
+/// master re-grants its uncompleted regions to survivors.
+struct NodeDown {
+  NodeId node = 0;
+  std::uint32_t epoch = 0;  // cluster-wide death count when declared
+};
+
+/// Victim → master: lease transfer notice — `region` moved from this
+/// victim's deques to `thief` through a successful steal reply. Keeps the
+/// master's re-execution ledger current so a later death re-grants
+/// exactly the regions the dead node actually owned.
+struct StealExport {
+  dnc::Region region;
+  NodeId thief = 0;
+};
+
+/// Master → survivor: re-execution lease for a dead node's uncompleted
+/// region. The receiver parks it in its orphan queue (the same machinery
+/// that re-adopts regions whose thief vanished) and its idle workers
+/// pick it up via remote_steal.
+struct RegionGrant {
+  dnc::Region region;
+  std::uint32_t epoch = 0;  // re-execution epoch of the region's pairs
+};
+
 using MessageBody = std::variant<CacheRequest, CacheProbe, CacheData,
                                  CacheFailure, StealRequest, StealReply,
-                                 ResultMsg>;
+                                 ResultMsg, Heartbeat, NodeDown, StealExport,
+                                 RegionGrant>;
 
 struct Message {
   NodeId from = 0;
   NodeId to = 0;
   net::Tag tag = net::Tag::kControl;
   MessageBody body;
+};
+
+// --- fault injection ------------------------------------------------------
+
+/// One scripted node kill: the node goes down (both directions — a dead
+/// node neither receives nor sends) once either trigger fires. Message
+/// triggers are checked against the transport's global delivered-message
+/// counter, which makes schedules replayable independent of wall-clock
+/// speed; time triggers exist for interactive demos.
+struct Fault {
+  NodeId node = 0;
+  /// Fire once `after_messages` messages have been delivered (0 = unused).
+  std::uint64_t after_messages = 0;
+  /// Fire once this much wall time elapsed since construction (0 = unused).
+  double after_seconds = 0.0;
+};
+
+/// A scripted, replayable set of node kills, evaluated by the transport on
+/// every send. `single_kill` derives a deterministic one-kill schedule
+/// from a seed (never the master, node 0), for randomized chaos sweeps.
+struct FaultSchedule {
+  std::vector<Fault> faults;
+
+  bool empty() const { return faults.empty(); }
+
+  static FaultSchedule single_kill(std::uint64_t seed,
+                                   std::uint32_t num_nodes,
+                                   std::uint64_t max_messages);
 };
 
 // --- transport ------------------------------------------------------------
@@ -139,6 +204,10 @@ class InProcessTransport final : public Transport {
     /// (what a wire transport would actually move). Compression is kept
     /// only when it shrinks the payload. 0 disables.
     Bytes compress_threshold = 64_KiB;
+
+    /// Scripted node kills, evaluated before every delivery (chaos tests
+    /// and the demo's --kill-node flag). Empty = no injected faults.
+    FaultSchedule faults;
   };
 
   explicit InProcessTransport(std::uint32_t num_nodes)
@@ -154,15 +223,38 @@ class InProcessTransport final : public Transport {
   void close() override;
   net::TrafficCounters counters() const override;
 
-  /// Failure injection (tests): a down node rejects all future sends; its
-  /// already-queued messages still drain.
+  /// Failure injection: a down node is dead in both directions — sends to
+  /// it AND from it fail fast. Its already-queued messages still drain
+  /// (they were on the wire before the crash).
   void set_down(NodeId node, bool down = true);
+  bool is_down(NodeId node) const {
+    return down_[node].load(std::memory_order_acquire);
+  }
+
+  /// Asymmetric link failure: sends from `src` to `dst` fail while every
+  /// other direction keeps working (models a one-way partition, which is
+  /// how real failure detectors get fooled).
+  void set_link_down(NodeId src, NodeId dst, bool down = true);
+
+  /// Messages delivered so far (the clock FaultSchedule message triggers
+  /// run on).
+  std::uint64_t delivered_messages() const {
+    return delivered_.load(std::memory_order_acquire);
+  }
 
  private:
+  void check_faults();
+
   Config config_;
   std::vector<std::unique_ptr<MpmcQueue<Message>>> inboxes_;
   std::unique_ptr<std::atomic<bool>[]> down_;
+  std::unique_ptr<std::atomic<bool>[]> link_down_;  // [src * p + dst]
   std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<bool> faults_pending_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  std::mutex fault_mutex_;
+  std::vector<bool> fault_fired_;  // guarded by fault_mutex_
   mutable std::mutex counters_mutex_;
   net::TrafficCounters counters_;
 };

@@ -12,6 +12,8 @@ const char* tag_name(Tag tag) {
     case Tag::kStealReply: return "steal-reply";
     case Tag::kResult: return "result";
     case Tag::kControl: return "control";
+    case Tag::kHeartbeat: return "heartbeat";
+    case Tag::kFailover: return "failover";
     case Tag::kCount: break;
   }
   return "unknown";

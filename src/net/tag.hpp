@@ -25,6 +25,8 @@ enum class Tag : std::uint32_t {
   kStealReply = 5,     // victim → thief (task or empty)
   kResult = 6,         // worker → master (result delivery)
   kControl = 7,        // everything else
+  kHeartbeat = 8,      // node → master: liveness lease renewal
+  kFailover = 9,       // death verdicts, lease transfers, re-grants
   kCount
 };
 

@@ -37,6 +37,18 @@ struct CpuTask {
   Task fn;
 };
 
+/// Capped exponential backoff between kFailed grant re-drives. A kFailed
+/// grant means another job's writer aborted under us — re-driving
+/// instantly against a persistently failing writer is a livelock (the two
+/// parties re-queue against each other forever at full speed); a few
+/// microseconds of backoff breaks the cycle and the attempt bound below
+/// makes termination unconditional.
+void retry_backoff(std::uint32_t attempt) {
+  const std::uint64_t us =
+      std::min<std::uint64_t>(1000, 8ull << std::min(attempt, 7u));
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
 /// Worker thread body: drain a queue in batches. The queue closes at
 /// shutdown.
 void drain(MpmcQueue<Task>& queue) {
@@ -117,6 +129,7 @@ struct Engine {
   std::atomic<std::uint64_t> peer_loads{0};
   std::atomic<std::uint64_t> tiles{0};
   std::atomic<std::uint64_t> prefetch_hits{0};
+  std::atomic<std::uint64_t> acquire_retries{0};
 
   /// Completed results flow through this queue to one dedicated consumer
   /// thread, which is the only caller of on_result — compare/postprocess
@@ -176,6 +189,7 @@ struct LoadOp {
   ItemId item = 0;
   cache::SlotId dslot = cache::kInvalidSlot;  // device WRITE slot (ours)
   cache::SlotId hslot = cache::kInvalidSlot;  // host WRITE slot, if any
+  std::uint32_t host_retries = 0;  // kFailed host-grant re-drives
   /// Allocation class inherited from the requesting tile: a prefetch
   /// tile's host-cache allocations also yield to compute tiles'.
   AllocPriority prio = AllocPriority::kDemand;
@@ -197,6 +211,7 @@ LoadOp* Engine::make_load(DeviceState& dev, ItemId item, cache::SlotId dslot,
   op->item = item;
   op->dslot = dslot;
   op->hslot = cache::kInvalidSlot;
+  op->host_retries = 0;
   op->prio = prio;
   op->file.clear();
   op->parsed.clear();
@@ -340,9 +355,23 @@ void handle_host_grant(LoadOp* op, Grant grant) {
       op->hslot = grant.slot;
       start_host_fill(op);
       return;
-    case Outcome::kFailed:
+    case Outcome::kFailed: {
+      Engine& eng = *op->eng;
+      eng.acquire_retries.fetch_add(1, std::memory_order_relaxed);
+      if (++op->host_retries > eng.cfg.max_acquire_retries) {
+        // Terminal path: the host level keeps aborting under us. Bypass
+        // it — a device-only load is still correct, just uncached at the
+        // host level for this item.
+        ROCKET_ERROR("host-cache acquire for item %u failed %u times; "
+                     "bypassing host level",
+                     op->item, op->host_retries);
+        run_load(op);
+        return;
+      }
+      retry_backoff(op->host_retries);
       begin_fill(op);  // retry the host level
       return;
+    }
     case Outcome::kQueued:
       ROCKET_CHECK(false, "queued grant delivered as queued");
   }
@@ -450,6 +479,7 @@ struct Job final : LoadClient {
   ItemId items[2];
   cache::SlotId pins[2] = {cache::kInvalidSlot, cache::kInvalidSlot};
   int next_pin = 0;
+  std::uint32_t retries = 0;  // kFailed grant re-drives
 
   Job(Engine& engine, DeviceState& device, std::uint32_t worker_id,
       dnc::Pair pair)
@@ -480,6 +510,17 @@ struct Job final : LoadClient {
         begin_fill(eng.make_load(dev, items[next_pin], grant.slot, this));
         return;
       case Outcome::kFailed:
+        eng.acquire_retries.fetch_add(1, std::memory_order_relaxed);
+        if (++retries > eng.cfg.max_acquire_retries) {
+          // Terminal path: fail the pair loudly (NaN) instead of
+          // re-driving against a persistently aborting writer forever.
+          ROCKET_ERROR("acquire for item %u failed %u times; failing pair "
+                       "(%u,%u)",
+                       items[next_pin], retries, items[0], items[1]);
+          fail_pair();
+          return;
+        }
+        retry_backoff(retries);
         pin_next();  // writer aborted; retry the acquisition
         return;
       case Outcome::kQueued:
@@ -568,6 +609,7 @@ struct TileJob final : LoadClient {
   std::vector<PairResult> results;
   std::vector<std::uint8_t> pair_failed; // parallel to results
   std::atomic<std::uint32_t> remaining{0};
+  std::atomic<std::uint32_t> retries{0};  // kFailed grant re-drives
 
   TileJob(Engine& engine, DeviceState& device, std::uint32_t worker_id,
           bool prefetch, const dnc::Region& r)
@@ -611,9 +653,24 @@ struct TileJob final : LoadClient {
         begin_fill(eng.make_load(dev, items[k], grant.slot, this,
                                  priority()));
         return;
-      case Outcome::kFailed:
+      case Outcome::kFailed: {
+        eng.acquire_retries.fetch_add(1, std::memory_order_relaxed);
+        const std::uint32_t attempt =
+            retries.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (attempt > eng.cfg.max_acquire_retries) {
+          // Terminal path: fail the item loudly — its pairs get the NaN
+          // sentinel in compare_all — instead of re-driving forever.
+          ROCKET_ERROR("tile acquire for item %u failed %u times; failing "
+                       "item",
+                       items[k], attempt);
+          load_failed[k] = 1;
+          item_done();
+          return;
+        }
+        retry_backoff(attempt);
         re_acquire(k);
         return;
+      }
       case Outcome::kQueued:
         ROCKET_CHECK(false, "queued grant delivered as queued");
     }
@@ -1039,6 +1096,7 @@ NodeRuntime::Report NodeRuntime::run_impl(const Application& app,
   report.loads = eng.loads.load();
   report.peer_loads = eng.peer_loads.load();
   report.prefetch_hits = eng.prefetch_hits.load();
+  report.acquire_retries = eng.acquire_retries.load();
   // Guarded both ways: n == 0 (empty problem) must not divide by zero,
   // and a loadless run (everything served from warm caches, or nothing to
   // do) reports a clean 0.0 rather than relying on the division.

@@ -130,6 +130,14 @@ class NodeRuntime {
     std::uint64_t max_leaf_pairs = 64;
     std::uint64_t seed = 1;
 
+    /// Bound on consecutive kFailed cache-grant re-drives per item before
+    /// the terminal error path fires (host-level bypass for loads, a NaN
+    /// result for a per-pair job, a failed item for a tile). Re-drives
+    /// back off exponentially (microsecond scale, capped at 1 ms), so a
+    /// persistently aborting writer can neither livelock the runtime nor
+    /// spin a core. Counted in Report::acquire_retries.
+    std::uint32_t max_acquire_retries = 64;
+
     /// Stretch kernel wall time on slower device models (see file header).
     bool emulate_heterogeneity = true;
 
@@ -156,6 +164,8 @@ class NodeRuntime {
     /// of their device was busy — i.e. loads that the prefetch window
     /// fully overlapped with computation. 0 when prefetch_tiles == 0.
     std::uint64_t prefetch_hits = 0;
+    /// kFailed cache-grant re-drives (bounded by max_acquire_retries).
+    std::uint64_t acquire_retries = 0;
     /// Per-device GPU-lane busy seconds (compare + preprocess kernels).
     std::vector<double> device_busy_seconds;
     /// Per-device load-stall seconds: wall time minus GPU-lane busy time —

@@ -1,0 +1,626 @@
+// Failure-model tests (DESIGN.md §12): scripted fault schedules and link
+// partitions at the transport, the master's exactly-once ResultLedger, the
+// mediator chain-walk cap, the heartbeat/lease failure detector, orphaned
+// steal regions re-adopted under a racing node death (TSAN target), the
+// bounded kFailed retry path, and the chaos acceptance matrix — LiveCluster
+// runs that kill nodes mid-computation and must still produce the exact
+// single-node result multiset.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "apps/forensics.hpp"
+#include "apps/microscopy.hpp"
+#include "cache/distributed_directory.hpp"
+#include "dnc/pair_space.hpp"
+#include "mesh/live_cluster.hpp"
+#include "mesh/mesh_node.hpp"
+#include "mesh/result_ledger.hpp"
+#include "mesh/transport.hpp"
+#include "runtime/node_runtime.hpp"
+#include "steal/executor.hpp"
+
+namespace rocket::mesh {
+namespace {
+
+using runtime::ItemId;
+using runtime::PairResult;
+using ResultMap = std::map<std::pair<ItemId, ItemId>, double>;
+using PairSet = std::set<std::pair<dnc::ItemIndex, dnc::ItemIndex>>;
+
+/// Expand regions into their pair set, asserting the regions are disjoint.
+PairSet pair_set(const std::vector<dnc::Region>& regions) {
+  PairSet out;
+  for (const auto& region : regions) {
+    dnc::for_each_pair(region, [&](const dnc::Pair& p) {
+      EXPECT_TRUE(out.insert({p.left, p.right}).second)
+          << "regions overlap at (" << p.left << "," << p.right << ")";
+    });
+  }
+  return out;
+}
+
+// --- scripted fault schedules at the transport ----------------------------
+
+TEST(FaultSchedule, SingleKillIsDeterministicAndSparesTheMaster) {
+  std::set<NodeId> victims;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const auto schedule = FaultSchedule::single_kill(seed, 4, 200);
+    ASSERT_EQ(schedule.faults.size(), 1u);
+    const Fault& fault = schedule.faults[0];
+    EXPECT_GE(fault.node, 1u) << "the master must never be scheduled";
+    EXPECT_LE(fault.node, 3u);
+    EXPECT_GE(fault.after_messages, 1u);
+    EXPECT_LE(fault.after_messages, 200u);
+    EXPECT_EQ(fault.after_seconds, 0.0);
+    victims.insert(fault.node);
+
+    // Replayable: the same seed derives the same schedule.
+    const auto again = FaultSchedule::single_kill(seed, 4, 200);
+    EXPECT_EQ(again.faults[0].node, fault.node);
+    EXPECT_EQ(again.faults[0].after_messages, fault.after_messages);
+  }
+  // 64 seeds over 3 victims: every non-master node gets its turn.
+  EXPECT_EQ(victims.size(), 3u);
+
+  // Degenerate inputs produce no faults instead of killing the master.
+  EXPECT_TRUE(FaultSchedule::single_kill(7, 1, 100).empty());
+  EXPECT_TRUE(FaultSchedule::single_kill(7, 4, 0).empty());
+}
+
+TEST(InProcessTransport, MessageTriggeredFaultKillsTheNode) {
+  InProcessTransport::Config tc;
+  tc.faults.faults.push_back(Fault{2, /*after_messages=*/2, 0.0});
+  InProcessTransport transport(3, tc);
+
+  ASSERT_TRUE(transport.send(0, 1, net::Tag::kCacheRequest,
+                             CacheRequest{1, 0}));
+  ASSERT_TRUE(transport.send(0, 1, net::Tag::kCacheRequest,
+                             CacheRequest{2, 0}));
+  EXPECT_FALSE(transport.is_down(2)) << "faults fire on send, not eagerly";
+
+  // Two messages delivered: the next send evaluates the schedule and the
+  // fault fires before delivery — node 2 is dead in both directions.
+  EXPECT_FALSE(transport.send(0, 2, net::Tag::kCacheRequest,
+                              CacheRequest{3, 0}));
+  EXPECT_TRUE(transport.is_down(2));
+  EXPECT_FALSE(transport.send(2, 1, net::Tag::kCacheRequest,
+                              CacheRequest{4, 2}));
+  // Survivor links keep working, and rejected sends are not recorded.
+  EXPECT_TRUE(transport.send(0, 1, net::Tag::kCacheRequest,
+                             CacheRequest{5, 0}));
+  EXPECT_EQ(transport.counters().total_messages(), 3u);
+  EXPECT_EQ(transport.delivered_messages(), 3u);
+  transport.close();
+}
+
+TEST(InProcessTransport, TimeTriggeredFaultKillsTheNode) {
+  InProcessTransport::Config tc;
+  tc.faults.faults.push_back(Fault{1, 0, /*after_seconds=*/0.001});
+  InProcessTransport transport(2, tc);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(transport.send(0, 1, net::Tag::kCacheRequest,
+                              CacheRequest{1, 0}));
+  EXPECT_TRUE(transport.is_down(1));
+  transport.close();
+}
+
+TEST(InProcessTransport, LinkDownIsAsymmetric) {
+  InProcessTransport transport(2);
+  transport.set_link_down(0, 1);
+  // The one-way partition: 0 cannot reach 1, but 1 still reaches 0 — the
+  // shape that fools failure detectors without killing anybody.
+  EXPECT_FALSE(transport.send(0, 1, net::Tag::kCacheRequest,
+                              CacheRequest{1, 0}));
+  EXPECT_TRUE(transport.send(1, 0, net::Tag::kCacheRequest,
+                             CacheRequest{1, 1}));
+  EXPECT_FALSE(transport.is_down(0));
+  EXPECT_FALSE(transport.is_down(1));
+  transport.set_link_down(0, 1, false);
+  EXPECT_TRUE(transport.send(0, 1, net::Tag::kCacheRequest,
+                             CacheRequest{2, 0}));
+  transport.close();
+}
+
+// --- exactly-once result ledger -------------------------------------------
+
+TEST(ResultLedger, FirstResultWinsLaterOnesDrop) {
+  ResultLedger ledger(4, 2);
+  ledger.grant(1, dnc::root_region(4), /*reexecution=*/false);
+
+  EXPECT_TRUE(ledger.record(0, 1));
+  EXPECT_FALSE(ledger.record(0, 1)) << "duplicates are dropped";
+  EXPECT_FALSE(ledger.record(0, 1));
+  EXPECT_TRUE(ledger.record(0, 2));
+  EXPECT_EQ(ledger.delivered(), 2u);
+  EXPECT_EQ(ledger.duplicates(), 2u);
+  EXPECT_EQ(ledger.max_epoch(), 0u);
+}
+
+TEST(ResultLedger, UndeliveredRegionsCoalesceIntoRowRuns) {
+  const dnc::ItemIndex n = 8;
+  ResultLedger ledger(n, 3);
+  ledger.grant(1, dnc::root_region(n), false);
+
+  // Deliver a prefix of row 0 and a mid-row pair of row 3: the remainder
+  // must come back as exact row runs — no over- or under-coverage.
+  ASSERT_TRUE(ledger.record(0, 1));
+  ASSERT_TRUE(ledger.record(0, 2));
+  ASSERT_TRUE(ledger.record(0, 3));
+  ASSERT_TRUE(ledger.record(3, 5));
+
+  const auto regions = ledger.undelivered_of(1);
+  PairSet expected;
+  dnc::for_each_pair(dnc::root_region(n), [&](const dnc::Pair& p) {
+    expected.insert({p.left, p.right});
+  });
+  expected.erase({0, 1});
+  expected.erase({0, 2});
+  expected.erase({0, 3});
+  expected.erase({3, 5});
+  EXPECT_EQ(pair_set(regions), expected);
+  for (const auto& region : regions) {
+    EXPECT_EQ(region.row_end, region.row_begin + 1) << "row runs only";
+  }
+  // Row 3 splits around the delivered pair: (3,4) and (3,6..7).
+  EXPECT_TRUE(std::find(regions.begin(), regions.end(),
+                        dnc::Region{3, 4, 4, 5, 0}) != regions.end());
+  EXPECT_TRUE(std::find(regions.begin(), regions.end(),
+                        dnc::Region{3, 4, 6, 8, 0}) != regions.end());
+
+  // An unknown owner holds nothing.
+  EXPECT_TRUE(ledger.undelivered_of(2).empty());
+}
+
+TEST(ResultLedger, TransferMovesOnlyUndeliveredPairs) {
+  const dnc::ItemIndex n = 6;
+  ResultLedger ledger(n, 3);
+  const auto root = dnc::root_region(n);
+  ledger.grant(1, root, false);
+  ASSERT_TRUE(ledger.record(0, 1));
+
+  // Steal-transfer notice: everything undelivered now belongs to node 2;
+  // the delivered pair's race is already over and stays put.
+  ledger.transfer(root, 2);
+  EXPECT_TRUE(ledger.undelivered_of(1).empty());
+  PairSet expected;
+  dnc::for_each_pair(root, [&](const dnc::Pair& p) {
+    expected.insert({p.left, p.right});
+  });
+  expected.erase({0, 1});
+  EXPECT_EQ(pair_set(ledger.undelivered_of(2)), expected);
+
+  // A survivor re-grant bumps the re-execution epoch of live pairs only.
+  ledger.grant(0, dnc::Region{0, 1, 1, 6, 0}, /*reexecution=*/true);
+  EXPECT_EQ(ledger.regions_regranted(), 1u);
+  EXPECT_EQ(ledger.max_epoch(), 1u);
+}
+
+// --- mediator chain-walk cap and prune ------------------------------------
+
+TEST(DistributedDirectory, ChainWalkCapTruncatesAndCounts) {
+  cache::DistributedDirectory directory(/*max_candidates=*/4,
+                                        /*max_chain_hops=*/1);
+  const cache::ItemId item = 9;
+  EXPECT_TRUE(directory.on_request(item, 1).empty());
+  EXPECT_EQ(directory.on_request(item, 2), (std::vector<cache::NodeId>{1}));
+  EXPECT_EQ(directory.stats().chain_aborts, 0u);
+
+  // Three candidates known; the hand-out is capped at one hop and the
+  // truncation is counted.
+  EXPECT_EQ(directory.on_request(item, 3), (std::vector<cache::NodeId>{2}));
+  EXPECT_EQ(directory.on_request(item, 4), (std::vector<cache::NodeId>{3}));
+  EXPECT_EQ(directory.stats().chain_aborts, 2u);
+}
+
+TEST(DistributedDirectory, RemoveNodePrunesCandidates) {
+  cache::DistributedDirectory directory(4);
+  const cache::ItemId item = 9;
+  directory.on_request(item, 1);
+  directory.on_request(item, 2);
+  directory.on_request(item, 3);
+  ASSERT_EQ(directory.candidates(item),
+            (std::vector<cache::NodeId>{3, 2, 1}));
+
+  // The failure detector's prune: a dead node must never be handed out
+  // as a candidate again.
+  directory.remove_node(2);
+  EXPECT_EQ(directory.candidates(item), (std::vector<cache::NodeId>{3, 1}));
+  EXPECT_EQ(directory.on_request(item, 4),
+            (std::vector<cache::NodeId>{3, 1}));
+}
+
+// --- heartbeat / lease failure detector -----------------------------------
+
+/// p MeshNodes with the failure model live: the master runs the lease
+/// detector over a small ledger, non-masters heartbeat. No runtimes.
+struct DetectorHarness {
+  static constexpr std::uint32_t kNodes = 3;
+  static constexpr dnc::ItemIndex kItems = 8;
+
+  InProcessTransport transport{kNodes};
+  std::shared_ptr<std::atomic<bool>> done =
+      std::make_shared<std::atomic<bool>>(false);
+  std::vector<std::unique_ptr<MeshNode>> nodes;
+  bool joined = false;
+
+  DetectorHarness() {
+    for (NodeId id = 0; id < kNodes; ++id) {
+      MeshNode::Config mc;
+      mc.id = id;
+      if (id == MeshNode::kMaster) {
+        // Generous lease vs heartbeat period: a healthy node missing a
+        // verdict here would be a detector bug, not scheduling jitter.
+        mc.lease_timeout_s = 0.25;
+        mc.ledger_items = kItems;
+        mc.initial_grants = dnc::partition_root(kItems, kNodes, 2);
+      } else {
+        mc.heartbeat_interval_s = 0.02;
+      }
+      nodes.push_back(std::make_unique<MeshNode>(mc, transport, done));
+    }
+    for (auto& node : nodes) node->start();
+  }
+
+  ~DetectorHarness() { shutdown(); }
+
+  void shutdown() {
+    if (joined) return;
+    joined = true;
+    transport.close();
+    for (auto& node : nodes) node->join();
+  }
+
+  /// Spin until `node` is declared dead at every live observer.
+  bool await_verdict(NodeId node, std::vector<NodeId> observers,
+                     double timeout_s = 5.0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(timeout_s);
+    while (std::chrono::steady_clock::now() < deadline) {
+      bool all = true;
+      for (const NodeId observer : observers) {
+        all = all && nodes[observer]->is_dead(node);
+      }
+      if (all) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return false;
+  }
+};
+
+TEST(FailureDetector, MissedLeasesTriggerClusterWideVerdict) {
+  DetectorHarness mesh;
+
+  // Healthy cluster: heartbeats renew every lease, nobody is declared.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  EXPECT_FALSE(mesh.nodes[0]->is_dead(1));
+  EXPECT_FALSE(mesh.nodes[0]->is_dead(2));
+
+  // Kill node 2: its silence exceeds the lease and the master's verdict
+  // is broadcast — the surviving peer learns it too.
+  mesh.transport.set_down(2);
+  EXPECT_TRUE(mesh.await_verdict(2, {0, 1}));
+  EXPECT_FALSE(mesh.nodes[0]->is_dead(1)) << "healthy node unaffected";
+
+  mesh.shutdown();
+  FailoverStats failover = mesh.nodes[0]->failover_stats();
+  for (NodeId id = 1; id < DetectorHarness::kNodes; ++id) {
+    failover += mesh.nodes[id]->failover_stats();
+  }
+  EXPECT_GE(failover.node_deaths, 1u);
+  // Node 2's initial grant had no delivered results: every one of its
+  // pairs was re-granted to a survivor, and a survivor adopted them.
+  EXPECT_GE(failover.regions_reexecuted, 1u);
+  EXPECT_GE(failover.regions_adopted, 1u);
+}
+
+TEST(FailureDetector, OneWayPartitionStillDrawsVerdict) {
+  DetectorHarness mesh;
+
+  // Node 1 can receive but not send: its heartbeats vanish, so the master
+  // must declare it — a false positive from the node's point of view,
+  // which the ledger's dedup makes correctness-safe (DESIGN.md §12).
+  mesh.transport.set_link_down(1, 0);
+  EXPECT_TRUE(mesh.await_verdict(1, {0, 2}));
+  EXPECT_FALSE(mesh.transport.is_down(1)) << "the node itself is alive";
+
+  mesh.shutdown();
+  FailoverStats failover = mesh.nodes[0]->failover_stats();
+  EXPECT_GE(failover.node_deaths, 1u);
+  EXPECT_GE(failover.regions_reexecuted, 1u);
+}
+
+// --- orphaned steal regions under a racing death (TSAN target) -------------
+
+TEST(StealFailover, OrphanedRegionsExecuteExactlyOnce) {
+  // Two mesh nodes, real executors, no failure detector: node 0 owns the
+  // whole pair space and exports work, node 1 owns nothing and lives off
+  // stealing. Node 1 is killed mid-run, so in-flight steal replies race
+  // the kill three ways: delivered-and-executed on the thief, queued on
+  // the wire (still drained — it was sent before the crash), or rejected
+  // at send, in which case the victim parks the region as an orphan and
+  // re-adopts it through its own steal hook. Every pair must execute
+  // exactly once across both nodes — no loss, no re-execution.
+  const dnc::ItemIndex n = 48;
+  const auto root = dnc::root_region(n);
+  const std::uint64_t total = dnc::count_pairs(root);
+
+  InProcessTransport transport(2);
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  std::vector<std::unique_ptr<MeshNode>> nodes;
+  for (NodeId id = 0; id < 2; ++id) {
+    MeshNode::Config mc;
+    mc.id = id;
+    mc.num_workers = 2;
+    mc.seed = 17 + id;
+    nodes.push_back(std::make_unique<MeshNode>(mc, transport, done));
+  }
+  for (auto& node : nodes) node->start();
+
+  std::mutex mutex;
+  std::map<std::pair<dnc::ItemIndex, dnc::ItemIndex>, int> counts;
+  std::atomic<std::uint64_t> executed{0};
+  const auto leaf = [&](const dnc::Region& region, std::uint32_t) {
+    std::uint64_t batch = 0;
+    {
+      std::scoped_lock lock(mutex);
+      dnc::for_each_pair(region, [&](const dnc::Pair& p) {
+        ++counts[{p.left, p.right}];
+        ++batch;
+      });
+    }
+    if (executed.fetch_add(batch, std::memory_order_acq_rel) + batch ==
+        total) {
+      done->store(true, std::memory_order_release);
+      for (auto& node : nodes) node->wake();
+    }
+  };
+
+  // Kill the thief once a quarter of the work has run — deep inside the
+  // steal traffic, not before it starts or after it drains.
+  std::thread killer([&] {
+    while (!done->load(std::memory_order_acquire) &&
+           executed.load(std::memory_order_acquire) < total / 4) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    transport.set_down(1);
+  });
+
+  steal::StealExporter exporter;
+  nodes[0]->register_exporter(&exporter);
+  std::thread victim([&] {
+    steal::StealExecutor::Config ec;
+    ec.num_workers = 2;
+    ec.max_leaf_pairs = 4;  // many leaves => many steals
+    ec.seed = 5;
+    steal::StealExecutor ex(ec);
+    steal::StealExecutor::RemoteHooks hooks;
+    hooks.steal = [&](std::uint32_t w) { return nodes[0]->remote_steal(w); };
+    hooks.done = [&] { return nodes[0]->global_done(); };
+    ex.run_partition({root}, leaf, hooks, &exporter);
+  });
+  std::thread thief([&] {
+    steal::StealExecutor::Config ec;
+    ec.num_workers = 2;
+    ec.max_leaf_pairs = 4;
+    ec.seed = 6;
+    steal::StealExecutor ex(ec);
+    steal::StealExecutor::RemoteHooks hooks;
+    hooks.steal = [&](std::uint32_t w) { return nodes[1]->remote_steal(w); };
+    hooks.done = [&] { return nodes[1]->global_done(); };
+    ex.run_partition({}, leaf, hooks, nullptr);
+  });
+
+  victim.join();
+  thief.join();
+  killer.join();
+  nodes[0]->register_exporter(nullptr);
+  transport.close();
+  for (auto& node : nodes) node->join();
+
+  EXPECT_EQ(executed.load(), total);
+  ASSERT_EQ(counts.size(), total);
+  for (const auto& [pair, count] : counts) {
+    EXPECT_EQ(count, 1) << "pair (" << pair.first << "," << pair.second
+                        << ") executed " << count << " times";
+  }
+}
+
+// --- chaos acceptance matrix ----------------------------------------------
+
+ResultMap single_node_reference(const runtime::Application& app,
+                                storage::ObjectStore& store) {
+  runtime::NodeRuntime::Config cfg;
+  cfg.devices = {gpu::titanx_maxwell()};
+  cfg.host_cache_capacity = 64_MiB;
+  cfg.cpu_threads = 2;
+  runtime::NodeRuntime rt(cfg);
+  ResultMap results;
+  std::mutex mutex;
+  rt.run(app, store, [&](const PairResult& r) {
+    std::scoped_lock lock(mutex);
+    results[{r.left, r.right}] = r.score;
+  });
+  return results;
+}
+
+struct ChaosOutcome {
+  ResultMap results;
+  LiveClusterReport report;
+};
+
+/// A 4-node cluster with an aggressive failover clock (millisecond leases
+/// and fetch deadlines) and the given kill schedule.
+ChaosOutcome run_chaos(const runtime::Application& app,
+                       storage::ObjectStore& store, FaultSchedule faults) {
+  LiveClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.node.devices = {gpu::titanx_maxwell()};
+  cfg.node.host_cache_capacity = 64_MiB;
+  cfg.node.cpu_threads = 2;
+  cfg.node.cache_shards = 2;
+  cfg.hop_limit = 2;
+  cfg.max_chain_hops = 1;  // exercise the chain-walk cap under churn
+  cfg.heartbeat_interval_s = 0.005;
+  cfg.lease_timeout_s = 0.05;
+  cfg.fetch_timeout_s = 0.02;
+  cfg.max_fetch_retries = 2;
+  cfg.faults = std::move(faults);
+  LiveCluster cluster(cfg);
+
+  ChaosOutcome outcome;
+  outcome.report = cluster.run_all_pairs(
+      app, store, [&](const PairResult& r) {
+        outcome.results[{r.left, r.right}] = r.score;
+      });
+  return outcome;
+}
+
+void expect_survived_exactly(const ChaosOutcome& outcome,
+                             const ResultMap& expected,
+                             std::uint64_t min_deaths) {
+  // The tentpole guarantee: the exact single-node result multiset, with
+  // every re-executed duplicate dropped at the master — never
+  // double-counted, never lost.
+  EXPECT_EQ(outcome.results, expected);
+  EXPECT_EQ(outcome.report.pairs, expected.size());
+  EXPECT_GE(outcome.report.node_deaths, min_deaths);
+  EXPECT_GT(outcome.report.regions_reexecuted, 0u)
+      << "a mid-run death must orphan work";
+  EXPECT_EQ(outcome.report.failover.results_received,
+            outcome.report.pairs + outcome.report.duplicate_results_dropped)
+      << "every received result is either delivered once or dropped";
+}
+
+TEST(ChaosMatrix, SingleKillsPreserveExactResults) {
+  storage::MemoryStore store;
+  apps::ForensicsConfig fc;
+  fc.cameras = 4;
+  fc.images_per_camera = 5;
+  fc.width = 48;
+  fc.height = 40;
+  fc.seed = 17;
+  apps::ForensicsDataset dataset(fc, store);
+  apps::ForensicsApplication app(dataset);
+  const ResultMap expected = single_node_reference(app, store);
+  ASSERT_EQ(expected.size(), 20ull * 19 / 2);
+
+  // Kill each non-master node at an early, mid and late point of the
+  // message stream. Message triggers make the schedules replayable
+  // independent of wall-clock speed.
+  for (const NodeId victim : {1u, 2u, 3u}) {
+    for (const std::uint64_t after : {5ull, 35ull, 90ull}) {
+      SCOPED_TRACE("kill node " + std::to_string(victim) + " after " +
+                   std::to_string(after) + " messages");
+      FaultSchedule schedule;
+      schedule.faults.push_back(Fault{victim, after, 0.0});
+      const auto outcome = run_chaos(app, store, std::move(schedule));
+      expect_survived_exactly(outcome, expected, 1);
+    }
+  }
+}
+
+TEST(ChaosMatrix, TwoNodeDeathsSurvived) {
+  storage::MemoryStore store;
+  apps::ForensicsConfig fc;
+  fc.cameras = 4;
+  fc.images_per_camera = 5;
+  fc.width = 48;
+  fc.height = 40;
+  fc.seed = 29;
+  apps::ForensicsDataset dataset(fc, store);
+  apps::ForensicsApplication app(dataset);
+  const ResultMap expected = single_node_reference(app, store);
+
+  // Two of the three workers die at different points; the master and one
+  // survivor absorb the whole pair space.
+  FaultSchedule schedule;
+  schedule.faults.push_back(Fault{1, 20, 0.0});
+  schedule.faults.push_back(Fault{2, 70, 0.0});
+  const auto outcome = run_chaos(app, store, std::move(schedule));
+  expect_survived_exactly(outcome, expected, 2);
+}
+
+TEST(ChaosMatrix, SeededSingleKillScheduleReplays) {
+  storage::MemoryStore store;
+  apps::ForensicsConfig fc;
+  fc.cameras = 4;
+  fc.images_per_camera = 5;
+  fc.width = 48;
+  fc.height = 40;
+  fc.seed = 31;
+  apps::ForensicsDataset dataset(fc, store);
+  apps::ForensicsApplication app(dataset);
+  const ResultMap expected = single_node_reference(app, store);
+
+  // The randomized-sweep entry point: a seed fully determines the kill.
+  const auto schedule = FaultSchedule::single_kill(99, 4, 120);
+  ASSERT_EQ(schedule.faults.size(), 1u);
+  const auto outcome = run_chaos(app, store, schedule);
+  expect_survived_exactly(outcome, expected, 1);
+}
+
+// --- bounded kFailed retry: the terminal paths -----------------------------
+
+TEST(NodeRuntime, ExhaustedAcquireRetriesFailPairsAndTerminate) {
+  // A missing input makes every fill of that item abort, so queued
+  // waiters see kFailed grants. With a zero retry budget each kFailed
+  // goes straight to its terminal path (host-level load bypass, NaN
+  // pair, failed tile item) — the run must still terminate with every
+  // other pair exact, in both execution modes.
+  storage::MemoryStore store;
+  apps::MicroscopyConfig mc;
+  mc.particles = 5;
+  mc.binding_sites = 8;
+  mc.localizations_per_site_min = 3;
+  mc.localizations_per_site_max = 5;
+  apps::MicroscopyDataset dataset(mc, store);
+  apps::MicroscopyApplication app(dataset);
+
+  const ResultMap expected = single_node_reference(app, store);
+
+  storage::MemoryStore broken;
+  for (ItemId i = 0; i < 5; ++i) {
+    if (i == 2) continue;
+    broken.put(app.file_name(i), store.read(app.file_name(i)));
+  }
+
+  for (const bool tile_batching : {true, false}) {
+    SCOPED_TRACE(tile_batching ? "tile-batched" : "per-pair");
+    runtime::NodeRuntime::Config rt;
+    rt.cpu_threads = 2;
+    rt.host_cache_capacity = 1_MiB;
+    rt.tile_batching = tile_batching;
+    rt.max_acquire_retries = 0;  // first kFailed is terminal
+    runtime::NodeRuntime runtime(rt);
+    ResultMap actual;
+    std::mutex mutex;
+    const auto report =
+        runtime.run(app, broken, [&](const PairResult& r) {
+          std::scoped_lock lock(mutex);
+          actual[{r.left, r.right}] = r.score;
+        });
+
+    ASSERT_EQ(actual.size(), expected.size());
+    for (const auto& [pair, score] : actual) {
+      if (pair.first == 2 || pair.second == 2) {
+        EXPECT_TRUE(std::isnan(score));
+      } else {
+        EXPECT_NEAR(score, expected.at(pair), 1e-9);
+      }
+    }
+    EXPECT_EQ(report.pairs, expected.size());
+  }
+}
+
+}  // namespace
+}  // namespace rocket::mesh

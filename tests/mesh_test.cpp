@@ -300,6 +300,14 @@ TEST(LiveCluster, FourNodeForensicsMatchesSingleNodeExactly) {
   EXPECT_EQ(actual, expected);
   EXPECT_EQ(report.pairs, pairs);
 
+  // No faults injected: the failure machinery (heartbeats, leases, the
+  // master's ledger) runs but must be invisible — no verdicts, no
+  // re-execution, no dropped results.
+  EXPECT_EQ(report.node_deaths, 0u);
+  EXPECT_EQ(report.regions_reexecuted, 0u);
+  EXPECT_EQ(report.duplicate_results_dropped, 0u);
+  EXPECT_EQ(report.failover.results_received, pairs);
+
   // Peer fetches actually replaced storage reads.
   EXPECT_GT(report.directory.chain_hits, 0u);
   EXPECT_GT(report.peer_loads, 0u);
