@@ -16,16 +16,70 @@
 //                                            must land inside the run — a
 //                                            mid-run kill stretches the run
 //                                            until recovery completes)
+//                      [--live-stats]       (stream per-node cluster
+//                                            snapshots mid-run, DESIGN §13)
+//                      [--snapshot-interval T]  (seconds, 0.2)
+//                      [--trace-out F]      (Chrome trace_event JSON of all
+//                                            nodes on one aligned timeline;
+//                                            load in Perfetto/about:tracing)
+//                      [--summary-out F]    (rocket.run_summary/1 JSON)
+
+#include <unistd.h>
 
 #include <cmath>
 #include <cstdio>
 #include <map>
 #include <mutex>
+#include <string>
 
 #include "common/options.hpp"
 #include "common/table.hpp"
 #include "apps/forensics.hpp"
 #include "rocket/rocket.hpp"
+#include "telemetry/run_summary.hpp"
+#include "telemetry/trace.hpp"
+
+namespace {
+
+// Mid-run snapshot printer (--live-stats): one block per ClusterSnapshot,
+// rewritten in place on a tty (cursor-up), appended otherwise. Runs on the
+// master's service thread, so printing needs no extra serialisation.
+class LiveStatsPrinter {
+ public:
+  void print(const rocket::telemetry::ClusterSnapshot& snap) {
+    tty_ = isatty(fileno(stdout)) != 0;
+    if (tty_ && lines_ > 0) std::printf("\x1b[%zuA", lines_);
+    lines_ = 0;
+    emit("[snapshot %llu @ %.1fs] %llu pairs done, %.0f pairs/s cluster-wide",
+         static_cast<unsigned long long>(snap.seq), snap.uptime_seconds,
+         static_cast<unsigned long long>(snap.total_pairs),
+         snap.cluster_pairs_per_sec);
+    for (const auto& node : snap.nodes) {
+      emit("  node %u %-5s %8.0f pairs/s  busy %5.1f%%  cache hit %5.1f%%  "
+           "in-flight %lld  queue %lld  steals %llu",
+           node.node, node.alive ? "alive" : "DEAD", node.pairs_per_sec,
+           100.0 * node.busy_fraction, 100.0 * node.cache_hit_rate,
+           static_cast<long long>(node.stats.in_flight_tiles),
+           static_cast<long long>(node.stats.result_queue_depth),
+           static_cast<unsigned long long>(node.stats.remote_steals));
+    }
+    std::fflush(stdout);
+  }
+
+ private:
+  template <typename... Args>
+  void emit(const char* fmt, Args... args) {
+    if (tty_) std::printf("\x1b[K");  // clear stale tail when rewriting
+    std::printf(fmt, args...);
+    std::printf("\n");
+    ++lines_;
+  }
+
+  bool tty_ = false;
+  std::size_t lines_ = 0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const rocket::Options opts(argc, argv);
@@ -67,6 +121,20 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(opts.get_int("cache-shards", 0));
   mesh_cfg.node.prefetch_tiles =
       static_cast<std::uint32_t>(opts.get_int("prefetch", 0));
+
+  // Telemetry surfaces (DESIGN.md §13).
+  const bool live_stats = opts.get_bool("live-stats", false);
+  const std::string trace_out = opts.get("trace-out", "");
+  const std::string summary_out = opts.get("summary-out", "");
+  LiveStatsPrinter stats_printer;
+  if (live_stats) {
+    mesh_cfg.snapshot_interval_s = opts.get_double("snapshot-interval", 0.2);
+    mesh_cfg.on_cluster_snapshot =
+        [&stats_printer](const rocket::telemetry::ClusterSnapshot& snap) {
+          stats_printer.print(snap);
+        };
+  }
+  if (!trace_out.empty()) mesh_cfg.node.trace = true;
 
   // Chaos: kill a non-master node mid-run (DESIGN.md §12). The run must
   // still finish with the exact single-node multiset — the failure
@@ -133,7 +201,7 @@ int main(int argc, char** argv) {
   std::printf("\n%s\n", node_table.render().c_str());
 
   rocket::TableWriter traffic("network traffic by tag");
-  traffic.set_header({"tag", "messages", "bytes"});
+  traffic.set_header({"tag", "messages", "wire_bytes", "raw_bytes"});
   for (std::size_t t = 0;
        t < static_cast<std::size_t>(rocket::net::Tag::kCount); ++t) {
     const auto& per_tag = report.traffic.per_tag[t];
@@ -142,9 +210,22 @@ int main(int argc, char** argv) {
                      rocket::TableWriter::integer(
                          static_cast<long long>(per_tag.messages)),
                      rocket::TableWriter::integer(
-                         static_cast<long long>(per_tag.bytes))});
+                         static_cast<long long>(per_tag.bytes)),
+                     rocket::TableWriter::integer(
+                         static_cast<long long>(per_tag.raw_bytes))});
   }
   std::printf("%s\n", traffic.render().c_str());
+  if (report.traffic.total_raw_bytes() > report.traffic.total_bytes()) {
+    std::printf("compression: %llu raw bytes -> %llu on the wire (%.1f%% "
+                "saved)\n",
+                static_cast<unsigned long long>(
+                    report.traffic.total_raw_bytes()),
+                static_cast<unsigned long long>(report.traffic.total_bytes()),
+                100.0 *
+                    (1.0 - static_cast<double>(report.traffic.total_bytes()) /
+                               static_cast<double>(
+                                   report.traffic.total_raw_bytes())));
+  }
 
   const auto& dir = report.directory;
   const double hit_rate =
@@ -183,6 +264,32 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     report.duplicate_results_dropped),
                 static_cast<unsigned long long>(report.peer_retries));
+  }
+
+  if (!trace_out.empty()) {
+    rocket::telemetry::TraceExporter exporter;
+    for (std::size_t i = 0; i < report.nodes.size(); ++i) {
+      exporter.add_node(static_cast<std::uint32_t>(i),
+                        report.nodes[i].trace);
+    }
+    if (exporter.write_file(trace_out)) {
+      std::printf("trace: wrote %s (load in Perfetto or about:tracing)\n",
+                  trace_out.c_str());
+    } else {
+      std::printf("trace: FAILED to write %s\n", trace_out.c_str());
+      return 1;
+    }
+  }
+  if (!summary_out.empty()) {
+    const auto summary = rocket::telemetry::RunSummary::from_cluster(
+        "forensics", nodes, report);
+    if (summary.write_file(summary_out)) {
+      std::printf("summary: wrote %s (%s)\n", summary_out.c_str(),
+                  rocket::telemetry::RunSummary::kSchema);
+    } else {
+      std::printf("summary: FAILED to write %s\n", summary_out.c_str());
+      return 1;
+    }
   }
 
   // The mesh must reproduce the single-node result multiset exactly.

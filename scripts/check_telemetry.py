@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validate Rocket's telemetry artifacts (CI smoke, DESIGN.md section 13).
+
+Usage:
+    check_telemetry.py summary <run_summary.json> [--nodes N]
+    check_telemetry.py trace <trace.json> [--nodes N]
+
+Checks that a run summary carries the documented rocket.run_summary/1
+schema keys and the expected node count, and that a Chrome trace names one
+process per node with timestamped events on the shared timeline. Exits
+non-zero with a message on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+SUMMARY_KEYS = [
+    "schema", "app", "mode", "num_nodes", "pairs", "wall_seconds",
+    "pairs_per_sec", "loads", "peer_loads", "remote_steals",
+    "cache_fast_hits", "prefetch_hits", "stall_seconds", "host_cache",
+    "directory", "peer_cache", "failover", "traffic", "node_traffic",
+    "metrics", "nodes",
+]
+
+HISTOGRAM_KEYS = ["name", "count", "mean_s", "p50_s", "p99_s", "min_s",
+                  "max_s"]
+
+
+def fail(message):
+    print(f"check_telemetry: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_summary(path, nodes):
+    doc = json.load(open(path))
+    for key in SUMMARY_KEYS:
+        if key not in doc:
+            fail(f"{path}: missing key {key!r}")
+    if doc["schema"] != "rocket.run_summary/1":
+        fail(f"{path}: unexpected schema {doc['schema']!r}")
+    if nodes is not None:
+        if doc["num_nodes"] != nodes:
+            fail(f"{path}: num_nodes {doc['num_nodes']} != {nodes}")
+        if len(doc["nodes"]) != nodes:
+            fail(f"{path}: {len(doc['nodes'])} node entries != {nodes}")
+        if len(doc["node_traffic"]) != nodes:
+            fail(f"{path}: {len(doc['node_traffic'])} traffic tables "
+                 f"!= {nodes}")
+    for tag in doc["traffic"]["per_tag"]:
+        if tag["raw_bytes"] < tag["bytes"]:
+            fail(f"{path}: tag {tag['tag']!r} raw_bytes < wire bytes")
+    for hist in doc["metrics"]["histograms"]:
+        for key in HISTOGRAM_KEYS:
+            if key not in hist:
+                fail(f"{path}: histogram {hist.get('name')!r} missing "
+                     f"{key!r}")
+    if doc["pairs"] == 0:
+        fail(f"{path}: zero pairs recorded")
+    print(f"check_telemetry: OK: {path} ({doc['pairs']} pairs, "
+          f"{len(doc['nodes'])} nodes, "
+          f"{len(doc['metrics']['histograms'])} histograms)")
+
+
+def check_trace(path, nodes):
+    doc = json.load(open(path))
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents")
+    process_names = {e["pid"]: e["args"]["name"] for e in events
+                     if e.get("ph") == "M" and e.get("name") == "process_name"}
+    if nodes is not None and len(process_names) != nodes:
+        fail(f"{path}: {len(process_names)} process_name entries != {nodes}")
+    spans = [e for e in events if e.get("ph") == "X"]
+    if not spans:
+        fail(f"{path}: no complete ('X') span events")
+    for e in spans:
+        for key in ("pid", "tid", "ts", "dur", "name"):
+            if key not in e:
+                fail(f"{path}: span missing {key!r}: {e}")
+        if e["ts"] < 0 or e["dur"] < 0:
+            fail(f"{path}: negative ts/dur: {e}")
+    span_pids = {e["pid"] for e in spans}
+    if nodes is not None and len(span_pids) != nodes:
+        fail(f"{path}: spans cover {len(span_pids)} nodes, expected {nodes}")
+    instants = [e for e in events if e.get("ph") == "i"]
+    print(f"check_telemetry: OK: {path} ({len(spans)} spans over "
+          f"{len(span_pids)} nodes, {len(instants)} instant events)")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("kind", choices=["summary", "trace"])
+    parser.add_argument("path")
+    parser.add_argument("--nodes", type=int, default=None)
+    args = parser.parse_args()
+    if args.kind == "summary":
+        check_summary(args.path, args.nodes)
+    else:
+        check_trace(args.path, args.nodes)
+
+
+if __name__ == "__main__":
+    main()

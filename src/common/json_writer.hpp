@@ -1,0 +1,68 @@
+#pragma once
+
+// Minimal streaming JSON writer for Rocket's machine-readable outputs
+// (RunSummary, the Chrome trace exporter, bench emissions). No DOM, no
+// allocation beyond the output string: callers drive begin/end and
+// key/value in document order and the writer handles commas, string
+// escaping and non-finite number sanitisation (NaN/Inf are not JSON —
+// they are emitted as null so downstream `json.load` never chokes on a
+// failed pair's sentinel score).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rocket {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by exactly one value (or a
+  /// begin_object/begin_array).
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(bool flag);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint32_t number) {
+    return value(static_cast<std::uint64_t>(number));
+  }
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& null();
+
+  /// key + value in one call, for the common object-member case.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  const std::string& str() const { return out_; }
+
+  /// Write `str()` to `path`; false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  /// Write an already-serialised document to `path`; false on I/O failure.
+  static bool write_string_to_file(const std::string& path,
+                                   const std::string& content);
+
+ private:
+  void pre_value();
+  void append_escaped(std::string_view text);
+
+  std::string out_;
+  /// One frame per open container: true once the first element landed
+  /// (so the next one needs a comma separator).
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace rocket

@@ -5,8 +5,36 @@
 
 namespace rocket {
 
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) {
+    lower.push_back(static_cast<char>(
+        c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning" || lower == "2") {
+    return LogLevel::kWarn;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  if (lower == "off" || lower == "none" || lower == "4") {
+    return LogLevel::kOff;
+  }
+  return std::nullopt;
+}
+
 Logger& Logger::instance() {
   static Logger logger;
+  // Applied once, on first use (thread-safe by static-init rules); an
+  // unparsable value keeps the library default.
+  static const bool env_applied = [] {
+    if (const char* env = std::getenv("ROCKET_LOG_LEVEL")) {
+      if (const auto level = parse_log_level(env)) logger.set_level(*level);
+    }
+    return true;
+  }();
+  (void)env_applied;
   return logger;
 }
 

@@ -1,15 +1,25 @@
 #pragma once
 
 // Minimal levelled logger. Rocket is a library: logging defaults to WARN so
-// that embedding applications stay quiet; benches flip it to INFO.
+// that embedding applications stay quiet; benches flip it to INFO. The
+// ROCKET_LOG_LEVEL environment variable (debug|info|warn|error|off, or the
+// numeric level) overrides the default at first use — the observability
+// escape hatch when you cannot recompile the embedding application.
 
 #include <cstdio>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 
 namespace rocket {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Parse a ROCKET_LOG_LEVEL value: case-insensitive level names
+/// ("debug", "info", "warn"/"warning", "error", "off"/"none") or a bare
+/// digit 0-4. nullopt on anything else (the caller keeps its default).
+std::optional<LogLevel> parse_log_level(std::string_view text);
 
 class Logger {
  public:

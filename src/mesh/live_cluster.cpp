@@ -9,12 +9,21 @@
 
 #include "common/log.hpp"
 #include "dnc/pair_space.hpp"
+#include "telemetry/trace.hpp"
 
 namespace rocket::mesh {
+
+telemetry::ClusterSnapshot LiveCluster::cluster_snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return latest_snapshot_;
+}
 
 LiveCluster::Report LiveCluster::run_all_pairs(
     const runtime::Application& app, storage::ObjectStore& store,
     const runtime::NodeRuntime::ResultFn& on_result) {
+  // Pin the shared trace epoch before any node starts so every node's
+  // lanes and events land on one aligned timeline (DESIGN.md §13).
+  telemetry::process_epoch();
   const std::uint32_t p = std::max(1u, config_.num_nodes);
   const std::uint32_t n = app.item_count();
   const std::uint64_t total_pairs = dnc::count_pairs(dnc::root_region(n));
@@ -36,10 +45,22 @@ LiveCluster::Report LiveCluster::run_all_pairs(
   // meshes the master additionally runs the failure model (DESIGN.md §12):
   // the initial partition seeds its re-execution ledger, victims report
   // steal transfers, and heartbeat leases feed its failure detector.
+  // Per-node discrete-event streams (steals, deaths, re-grants, parks):
+  // shared by each node's mesh layer and engine, drained into the trace
+  // after the mesh joins (failover events can land after the engine has
+  // already assembled its report). Declared before `meshes` so the logs
+  // outlive the service threads that record into them.
+  std::vector<std::unique_ptr<telemetry::EventLog>> event_logs(p);
+  for (auto& log : event_logs) {
+    log = std::make_unique<telemetry::EventLog>();
+  }
+
   std::vector<std::unique_ptr<MeshNode>> meshes(p);
   for (NodeId id = 0; id < p; ++id) {
     MeshNode::Config mc;
     mc.id = id;
+    mc.events = event_logs[id].get();
+    mc.snapshot_interval_s = config_.snapshot_interval_s;
     mc.num_workers =
         static_cast<std::uint32_t>(config_.node.devices.size());
     mc.hop_limit = config_.hop_limit;
@@ -67,6 +88,13 @@ LiveCluster::Report LiveCluster::run_all_pairs(
         mc.ledger_items = n;
         mc.initial_grants = partition;
       }
+      mc.on_snapshot = [this](const telemetry::ClusterSnapshot& snap) {
+        {
+          std::lock_guard<std::mutex> lock(snapshot_mutex_);
+          latest_snapshot_ = snap;
+        }
+        if (config_.on_cluster_snapshot) config_.on_cluster_snapshot(snap);
+      };
     }
     meshes[id] = std::make_unique<MeshNode>(std::move(mc), transport, done);
   }
@@ -81,7 +109,9 @@ LiveCluster::Report LiveCluster::run_all_pairs(
   for (NodeId id = 0; id < p; ++id) {
     node_threads.emplace_back([&, id] {
       try {
-        runtime::NodeRuntime rt(config_.node);
+        runtime::NodeRuntime::Config ncfg = config_.node;
+        ncfg.event_log = event_logs[id].get();
+        runtime::NodeRuntime rt(std::move(ncfg));
         MeshNode& mesh = *meshes[id];
         runtime::MeshPort port;
         port.regions = partition[id];
@@ -95,6 +125,9 @@ LiveCluster::Report LiveCluster::run_all_pairs(
         };
         port.register_exporter = [&mesh](steal::StealExporter* exporter) {
           mesh.register_exporter(exporter);
+        };
+        port.register_stats = [&mesh](telemetry::NodeStatsFn fn) {
+          mesh.register_stats(std::move(fn));
         };
         node_reports[id] = rt.run_partition(
             app, shared_store,
@@ -128,6 +161,7 @@ LiveCluster::Report LiveCluster::run_all_pairs(
   report.pairs = total_pairs;
   report.wall_seconds = wall;
   report.traffic = transport.counters();
+  report.node_traffic.reserve(p);
   for (NodeId id = 0; id < p; ++id) {
     report.loads += node_reports[id].loads;
     report.peer_loads += node_reports[id].peer_loads;
@@ -139,6 +173,15 @@ LiveCluster::Report LiveCluster::run_all_pairs(
     report.cache_fast_hits += node_reports[id].cache_fast_hits;
     report.prefetch_hits += node_reports[id].prefetch_hits;
     report.stall_seconds += node_reports[id].stall_seconds;
+    report.metrics += node_reports[id].metrics;
+    report.metrics += meshes[id]->metrics_snapshot();
+    report.node_traffic.push_back(transport.node_counters(id));
+    // Re-drain the shared event log: the engine's report copy predates
+    // mesh teardown, and failover events (death verdicts, re-grants) can
+    // land on service threads after the engine has drained.
+    if (config_.node.trace) {
+      node_reports[id].trace.events = event_logs[id]->events();
+    }
   }
   report.node_deaths = report.failover.node_deaths;
   report.regions_reexecuted = report.failover.regions_reexecuted;

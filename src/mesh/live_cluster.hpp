@@ -19,6 +19,8 @@
 // steal victim to an empty-handed sweep; the run always terminates.
 
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <vector>
 
 #include "cache/distributed_directory.hpp"
@@ -27,6 +29,7 @@
 #include "net/tag.hpp"
 #include "runtime/node_runtime.hpp"
 #include "storage/object_store.hpp"
+#include "telemetry/snapshot.hpp"
 
 namespace rocket::mesh {
 
@@ -83,6 +86,18 @@ struct LiveClusterConfig {
   /// --kill-node). Node 0 is the master: killing it is not survivable and
   /// must not be scheduled (DESIGN.md §12).
   FaultSchedule faults;
+
+  // --- telemetry (DESIGN.md §13) ---
+
+  /// Snapshot streaming period: every node samples its runtime and ships
+  /// a telemetry::NodeStats to the master this often; the master folds
+  /// the streams into ClusterSnapshots (cluster_snapshot(), the callback
+  /// below, `live_mesh_demo --live-stats`). 0 disables the stream.
+  double snapshot_interval_s = 0.0;
+
+  /// Called on the master's service thread with each new ClusterSnapshot.
+  /// Must be cheap and must not re-enter the cluster.
+  std::function<void(const telemetry::ClusterSnapshot&)> on_cluster_snapshot;
 };
 
 struct LiveClusterReport {
@@ -111,6 +126,13 @@ struct LiveClusterReport {
   std::uint64_t peer_retries = 0;       // fetch retransmits, all nodes
   FailoverStats failover;               // full failover detail, aggregated
 
+  /// Name-merged metrics over every node's engine and mesh registries
+  /// (DESIGN.md §13): latency histograms add bucket-wise, counters add.
+  telemetry::MetricsSnapshot metrics;
+  /// Per-source-node traffic tables (indexed by node id); `traffic` above
+  /// is their element-wise sum.
+  std::vector<net::TrafficCounters> node_traffic;
+
   std::vector<runtime::NodeRuntime::Report> nodes;  // per-node detail
 };
 
@@ -130,10 +152,17 @@ class LiveCluster {
                        storage::ObjectStore& store,
                        const runtime::NodeRuntime::ResultFn& on_result);
 
+  /// Latest ClusterSnapshot the master has folded (empty, seq 0, before
+  /// the first interval elapses or when snapshot_interval_s == 0). Safe to
+  /// poll from any thread while run_all_pairs blocks another.
+  telemetry::ClusterSnapshot cluster_snapshot() const;
+
   const Config& config() const { return config_; }
 
  private:
   Config config_;
+  mutable std::mutex snapshot_mutex_;
+  telemetry::ClusterSnapshot latest_snapshot_;
 };
 
 }  // namespace rocket::mesh

@@ -75,6 +75,12 @@ MeshNode::MeshNode(Config config, Transport& transport,
       }
     }
   }
+  if (is_master()) snap_states_.assign(p, SnapState{});
+  steal_rtt_ = &metrics_.histogram("steal.rtt");
+  fetch_hit_ = &metrics_.histogram("peer_fetch.hit");
+  fetch_miss_ = &metrics_.histogram("peer_fetch.miss");
+  lease_slack_ = &metrics_.histogram("lease.slack");
+  fetch_retries_ = &metrics_.counter("peer_fetch.retry");
 }
 
 MeshNode::~MeshNode() { join(); }
@@ -93,7 +99,8 @@ void MeshNode::start() {
   const bool heartbeats =
       !is_master() && cfg_.heartbeat_interval_s > 0 && p > 1;
   const bool deadlines = cfg_.fetch_timeout_s > 0;
-  if (detector || heartbeats || deadlines) {
+  const bool snapshots = cfg_.snapshot_interval_s > 0;
+  if (detector || heartbeats || deadlines || snapshots) {
     ticker_ = std::thread([this] { ticker_loop(); });
   }
 }
@@ -145,6 +152,8 @@ void MeshNode::serve_loop() {
             on_steal_export(body);
           } else if constexpr (std::is_same_v<Body, RegionGrant>) {
             on_region_grant(body);
+          } else if constexpr (std::is_same_v<Body, TelemetrySnapshot>) {
+            on_telemetry(body);
           }
         },
         std::move(msg->body));
@@ -166,7 +175,11 @@ void MeshNode::ticker_loop() {
   if (cfg_.fetch_timeout_s > 0) {
     period_s = std::min(period_s, cfg_.fetch_timeout_s / 2);
   }
+  if (cfg_.snapshot_interval_s > 0) {
+    period_s = std::min(period_s, cfg_.snapshot_interval_s);
+  }
   const auto tick = seconds_to_duration(std::max(period_s, 1e-4));
+  next_snapshot_ = std::chrono::steady_clock::now();
 
   std::unique_lock lock(ticker_mutex_);
   while (!ticker_cv_.wait_for(lock, tick, [this] { return ticker_stop_; })) {
@@ -178,6 +191,12 @@ void MeshNode::ticker_loop() {
     }
     if (is_master() && cfg_.lease_timeout_s > 0) check_leases();
     if (cfg_.fetch_timeout_s > 0) check_fetch_deadlines();
+    if (cfg_.snapshot_interval_s > 0 &&
+        std::chrono::steady_clock::now() >= next_snapshot_) {
+      next_snapshot_ = std::chrono::steady_clock::now() +
+                       seconds_to_duration(cfg_.snapshot_interval_s);
+      publish_snapshot();
+    }
     lock.lock();
   }
 }
@@ -196,8 +215,13 @@ void MeshNode::check_leases() {
       declared_[k] = true;
       continue;
     }
-    if (now_ns - last_seen_ns_[k].load(std::memory_order_acquire) <
-        lease_ns) {
+    const std::int64_t silence_ns =
+        now_ns - last_seen_ns_[k].load(std::memory_order_acquire);
+    if (silence_ns < lease_ns) {
+      // Lease slack: how much margin the node had left when the detector
+      // looked. A slack distribution hugging zero means the timeout is
+      // about to false-positive on a healthy-but-busy cluster.
+      lease_slack_->record_ns(static_cast<std::uint64_t>(lease_ns - silence_ns));
       continue;
     }
     declared_[k] = true;
@@ -229,6 +253,12 @@ void MeshNode::check_fetch_deadlines() {
                                           1u << std::min(pending.attempts,
                                                          10u)));
         ++stats_.retries;
+        fetch_retries_->add();
+        if (cfg_.events != nullptr) {
+          cfg_.events->record(telemetry::EventKind::kFetchRetry,
+                              static_cast<std::uint32_t>(item),
+                              pending.attempts);
+        }
         retry.push_back(item);
       } else {
         ++stats_.timeouts;
@@ -266,10 +296,9 @@ void MeshNode::fetch(ItemId item, DoneFn done) {
                  "duplicate peer fetch for item");
     auto& pending = pending_[item];
     pending.done = std::move(done);
+    pending.t0 = std::chrono::steady_clock::now();
     if (cfg_.fetch_timeout_s > 0) {
-      pending.deadline =
-          std::chrono::steady_clock::now() +
-          seconds_to_duration(cfg_.fetch_timeout_s);
+      pending.deadline = pending.t0 + seconds_to_duration(cfg_.fetch_timeout_s);
     }
   }
   // Dead-peer fast path: a mediator already declared dead is not worth a
@@ -284,11 +313,13 @@ void MeshNode::fetch(ItemId item, DoneFn done) {
 void MeshNode::complete_fetch(ItemId item, runtime::PeerPayload payload,
                               std::uint32_t hops, bool hit) {
   DoneFn done;
+  std::chrono::steady_clock::time_point t0{};
   {
     std::scoped_lock lock(mutex_);
     const auto it = pending_.find(item);
     if (it == pending_.end()) return;
     done = std::move(it->second.done);
+    t0 = it->second.t0;
     pending_.erase(it);
     if (hit) {
       ++stats_.chain_hits;
@@ -299,6 +330,12 @@ void MeshNode::complete_fetch(ItemId item, runtime::PeerPayload payload,
       ++stats_.chain_misses;
     }
     directory_.record_chain_outcome(hit, hops);
+  }
+  if (t0.time_since_epoch().count() != 0) {
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    (hit ? fetch_hit_ : fetch_miss_)->record_seconds(elapsed);
   }
   done(std::move(payload));
 }
@@ -375,6 +412,7 @@ std::optional<dnc::Region> MeshNode::remote_steal(std::uint32_t worker) {
     if (!orphans_.empty()) {
       const dnc::Region out = orphans_.front();
       orphans_.pop_front();
+      remote_steal_count_.fetch_add(1, std::memory_order_relaxed);
       return out;
     }
   }
@@ -383,9 +421,14 @@ std::optional<dnc::Region> MeshNode::remote_steal(std::uint32_t worker) {
   if (!cell.regions.empty()) {
     const dnc::Region out = cell.regions.front();
     cell.regions.pop_front();
+    remote_steal_count_.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.events != nullptr) {
+      cfg_.events->record(telemetry::EventKind::kRemoteSteal, worker, 1);
+    }
     return out;
   }
   if (global_done()) return std::nullopt;
+  const auto t0 = std::chrono::steady_clock::now();
   if (cell.outstanding == 0) {
     // Uniform victim among the other *live* nodes (with nobody dead this
     // draws the same victim sequence as the pre-failure-model code).
@@ -415,6 +458,13 @@ std::optional<dnc::Region> MeshNode::remote_steal(std::uint32_t worker) {
   if (!cell.regions.empty()) {
     const dnc::Region out = cell.regions.front();
     cell.regions.pop_front();
+    remote_steal_count_.fetch_add(1, std::memory_order_relaxed);
+    steal_rtt_->record_seconds(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+    if (cfg_.events != nullptr) {
+      cfg_.events->record(telemetry::EventKind::kRemoteSteal, worker, 1);
+    }
     return out;
   }
   // Timed out: treat the request as lost so the next attempt may try
@@ -505,6 +555,10 @@ void MeshNode::on_node_down(const NodeDown& down, NodeId from) {
     // the survivors, then re-grant the dead node's uncompleted lease.
     ++death_epoch_;
     ++failover_.node_deaths;
+    if (cfg_.events != nullptr) {
+      cfg_.events->record(telemetry::EventKind::kNodeDeath, down.node,
+                          death_epoch_);
+    }
     for (NodeId peer = 0; peer < p; ++peer) {
       if (peer == cfg_.id || dead_[peer].load(std::memory_order_acquire)) {
         continue;
@@ -538,6 +592,10 @@ void MeshNode::on_region_grant(const RegionGrant& grant) {
     orphans_.push_back(grant.region);
   }
   ++failover_.regions_adopted;
+  if (cfg_.events != nullptr) {
+    cfg_.events->record(telemetry::EventKind::kRegionAdopt, cfg_.id,
+                        grant.epoch);
+  }
   wake();
 }
 
@@ -554,6 +612,13 @@ NodeId MeshNode::pick_survivor() {
 void MeshNode::regrant_region(const dnc::Region& region) {
   if (dnc::count_pairs(region) == 0) return;
   const NodeId to = pick_survivor();
+  if (cfg_.events != nullptr) {
+    const std::uint64_t pairs = dnc::count_pairs(region);
+    cfg_.events->record(
+        telemetry::EventKind::kRegionRegrant, to,
+        static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(pairs, UINT32_MAX)));
+  }
   if (to != cfg_.id) {
     ledger_->grant(to, region, /*reexecution=*/true);
     if (transport_.send(cfg_.id, to, net::Tag::kFailover,
@@ -572,6 +637,79 @@ void MeshNode::regrant_region(const dnc::Region& region) {
   }
   ++failover_.regions_adopted;
   wake();
+}
+
+// --- telemetry: snapshot stream (DESIGN.md §13) ---------------------------
+
+void MeshNode::publish_snapshot() {
+  telemetry::NodeStats stats;
+  {
+    // The sampler is invoked under mutex_ — the same contract as the
+    // probe's lock — so register_stats({}) at engine teardown strictly
+    // happens-before or happens-after any sampling, never mid-destruction.
+    // The sampler only reads engine atomics and cache shard stats; nothing
+    // it touches takes mutex_ back.
+    std::scoped_lock lock(mutex_);
+    if (stats_fn_) stats = stats_fn_();
+    stats.peer_loads = stats_.chain_hits;
+  }
+  stats.remote_steals = remote_steal_count_.load(std::memory_order_relaxed);
+  transport_.send(cfg_.id, kMaster, net::Tag::kTelemetry,
+                  TelemetrySnapshot{cfg_.id, ++snapshot_seq_, stats});
+}
+
+void MeshNode::on_telemetry(const TelemetrySnapshot& snap) {
+  if (!is_master() || snap.node >= snap_states_.size()) return;
+  const auto now = std::chrono::steady_clock::now();
+  SnapState& state = snap_states_[snap.node];
+  if (state.seen) {
+    state.prev = state.last;
+    state.prev_at = state.last_at;
+  }
+  state.last = snap.stats;
+  state.last_at = now;
+  state.seen = true;
+
+  // One ClusterSnapshot per master interval: the master publishes through
+  // its own inbox like everyone else, so its own sample is the metronome.
+  if (snap.node != cfg_.id || !cfg_.on_snapshot) return;
+
+  telemetry::ClusterSnapshot cluster;
+  cluster.seq = ++cluster_snapshot_seq_;
+  cluster.uptime_seconds =
+      std::chrono::duration<double>(now - epoch_).count();
+  for (NodeId k = 0; k < snap_states_.size(); ++k) {
+    const SnapState& s = snap_states_[k];
+    if (!s.seen) continue;
+    telemetry::NodeSnapshot ns;
+    ns.node = k;
+    ns.alive = !dead_[k].load(std::memory_order_acquire);
+    ns.age_seconds = std::chrono::duration<double>(now - s.last_at).count();
+    ns.stats = s.last;
+    const double dt =
+        std::chrono::duration<double>(s.last_at - s.prev_at).count();
+    if (s.prev_at.time_since_epoch().count() != 0 && dt > 0) {
+      ns.pairs_per_sec =
+          static_cast<double>(s.last.pairs - s.prev.pairs) / dt;
+      const std::uint32_t lanes = std::max(s.last.lanes, 1u);
+      ns.busy_fraction = (s.last.busy_seconds - s.prev.busy_seconds) /
+                         (dt * static_cast<double>(lanes));
+    }
+    const std::uint64_t lookups = s.last.cache_hits + s.last.cache_fills;
+    if (lookups > 0) {
+      ns.cache_hit_rate = static_cast<double>(s.last.cache_hits) /
+                          static_cast<double>(lookups);
+    }
+    cluster.total_pairs += s.last.pairs;
+    cluster.cluster_pairs_per_sec += ns.pairs_per_sec;
+    cluster.nodes.push_back(std::move(ns));
+  }
+  cfg_.on_snapshot(cluster);
+}
+
+void MeshNode::register_stats(telemetry::NodeStatsFn fn) {
+  std::scoped_lock lock(mutex_);
+  stats_fn_ = std::move(fn);
 }
 
 // --- wiring & metrics -----------------------------------------------------

@@ -55,6 +55,9 @@
 #include "runtime/application.hpp"
 #include "runtime/peer_fetch.hpp"
 #include "steal/executor.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/snapshot.hpp"
+#include "telemetry/trace.hpp"
 
 namespace rocket::mesh {
 
@@ -126,6 +129,21 @@ class MeshNode final : public runtime::PeerFetchClient {
     /// Enabled by LiveCluster together with the master's ledger.
     bool export_leases = false;
 
+    // --- telemetry (DESIGN.md §13) ---
+
+    /// Period of this node's TelemetrySnapshot stream to the master
+    /// (published on the ticker; the master publishes to itself so every
+    /// node goes through the same path). 0 disables the stream.
+    double snapshot_interval_s = 0.0;
+
+    /// Optional sink for discrete trace events (steals, deaths, region
+    /// re-grants); owned by the caller, may be null.
+    telemetry::EventLog* events = nullptr;
+
+    /// Master only: fired on the service thread with each fresh
+    /// ClusterSnapshot (once per master snapshot interval).
+    std::function<void(const telemetry::ClusterSnapshot&)> on_snapshot;
+
     // Master duties: set on the node that results are routed to (node 0 in
     // a LiveCluster); activated by a non-empty on_result/on_complete.
     std::uint64_t expected_pairs = 0;
@@ -168,6 +186,11 @@ class MeshNode final : public runtime::PeerFetchClient {
   void register_probe(runtime::HostCacheProbe* probe);
   void register_exporter(steal::StealExporter* exporter);
 
+  /// Runtime-stats sampler for the telemetry stream; install before the
+  /// engine starts, clear (empty function) once it drains — same contract
+  /// as register_probe.
+  void register_stats(telemetry::NodeStatsFn fn);
+
   /// Wake blocked steal waiters (called cluster-wide on completion).
   void wake();
 
@@ -178,6 +201,11 @@ class MeshNode final : public runtime::PeerFetchClient {
   /// fields: call only after join() (reads are ordered by the thread
   /// join, like the report aggregation in LiveCluster).
   FailoverStats failover_stats() const;
+  /// Mesh-side latency instruments (steal RTT, peer-fetch hit/miss, lease
+  /// slack) — merged into the node's report next to the engine's metrics.
+  telemetry::MetricsSnapshot metrics_snapshot() const {
+    return metrics_.snapshot();
+  }
   std::vector<NodeId> directory_candidates(ItemId item) const;  // testing
   bool is_dead(NodeId node) const {
     return dead_[node].load(std::memory_order_acquire);
@@ -198,6 +226,17 @@ class MeshNode final : public runtime::PeerFetchClient {
     DoneFn done;
     std::uint32_t attempts = 0;
     std::chrono::steady_clock::time_point deadline{};
+    std::chrono::steady_clock::time_point t0{};  // issue time (latency)
+  };
+
+  /// Master-side telemetry fold state for one publisher (service thread
+  /// only): the last two samples, for rate-from-delta computation.
+  struct SnapState {
+    bool seen = false;
+    telemetry::NodeStats last{};
+    telemetry::NodeStats prev{};
+    std::chrono::steady_clock::time_point last_at{};
+    std::chrono::steady_clock::time_point prev_at{};
   };
 
   void serve_loop();
@@ -214,6 +253,10 @@ class MeshNode final : public runtime::PeerFetchClient {
   void on_node_down(const NodeDown& down, NodeId from);
   void on_steal_export(const StealExport& exp);
   void on_region_grant(const RegionGrant& grant);
+  void on_telemetry(const TelemetrySnapshot& snap);
+
+  /// Ticker: sample this node's runtime and ship it to the master.
+  void publish_snapshot();
 
   /// Master, service thread: re-grant `region` to a live survivor (or
   /// park it locally when no send succeeds).
@@ -242,6 +285,16 @@ class MeshNode final : public runtime::PeerFetchClient {
   std::unordered_map<ItemId, PendingFetch> pending_;
   PeerCacheStats stats_;
   std::deque<dnc::Region> orphans_;  // regions awaiting local re-adoption
+  telemetry::NodeStatsFn stats_fn_;  // guarded by mutex_; invoked outside
+
+  // --- telemetry instruments (lock-free recording) ---
+  telemetry::MetricsRegistry metrics_;
+  telemetry::LatencyHistogram* steal_rtt_ = nullptr;
+  telemetry::LatencyHistogram* fetch_hit_ = nullptr;
+  telemetry::LatencyHistogram* fetch_miss_ = nullptr;
+  telemetry::LatencyHistogram* lease_slack_ = nullptr;
+  telemetry::Counter* fetch_retries_ = nullptr;
+  std::atomic<std::uint64_t> remote_steal_count_{0};
 
   /// Separate lock for the probe pointer: serving a probe copies a whole
   /// slot-sized buffer, which must not stall requester-side fetch
@@ -257,6 +310,8 @@ class MeshNode final : public runtime::PeerFetchClient {
   FailoverStats failover_;
   std::uint32_t death_epoch_ = 0;
   NodeId next_regrant_ = 0;  // round-robin survivor cursor
+  std::vector<SnapState> snap_states_;  // telemetry fold, by publisher
+  std::uint64_t cluster_snapshot_seq_ = 0;
 
   // --- liveness (shared between service thread and ticker) ---
   std::unique_ptr<std::atomic<bool>[]> dead_;
@@ -264,6 +319,8 @@ class MeshNode final : public runtime::PeerFetchClient {
   std::chrono::steady_clock::time_point epoch_;
   std::uint64_t heartbeat_seq_ = 0;  // ticker thread only
   std::vector<bool> declared_;       // ticker thread only: verdicts sent
+  std::uint64_t snapshot_seq_ = 0;   // ticker thread only
+  std::chrono::steady_clock::time_point next_snapshot_{};  // ticker only
 
   std::thread ticker_;
   std::mutex ticker_mutex_;

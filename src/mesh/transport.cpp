@@ -25,7 +25,8 @@ InProcessTransport::InProcessTransport(std::uint32_t num_nodes, Config config)
       link_down_(new std::atomic<bool>[static_cast<std::size_t>(num_nodes) *
                                        num_nodes]),
       epoch_(std::chrono::steady_clock::now()),
-      fault_fired_(config_.faults.faults.size(), false) {
+      fault_fired_(config_.faults.faults.size(), false),
+      node_counters_(num_nodes) {
   inboxes_.reserve(num_nodes);
   for (std::uint32_t i = 0; i < num_nodes; ++i) {
     inboxes_.push_back(std::make_unique<MpmcQueue<Message>>());
@@ -79,9 +80,13 @@ bool InProcessTransport::send(NodeId src, NodeId dst, net::Tag tag,
   }
   // Wire compression of bulk peer-fetch payloads: the traffic table must
   // account what a real transport would move, so compress before
-  // recording. Kept only when it actually shrinks the payload; the
-  // requester's load pipeline decompresses (CacheData::compressed).
+  // recording (raw_bytes keeps the pre-compression payload size, which is
+  // what the compressed-vs-raw split in the traffic report is built on).
+  // Kept only when it actually shrinks the payload; the requester's load
+  // pipeline decompresses (CacheData::compressed).
+  Bytes raw_payload_bytes = payload_bytes;
   if (auto* data = std::get_if<CacheData>(&body)) {
+    raw_payload_bytes = data->bytes.size();
     if (config_.compress_threshold > 0 && !data->compressed &&
         data->bytes.size() >= config_.compress_threshold) {
       ByteBuffer packed = lz_compress(data->bytes);
@@ -94,7 +99,13 @@ bool InProcessTransport::send(NodeId src, NodeId dst, net::Tag tag,
   }
   {
     std::scoped_lock lock(counters_mutex_);
-    counters_.record(tag, payload_bytes + config_.control_message_size);
+    counters_.record(tag, payload_bytes + config_.control_message_size,
+                     raw_payload_bytes + config_.control_message_size);
+    if (src < node_counters_.size()) {
+      node_counters_[src].record(
+          tag, payload_bytes + config_.control_message_size,
+          raw_payload_bytes + config_.control_message_size);
+    }
   }
   delivered_.fetch_add(1, std::memory_order_acq_rel);
   inboxes_[dst]->push(Message{src, dst, tag, std::move(body)});
@@ -113,6 +124,12 @@ void InProcessTransport::close() {
 net::TrafficCounters InProcessTransport::counters() const {
   std::scoped_lock lock(counters_mutex_);
   return counters_;
+}
+
+net::TrafficCounters InProcessTransport::node_counters(NodeId node) const {
+  std::scoped_lock lock(counters_mutex_);
+  if (node >= node_counters_.size()) return {};
+  return node_counters_[node];
 }
 
 void InProcessTransport::set_down(NodeId node, bool down) {

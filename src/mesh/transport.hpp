@@ -31,6 +31,7 @@
 #include "dnc/pair_space.hpp"
 #include "net/tag.hpp"
 #include "runtime/application.hpp"
+#include "telemetry/snapshot.hpp"
 
 namespace rocket::mesh {
 
@@ -126,10 +127,20 @@ struct RegionGrant {
   std::uint32_t epoch = 0;  // re-execution epoch of the region's pairs
 };
 
+/// Node → master: periodic metrics sample on the heartbeat ticker
+/// (DESIGN.md §13). The master folds the per-node streams into the live
+/// ClusterSnapshot; a dead node simply stops publishing and its last
+/// sample ages out in the master's staleness accounting.
+struct TelemetrySnapshot {
+  NodeId node = 0;
+  std::uint64_t seq = 0;
+  telemetry::NodeStats stats;
+};
+
 using MessageBody = std::variant<CacheRequest, CacheProbe, CacheData,
                                  CacheFailure, StealRequest, StealReply,
                                  ResultMsg, Heartbeat, NodeDown, StealExport,
-                                 RegionGrant>;
+                                 RegionGrant, TelemetrySnapshot>;
 
 struct Message {
   NodeId from = 0;
@@ -223,6 +234,11 @@ class InProcessTransport final : public Transport {
   void close() override;
   net::TrafficCounters counters() const override;
 
+  /// Sender-side per-tag table for one node (what `node` put on the wire,
+  /// incl. the compressed-vs-raw byte split). Summing over all nodes
+  /// reproduces counters().
+  net::TrafficCounters node_counters(NodeId node) const;
+
   /// Failure injection: a down node is dead in both directions — sends to
   /// it AND from it fail fast. Its already-queued messages still drain
   /// (they were on the wire before the crash).
@@ -257,6 +273,7 @@ class InProcessTransport final : public Transport {
   std::vector<bool> fault_fired_;  // guarded by fault_mutex_
   mutable std::mutex counters_mutex_;
   net::TrafficCounters counters_;
+  std::vector<net::TrafficCounters> node_counters_;  // by src node
 };
 
 }  // namespace rocket::mesh

@@ -14,6 +14,7 @@ const char* tag_name(Tag tag) {
     case Tag::kControl: return "control";
     case Tag::kHeartbeat: return "heartbeat";
     case Tag::kFailover: return "failover";
+    case Tag::kTelemetry: return "telemetry";
     case Tag::kCount: break;
   }
   return "unknown";

@@ -27,6 +27,7 @@ enum class Tag : std::uint32_t {
   kControl = 7,        // everything else
   kHeartbeat = 8,      // node → master: liveness lease renewal
   kFailover = 9,       // death verdicts, lease transfers, re-grants
+  kTelemetry = 10,     // node → master: metrics snapshot stream
   kCount
 };
 
@@ -36,14 +37,25 @@ const char* tag_name(Tag tag);
 struct TrafficCounters {
   struct PerTag {
     std::uint64_t messages = 0;
-    Bytes bytes = 0;
+    Bytes bytes = 0;      // on-the-wire (post-compression) bytes
+    Bytes raw_bytes = 0;  // pre-compression payload bytes (== bytes when
+                          // the tag is never compressed)
+
+    PerTag& operator+=(const PerTag& other) {
+      messages += other.messages;
+      bytes += other.bytes;
+      raw_bytes += other.raw_bytes;
+      return *this;
+    }
   };
   PerTag per_tag[static_cast<std::size_t>(Tag::kCount)] = {};
 
-  void record(Tag tag, Bytes bytes) {
+  void record(Tag tag, Bytes bytes) { record(tag, bytes, bytes); }
+  void record(Tag tag, Bytes bytes, Bytes raw_bytes) {
     auto& t = per_tag[static_cast<std::size_t>(tag)];
     ++t.messages;
     t.bytes += bytes;
+    t.raw_bytes += raw_bytes;
   }
   std::uint64_t total_messages() const {
     std::uint64_t sum = 0;
@@ -54,6 +66,19 @@ struct TrafficCounters {
     Bytes sum = 0;
     for (const auto& t : per_tag) sum += t.bytes;
     return sum;
+  }
+  Bytes total_raw_bytes() const {
+    Bytes sum = 0;
+    for (const auto& t : per_tag) sum += t.raw_bytes;
+    return sum;
+  }
+
+  /// Element-wise merge — how per-node tables fold into a cluster table.
+  TrafficCounters& operator+=(const TrafficCounters& other) {
+    for (std::size_t i = 0; i < static_cast<std::size_t>(Tag::kCount); ++i) {
+      per_tag[i] += other.per_tag[i];
+    }
+    return *this;
   }
 };
 

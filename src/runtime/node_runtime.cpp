@@ -109,6 +109,17 @@ struct Engine {
   const NodeRuntime::ResultFn& on_result;
   Profiler profiler;
 
+  /// Hot-seam instruments (DESIGN.md §13). Recording is lock-free (striped
+  /// atomics) and cheap-exits when Config::telemetry is off; the pointers
+  /// are bound once at construction so the hot paths never touch the
+  /// registry's name lookup.
+  telemetry::MetricsRegistry metrics;
+  telemetry::LatencyHistogram* tile_latency = nullptr;    // submit → finish
+  telemetry::LatencyHistogram* tile_load_wait = nullptr;  // submit → resolved
+  telemetry::LatencyHistogram* cache_wait = nullptr;      // queued grants
+  telemetry::Gauge* result_depth = nullptr;   // result_q occupancy
+  telemetry::Gauge* loads_inflight = nullptr; // LoadOps out of the pool
+
   std::vector<std::unique_ptr<DeviceState>> devices;
   std::unique_ptr<cache::ShardedSlotCache> host_cache;  // null if disabled
   std::vector<HostBuffer> host_slots;
@@ -152,7 +163,21 @@ struct Engine {
          storage::ObjectStore& object_store,
          const NodeRuntime::ResultFn& result_fn)
       : cfg(config), app(application), store(object_store),
-        on_result(result_fn), profiler(config.trace) {}
+        on_result(result_fn),
+        profiler(config.trace, config.max_spans_per_lane),
+        metrics(config.telemetry) {
+    if (!config.telemetry) profiler.set_enabled(false);
+    tile_latency = &metrics.histogram("tile.latency");
+    tile_load_wait = &metrics.histogram("tile.load_wait");
+    cache_wait = &metrics.histogram("cache.acquire_wait");
+    result_depth = &metrics.gauge("result.queue_depth");
+    loads_inflight = &metrics.gauge("loads.inflight");
+  }
+
+  /// Live sample for the mesh telemetry stream (ticker thread): engine
+  /// atomics, cache shard counters and profiler busy atomics only — no
+  /// engine lock exists to take.
+  telemetry::NodeStats live_stats() const;
 
   ~Engine();
 
@@ -215,12 +240,48 @@ LoadOp* Engine::make_load(DeviceState& dev, ItemId item, cache::SlotId dslot,
   op->prio = prio;
   op->file.clear();
   op->parsed.clear();
+  loads_inflight->add(1);
   return op;
 }
 
 void Engine::recycle_load(LoadOp* op) {
   op->client = nullptr;
+  loads_inflight->sub(1);
   load_pool.push(op);
+}
+
+telemetry::NodeStats Engine::live_stats() const {
+  telemetry::NodeStats stats;
+  stats.tiles = tiles.load(std::memory_order_relaxed);
+  stats.loads = loads.load(std::memory_order_relaxed);
+  stats.peer_loads = peer_loads.load(std::memory_order_relaxed);
+  stats.prefetch_hits = prefetch_hits.load(std::memory_order_relaxed);
+  std::int64_t in_flight = 0;
+  for (const auto& dev : devices) {
+    stats.pairs += dev->pairs.load(std::memory_order_relaxed);
+    in_flight += dev->in_flight.load(std::memory_order_relaxed);
+    const auto dstats = dev->cache->stats();
+    stats.cache_hits += dstats.hits;
+    stats.cache_fills += dstats.fills;
+    stats.cache_evictions += dstats.evictions;
+    stats.cache_fast_hits += dev->cache->fast_hits();
+  }
+  if (host_cache) {
+    const auto hstats = host_cache->stats();
+    stats.cache_hits += hstats.hits;
+    stats.cache_fills += hstats.fills;
+    stats.cache_evictions += hstats.evictions;
+    stats.cache_fast_hits += host_cache->fast_hits();
+  }
+  stats.in_flight_tiles = in_flight;
+  stats.result_queue_depth = result_depth->value();
+  for (const auto& [name, busy] : profiler.busy_per_lane()) {
+    (void)name;
+    ++stats.lanes;
+    stats.busy_seconds += busy;
+  }
+  stats.uptime_seconds = profiler.seconds_since_epoch(Profiler::Clock::now());
+  return stats;
 }
 
 // --- shared load pipeline ------------------------------------------------
@@ -384,9 +445,14 @@ void begin_fill(LoadOp* op) {
     run_load(op);
     return;
   }
-  // Queued-grant callbacks fire under the owning shard's mutex: defer.
+  // Queued-grant callbacks fire under the owning shard's mutex: defer
+  // (the lock-free acquire-wait record is safe to take right there).
+  const auto t_acquire = Profiler::Clock::now();
   const Grant grant =
-      op->eng->host_cache->acquire(op->item, [op](Grant g) {
+      op->eng->host_cache->acquire(op->item, [op, t_acquire](Grant g) {
+        op->eng->cache_wait->record_seconds(
+            std::chrono::duration<double>(Profiler::Clock::now() - t_acquire)
+                .count());
         op->eng->post_control([op, g] { handle_host_grant(op, g); });
       }, op->prio);
   if (grant.outcome != Outcome::kQueued) handle_host_grant(op, grant);
@@ -494,9 +560,15 @@ struct Job final : LoadClient {
       return;
     }
     // Queued grants fire under the owning shard's mutex: defer.
-    const Grant grant = dev.cache->acquire(items[next_pin], [this](Grant g) {
-      eng.post_control([this, g] { handle_grant(g); });
-    });
+    const auto t_acquire = Profiler::Clock::now();
+    const Grant grant =
+        dev.cache->acquire(items[next_pin], [this, t_acquire](Grant g) {
+          eng.cache_wait->record_seconds(
+              std::chrono::duration<double>(Profiler::Clock::now() -
+                                            t_acquire)
+                  .count());
+          eng.post_control([this, g] { handle_grant(g); });
+        });
     if (grant.outcome != Outcome::kQueued) handle_grant(grant);
   }
 
@@ -554,6 +626,7 @@ struct Job final : LoadClient {
       eng.cpu_q.push(CpuTask{TaskKind::kPostprocess, [this, score] {
         const double final_score =
             eng.app.postprocess(items[0], items[1], score);
+        eng.result_depth->add(1);
         eng.result_q.push(PairResult{items[0], items[1], final_score});
         dev.cache->release(pins[0]);
         dev.cache->release(pins[1]);
@@ -572,6 +645,7 @@ struct Job final : LoadClient {
     for (int k = 0; k < next_pin; ++k) {
       if (pins[k] != cache::kInvalidSlot) dev.cache->release(pins[k]);
     }
+    eng.result_depth->add(1);
     eng.result_q.push(PairResult{items[0], items[1],
                                  std::numeric_limits<double>::quiet_NaN()});
     // Failed pairs still count as processed by this device (the tile path
@@ -610,14 +684,23 @@ struct TileJob final : LoadClient {
   std::vector<std::uint8_t> pair_failed; // parallel to results
   std::atomic<std::uint32_t> remaining{0};
   std::atomic<std::uint32_t> retries{0};  // kFailed grant re-drives
+  /// Submission stamp: tile.load_wait measures to working-set-resolved,
+  /// tile.latency to results-flushed (DESIGN.md §13).
+  Profiler::Clock::time_point t_submit_;
 
   TileJob(Engine& engine, DeviceState& device, std::uint32_t worker_id,
           bool prefetch, const dnc::Region& r)
       : eng(engine), dev(device), worker(worker_id), prefetch_lane(prefetch),
         region(r), pair_count(dnc::count_pairs(r)),
-        items(dnc::working_set_items(r)) {
+        items(dnc::working_set_items(r)),
+        t_submit_(Profiler::Clock::now()) {
     slots.assign(items.size(), cache::kInvalidSlot);
     load_failed.assign(items.size(), 0);
+  }
+
+  double seconds_since_submit() const {
+    return std::chrono::duration<double>(Profiler::Clock::now() - t_submit_)
+        .count();
   }
 
   AllocPriority priority() const {
@@ -633,9 +716,16 @@ struct TileJob final : LoadClient {
     remaining.store(static_cast<std::uint32_t>(items.size()),
                     std::memory_order_relaxed);
     // One grouped pass: lock-free pins first, then one lock acquisition
-    // per shard touched. Queued grants fire under a shard mutex: defer.
+    // per shard touched. Queued grants fire under a shard mutex: defer
+    // (the acquire-wait record is lock-free, so it may run right there).
+    const auto t_acquire = Profiler::Clock::now();
     std::vector<Grant> grants =
-        dev.cache->acquire_batch(items, [this](std::size_t k, Grant g) {
+        dev.cache->acquire_batch(items, [this, t_acquire](std::size_t k,
+                                                          Grant g) {
+          eng.cache_wait->record_seconds(
+              std::chrono::duration<double>(Profiler::Clock::now() -
+                                            t_acquire)
+                  .count());
           eng.post_control([this, k, g] { handle_grant(k, g); });
         }, priority());
     for (std::size_t k = 0; k < grants.size(); ++k) {
@@ -678,9 +768,15 @@ struct TileJob final : LoadClient {
 
   /// Another tile's writer aborted under us: retry this single item.
   void re_acquire(std::size_t k) {
-    const Grant grant = dev.cache->acquire(items[k], [this, k](Grant g) {
-      eng.post_control([this, k, g] { handle_grant(k, g); });
-    }, priority());
+    const auto t_acquire = Profiler::Clock::now();
+    const Grant grant =
+        dev.cache->acquire(items[k], [this, k, t_acquire](Grant g) {
+          eng.cache_wait->record_seconds(
+              std::chrono::duration<double>(Profiler::Clock::now() -
+                                            t_acquire)
+                  .count());
+          eng.post_control([this, k, g] { handle_grant(k, g); });
+        }, priority());
     if (grant.outcome != Outcome::kQueued) handle_grant(k, grant);
   }
 
@@ -710,11 +806,16 @@ struct TileJob final : LoadClient {
   /// counts. With prefetch off the token supply covers every tile that
   /// can be in flight, so this is pass-through.
   void request_compute() {
+    eng.tile_load_wait->record_seconds(seconds_since_submit());
     {
       std::scoped_lock lock(dev.gate_mutex);
       if (dev.compute_tokens == 0) {
         dev.ready_tiles.push_back(this);
         eng.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+        if (eng.cfg.event_log != nullptr) {
+          eng.cfg.event_log->record(telemetry::EventKind::kPrefetchPark,
+                                    worker);
+        }
         return;
       }
       --dev.compute_tokens;
@@ -784,7 +885,9 @@ struct TileJob final : LoadClient {
       }
     }
     const std::size_t flushed = results.size();
+    eng.result_depth->add(static_cast<std::int64_t>(flushed));
     eng.result_q.push_bulk(results);
+    eng.tile_latency->record_seconds(seconds_since_submit());
     std::vector<cache::SlotId> pins;
     pins.reserve(items.size());
     for (std::size_t k = 0; k < items.size(); ++k) {
@@ -985,6 +1088,20 @@ NodeRuntime::Report NodeRuntime::run_impl(const Application& app,
     }
   }
 
+  // Telemetry sampler: the mesh's snapshot ticker reads live engine
+  // counters through this hook; same RAII lifetime discipline as the
+  // probe so the ticker never samples a dead engine.
+  struct StatsRegistration {
+    const MeshPort* port = nullptr;
+    ~StatsRegistration() {
+      if (port != nullptr) port->register_stats({});
+    }
+  } stats_registration;
+  if (port != nullptr && port->register_stats) {
+    port->register_stats([&eng] { return eng.live_stats(); });
+    stats_registration.port = port;
+  }
+
   // Resource threads (§4.3): I/O, CPU pool, per-device GPU/H2D/D2H, and
   // the single result consumer — the only thread that ever calls the user
   // callback, so result delivery stays serialised without a lock on the
@@ -995,6 +1112,7 @@ NodeRuntime::Report NodeRuntime::run_impl(const Application& app,
     for (;;) {
       auto batch = eng.result_q.pop_bulk(64);
       if (batch.empty()) return;
+      eng.result_depth->sub(static_cast<std::int64_t>(batch.size()));
       for (const auto& r : batch) eng.on_result(r);
     }
   });
@@ -1069,6 +1187,7 @@ NodeRuntime::Report NodeRuntime::run_impl(const Application& app,
   if (port != nullptr) {
     if (port->register_exporter) port->register_exporter(nullptr);
     if (port->register_probe && eng.host_cache) port->register_probe(nullptr);
+    if (port->register_stats) port->register_stats({});
   }
   const double wall =
       std::chrono::duration<double>(Profiler::Clock::now() - wall_start)
@@ -1126,6 +1245,21 @@ NodeRuntime::Report NodeRuntime::run_impl(const Application& app,
   report.steal = steal_stats;
   report.lane_busy = eng.profiler.busy_per_lane();
   if (config_.trace) report.timeline = eng.profiler.render_timeline();
+  report.metrics = eng.metrics.snapshot();
+  report.spans_dropped = eng.profiler.spans_dropped();
+  if (config_.trace) {
+    // Pin this node's lanes to the shared process epoch so multi-node
+    // traces land on one aligned timeline (DESIGN.md §13).
+    report.trace.epoch_offset_s =
+        std::chrono::duration<double>(eng.profiler.epoch() -
+                                      telemetry::process_epoch())
+            .count();
+    report.trace.lanes = eng.profiler.lanes_view();
+    report.trace.spans_dropped = report.spans_dropped;
+    if (config_.event_log != nullptr) {
+      report.trace.events = config_.event_log->events();
+    }
+  }
   return report;
 }
 

@@ -30,6 +30,9 @@
 #include "runtime/profiler.hpp"
 #include "steal/executor.hpp"
 #include "storage/object_store.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/snapshot.hpp"
+#include "telemetry/trace.hpp"
 
 namespace rocket::runtime {
 
@@ -65,6 +68,12 @@ struct MeshPort {
 
   /// Same contract for the executor's work exporter (steal-victim side).
   std::function<void(steal::StealExporter*)> register_exporter;
+
+  /// Telemetry sampler registration: called with the engine's live-stats
+  /// provider before execution starts and with an empty function once the
+  /// run has drained, so the mesh's snapshot ticker samples only a live
+  /// engine (DESIGN.md §13).
+  std::function<void(telemetry::NodeStatsFn)> register_stats;
 };
 
 class NodeRuntime {
@@ -143,6 +152,20 @@ class NodeRuntime {
 
     /// Record a full task trace (Fig 6); cheap busy counters are always on.
     bool trace = false;
+
+    /// Metrics layer on/off (DESIGN.md §13). Off also disarms the
+    /// profiler's busy accounting — the "telemetry off" configuration the
+    /// overhead bench measures against. Report fields derived from busy
+    /// time (device_busy/stall_seconds, lane_busy) read zero when off.
+    bool telemetry = true;
+
+    /// Per-lane span retention cap when `trace` is on; overflow counts in
+    /// Report::spans_dropped instead of growing without bound. 0 = no cap.
+    std::size_t max_spans_per_lane = Profiler::kDefaultSpanCap;
+
+    /// Optional sink for discrete trace events (prefetch parks); shared
+    /// with the mesh layer's event stream by LiveCluster. May be null.
+    telemetry::EventLog* event_log = nullptr;
   };
 
   struct Report {
@@ -176,6 +199,13 @@ class NodeRuntime {
     steal::ExecutorStats steal;
     std::vector<std::pair<std::string, double>> lane_busy;
     std::string timeline;  // rendered trace when Config::trace
+    /// Hot-seam latency histograms + counters/gauges (DESIGN.md §13);
+    /// empty instruments when Config::telemetry is off.
+    telemetry::MetricsSnapshot metrics;
+    /// Chrome-trace input (lanes + epoch offset) when Config::trace.
+    telemetry::NodeTrace trace;
+    /// Spans discarded at Config::max_spans_per_lane.
+    std::uint64_t spans_dropped = 0;
   };
 
   /// Called once per completed pair, serialised by the runtime.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/log.hpp"
+
 namespace rocket::runtime {
 
 const char* task_kind_name(TaskKind kind) {
@@ -22,40 +24,54 @@ const char* task_kind_name(TaskKind kind) {
 
 std::size_t Profiler::add_lane(std::string name) {
   std::scoped_lock lock(mutex_);
-  lanes_.push_back(Lane{std::move(name), {}, 0.0});
-  return lanes_.size() - 1;
+  const std::size_t id = lane_count_.load(std::memory_order_relaxed);
+  ROCKET_CHECK(id < kMaxLanes, "profiler lane slab exhausted");
+  lanes_[id].name = std::move(name);
+  // Publish after the lane is initialised: recording threads gate their
+  // index on this count.
+  lane_count_.store(id + 1, std::memory_order_release);
+  return id;
 }
 
 void Profiler::record(std::size_t lane, TaskKind kind, Clock::time_point start,
                       Clock::time_point end) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  if (lane >= lane_count_.load(std::memory_order_acquire)) return;
   const double t0 = seconds_since_epoch(start);
   const double t1 = seconds_since_epoch(end);
-  std::scoped_lock lock(mutex_);
   Lane& l = lanes_[lane];
-  l.busy += t1 - t0;
-  if (enabled_) {
-    l.spans.push_back(Span{kind, t0, t1});
+  l.busy.fetch_add(t1 - t0, std::memory_order_relaxed);
+  if (!trace_) return;
+  std::scoped_lock lock(mutex_);
+  if (l.spans.size() >= span_cap_) {
+    spans_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
   }
+  l.spans.push_back(Span{kind, t0, t1});
 }
 
 std::vector<std::pair<std::string, double>> Profiler::busy_per_lane() const {
-  std::scoped_lock lock(mutex_);
+  const std::size_t n = lane_count_.load(std::memory_order_acquire);
   std::vector<std::pair<std::string, double>> out;
-  out.reserve(lanes_.size());
-  for (const auto& lane : lanes_) out.emplace_back(lane.name, lane.busy);
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.emplace_back(lanes_[i].name,
+                     lanes_[i].busy.load(std::memory_order_relaxed));
+  }
   return out;
 }
 
 double Profiler::lane_busy_seconds(std::size_t lane) const {
-  std::scoped_lock lock(mutex_);
-  return lane < lanes_.size() ? lanes_[lane].busy : 0.0;
+  if (lane >= lane_count_.load(std::memory_order_acquire)) return 0.0;
+  return lanes_[lane].busy.load(std::memory_order_relaxed);
 }
 
 double Profiler::busy_for_kind(TaskKind kind) const {
+  const std::size_t n = lane_count_.load(std::memory_order_acquire);
   std::scoped_lock lock(mutex_);
   double total = 0.0;
-  for (const auto& lane : lanes_) {
-    for (const auto& span : lane.spans) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& span : lanes_[i].spans) {
       if (span.kind == kind) total += span.end - span.start;
     }
   }
@@ -63,26 +79,32 @@ double Profiler::busy_for_kind(TaskKind kind) const {
 }
 
 std::string Profiler::render_timeline(std::size_t width) const {
+  const std::size_t n = lane_count_.load(std::memory_order_acquire);
   std::scoped_lock lock(mutex_);
   double horizon = 0.0;
-  for (const auto& lane : lanes_) {
-    for (const auto& span : lane.spans) horizon = std::max(horizon, span.end);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& span : lanes_[i].spans) {
+      horizon = std::max(horizon, span.end);
+    }
   }
   if (horizon <= 0.0 || width == 0) return "(no trace)\n";
 
   static constexpr char kGlyphs[] = {'I', 'P', '>', 'R', 'C', '<', 'T', '~', '.'};
   std::string out;
   std::size_t name_width = 0;
-  for (const auto& lane : lanes_) name_width = std::max(name_width, lane.name.size());
-  for (const auto& lane : lanes_) {
+  for (std::size_t i = 0; i < n; ++i) {
+    name_width = std::max(name_width, lanes_[i].name.size());
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Lane& lane = lanes_[i];
     std::string row(width, ' ');
     for (const auto& span : lane.spans) {
       auto lo = static_cast<std::size_t>(span.start / horizon * width);
       auto hi = static_cast<std::size_t>(std::ceil(span.end / horizon * width));
       lo = std::min(lo, width - 1);
       hi = std::clamp<std::size_t>(hi, lo + 1, width);
-      for (std::size_t i = lo; i < hi; ++i) {
-        row[i] = kGlyphs[static_cast<int>(span.kind)];
+      for (std::size_t k = lo; k < hi; ++k) {
+        row[k] = kGlyphs[static_cast<int>(span.kind)];
       }
     }
     out += lane.name;
@@ -93,6 +115,21 @@ std::string Profiler::render_timeline(std::size_t width) const {
   }
   out += "legend: I=io P=parse >=h2d R=preprocess C=compare <=d2h "
          "T=postprocess ~=control\n";
+  return out;
+}
+
+std::vector<Profiler::LaneView> Profiler::lanes_view() const {
+  const std::size_t n = lane_count_.load(std::memory_order_acquire);
+  std::scoped_lock lock(mutex_);
+  std::vector<LaneView> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    LaneView view;
+    view.name = lanes_[i].name;
+    view.busy = lanes_[i].busy.load(std::memory_order_relaxed);
+    view.spans = lanes_[i].spans;
+    out.push_back(std::move(view));
+  }
   return out;
 }
 

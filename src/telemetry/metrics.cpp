@@ -1,0 +1,207 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rocket::telemetry {
+
+std::size_t thread_stripe() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricStripes;
+  return stripe;
+}
+
+// --- LatencyHistogram -----------------------------------------------------
+
+void LatencyHistogram::record_ns(std::uint64_t ns) {
+  if (!enabled()) return;
+  Stripe& s = stripes_[thread_stripe()];
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum_ns.fetch_add(ns, std::memory_order_relaxed);
+  s.buckets[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t seen = s.min_ns.load(std::memory_order_relaxed);
+  while (ns < seen &&
+         !s.min_ns.compare_exchange_weak(seen, ns,
+                                         std::memory_order_relaxed)) {
+  }
+  seen = s.max_ns.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !s.max_ns.compare_exchange_weak(seen, ns,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot out;
+  for (const Stripe& s : stripes_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum_ns += s.sum_ns.load(std::memory_order_relaxed);
+    out.min_ns = std::min(out.min_ns, s.min_ns.load(std::memory_order_relaxed));
+    out.max_ns = std::max(out.max_ns, s.max_ns.load(std::memory_order_relaxed));
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      out.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+// --- HistogramSnapshot ----------------------------------------------------
+
+double HistogramSnapshot::quantile_seconds(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      const double lo = static_cast<double>(bucket_floor_ns(b));
+      const double hi =
+          b + 1 < kHistogramBuckets
+              ? static_cast<double>(bucket_floor_ns(b + 1))
+              : lo * 2.0;
+      // Geometric midpoint of the bucket (log-scale buckets), clamped into
+      // the observed envelope so tiny histograms stay sane.
+      const double mid = lo > 0.0 ? std::sqrt(lo * hi) : hi / 2.0;
+      const double clamped =
+          std::clamp(mid, static_cast<double>(min_ns),
+                     static_cast<double>(std::max(min_ns, max_ns)));
+      return clamped * 1e-9;
+    }
+  }
+  return static_cast<double>(max_ns) * 1e-9;
+}
+
+HistogramSnapshot& HistogramSnapshot::operator+=(
+    const HistogramSnapshot& other) {
+  count += other.count;
+  sum_ns += other.sum_ns;
+  min_ns = std::min(min_ns, other.min_ns);
+  max_ns = std::max(max_ns, other.max_ns);
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    buckets[b] += other.buckets[b];
+  }
+  return *this;
+}
+
+// --- MetricsSnapshot ------------------------------------------------------
+
+namespace {
+
+template <typename Vec, typename Value>
+void merge_named(Vec& into, const std::string& name, const Value& v) {
+  for (auto& [n, existing] : into) {
+    if (n == name) {
+      existing += v;
+      return;
+    }
+  }
+  into.emplace_back(name, v);
+}
+
+}  // namespace
+
+std::uint64_t MetricsSnapshot::counter_value(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::int64_t MetricsSnapshot::gauge_value(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot& MetricsSnapshot::operator+=(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) {
+    merge_named(counters, name, v);
+  }
+  for (const auto& [name, v] : other.gauges) {
+    merge_named(gauges, name, v);
+  }
+  for (const auto& h : other.histograms) {
+    bool found = false;
+    for (auto& mine : histograms) {
+      if (mine.name == h.name) {
+        mine += h;
+        found = true;
+        break;
+      }
+    }
+    if (!found) histograms.push_back(h);
+  }
+  return *this;
+}
+
+// --- MetricsRegistry ------------------------------------------------------
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  for (auto& [n, c] : counters_) {
+    if (n == name) return c;
+  }
+  auto& entry = counters_.emplace_back(std::piecewise_construct,
+                                       std::forward_as_tuple(name),
+                                       std::forward_as_tuple());
+  entry.second.enabled_ = &enabled_;
+  return entry.second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  for (auto& [n, g] : gauges_) {
+    if (n == name) return g;
+  }
+  auto& entry = gauges_.emplace_back(std::piecewise_construct,
+                                     std::forward_as_tuple(name),
+                                     std::forward_as_tuple());
+  entry.second.enabled_ = &enabled_;
+  return entry.second;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  for (auto& [n, h] : histograms_) {
+    if (n == name) return h;
+  }
+  auto& entry = histograms_.emplace_back(std::piecewise_construct,
+                                         std::forward_as_tuple(name),
+                                         std::forward_as_tuple());
+  entry.second.enabled_ = &enabled_;
+  return entry.second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::scoped_lock lock(mutex_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.counters.emplace_back(name, c.value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.gauges.emplace_back(name, g.value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot snap = h.snapshot();
+    snap.name = name;
+    out.histograms.push_back(std::move(snap));
+  }
+  return out;
+}
+
+}  // namespace rocket::telemetry

@@ -1,0 +1,227 @@
+#pragma once
+
+// Cluster-wide metrics layer (DESIGN.md §13): named counters, gauges and
+// log-bucketed latency histograms with lock-free accumulation on the hot
+// paths and on-demand merge into a MetricsSnapshot.
+//
+// Accumulation never takes a lock: counters and histograms stripe their
+// state across cache-line-padded atomic cells indexed by a per-thread
+// stripe id, so two runtime threads recording the same metric touch
+// different cache lines (the same trick the sharded caches use for their
+// fast path). A snapshot sums the stripes; since every cell is a monotone
+// relaxed atomic, a snapshot taken mid-run is a consistent-enough view for
+// live streaming (exact totals are read after the run has quiesced).
+//
+// Histograms bucket by powers of two of nanoseconds: bucket 0 holds the
+// value 0 and bucket b holds [2^(b-1), 2^b) ns — one bit_width per
+// record, no search, and merge is element-wise addition (associative and
+// commutative by construction, which the telemetry tests assert). 64
+// buckets cover every duration a run can produce.
+//
+// The registry owns every instrument: registration returns a stable
+// reference (instruments live in deques and are neither movable nor
+// copyable), and a registry-wide enabled flag lets the whole layer
+// cheap-exit before any clock arithmetic when telemetry is off.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rocket::telemetry {
+
+inline constexpr std::size_t kHistogramBuckets = 64;
+inline constexpr std::size_t kMetricStripes = 8;
+
+/// Stripe index of the calling thread: threads are numbered on first use
+/// and folded onto the stripe set, so a thread's stripe is stable (no
+/// rehashing mid-run) and the first kMetricStripes threads never collide.
+std::size_t thread_stripe();
+
+namespace detail {
+
+struct alignas(64) PaddedU64 {
+  std::atomic<std::uint64_t> v{0};
+};
+
+struct alignas(64) PaddedI64 {
+  std::atomic<std::int64_t> v{0};
+};
+
+}  // namespace detail
+
+/// Monotone counter. add() is one relaxed fetch_add on a private stripe.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t delta = 1) {
+    if (enabled_ != nullptr &&
+        !enabled_->load(std::memory_order_relaxed)) {
+      return;
+    }
+    stripes_[thread_stripe()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (const auto& s : stripes_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  const std::atomic<bool>* enabled_ = nullptr;
+  std::array<detail::PaddedU64, kMetricStripes> stripes_{};
+};
+
+/// Signed level gauge (queue depths, in-flight work). Deltas stripe like a
+/// counter; value() sums, so transient negative partials are fine.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void add(std::int64_t delta) {
+    if (enabled_ != nullptr &&
+        !enabled_->load(std::memory_order_relaxed)) {
+      return;
+    }
+    stripes_[thread_stripe()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void sub(std::int64_t delta) { add(-delta); }
+
+  std::int64_t value() const {
+    std::int64_t sum = 0;
+    for (const auto& s : stripes_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  const std::atomic<bool>* enabled_ = nullptr;
+  std::array<detail::PaddedI64, kMetricStripes> stripes_{};
+};
+
+/// Mergeable point-in-time view of one histogram (the wire/report form).
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;
+  std::uint64_t min_ns = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ns = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  /// Inclusive lower bound of bucket `b` in nanoseconds.
+  static std::uint64_t bucket_floor_ns(std::size_t b) {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+
+  double mean_seconds() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum_ns) * 1e-9 /
+                            static_cast<double>(count);
+  }
+
+  /// Approximate quantile (q in [0,1]) from the log buckets: walks the
+  /// cumulative distribution and returns the geometric midpoint of the
+  /// bucket holding the q-th sample. Good to a factor of sqrt(2), which is
+  /// what a latency taxonomy needs (is p99 1ms or 30ms, not 1.0 vs 1.1).
+  double quantile_seconds(double q) const;
+
+  HistogramSnapshot& operator+=(const HistogramSnapshot& other);
+};
+
+/// Log-bucketed latency histogram; record() is a shift plus five relaxed
+/// atomic ops on a private stripe (min/max CAS loops that almost always
+/// exit on the first read once the envelope is established).
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  static std::size_t bucket_of(std::uint64_t ns) {
+    return std::min<std::size_t>(std::bit_width(ns), kHistogramBuckets - 1);
+  }
+
+  void record_ns(std::uint64_t ns);
+  void record_seconds(double seconds) {
+    if (seconds < 0.0) seconds = 0.0;
+    record_ns(static_cast<std::uint64_t>(seconds * 1e9));
+  }
+
+  bool enabled() const {
+    return enabled_ == nullptr || enabled_->load(std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const;  // name left empty (registry fills it)
+
+ private:
+  friend class MetricsRegistry;
+
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum_ns{0};
+    std::atomic<std::uint64_t> min_ns{
+        std::numeric_limits<std::uint64_t>::max()};
+    std::atomic<std::uint64_t> max_ns{0};
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+  };
+
+  const std::atomic<bool>* enabled_ = nullptr;
+  std::array<Stripe, kMetricStripes> stripes_{};
+};
+
+/// Everything a registry (or a whole cluster) measured, mergeable by
+/// metric name. The report/wire form of the metrics layer.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  std::uint64_t counter_value(const std::string& name) const;
+  std::int64_t gauge_value(const std::string& name) const;
+  const HistogramSnapshot* histogram(const std::string& name) const;
+
+  /// Merge by name: same-name instruments add, new names append.
+  MetricsSnapshot& operator+=(const MetricsSnapshot& other);
+};
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create by name; the returned reference is stable for the
+  /// registry's lifetime. Registration locks; recording never does.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LatencyHistogram& histogram(const std::string& name);
+
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  std::atomic<bool> enabled_;
+  mutable std::mutex mutex_;  // registration + snapshot iteration
+  std::deque<std::pair<std::string, Counter>> counters_;
+  std::deque<std::pair<std::string, Gauge>> gauges_;
+  std::deque<std::pair<std::string, LatencyHistogram>> histograms_;
+};
+
+}  // namespace rocket::telemetry

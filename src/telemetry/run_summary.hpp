@@ -1,0 +1,39 @@
+#pragma once
+
+// Machine-readable run summary (DESIGN.md §13): one JSON document,
+// schema "rocket.run_summary/1", folding a run's report structs —
+// throughput, cache/directory/failover counters, the per-tag traffic
+// table with its compressed-vs-raw byte split, and the metrics layer's
+// counters/gauges/histograms — into a stable shape that demos and
+// benches emit and CI validates (scripts/check_telemetry.py).
+
+#include <cstdint>
+#include <string>
+
+#include "mesh/live_cluster.hpp"
+#include "runtime/node_runtime.hpp"
+
+namespace rocket::telemetry {
+
+struct RunSummary {
+  /// Current value of the "schema" field; bump on breaking shape changes.
+  static constexpr const char* kSchema = "rocket.run_summary/1";
+
+  std::string app;          // application name (caller-provided)
+  std::string mode;         // "single_node" | "live_cluster"
+  std::uint32_t num_nodes = 1;
+  mesh::LiveClusterReport report;
+
+  /// Wrap a single-node report (cluster-only sections serialise empty).
+  static RunSummary from_node(std::string app,
+                              const runtime::NodeRuntime::Report& report);
+
+  /// Wrap a live-cluster report.
+  static RunSummary from_cluster(std::string app, std::uint32_t num_nodes,
+                                 mesh::LiveClusterReport report);
+
+  std::string to_json() const;
+  bool write_file(const std::string& path) const;
+};
+
+}  // namespace rocket::telemetry

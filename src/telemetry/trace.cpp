@@ -1,0 +1,122 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+
+#include "common/json_writer.hpp"
+
+namespace rocket::telemetry {
+
+std::chrono::steady_clock::time_point process_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kRemoteSteal: return "remote_steal";
+    case EventKind::kNodeDeath: return "node_death";
+    case EventKind::kRegionRegrant: return "region_regrant";
+    case EventKind::kRegionAdopt: return "region_adopt";
+    case EventKind::kPrefetchPark: return "prefetch_park";
+    case EventKind::kFetchRetry: return "fetch_retry";
+  }
+  return "unknown";
+}
+
+void EventLog::record(EventKind kind, std::uint32_t a, std::uint32_t b) {
+  const double t = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - process_epoch())
+                       .count();
+  std::scoped_lock lock(mutex_);
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(TraceEvent{kind, t, a, b});
+}
+
+std::vector<TraceEvent> EventLog::events() const {
+  std::scoped_lock lock(mutex_);
+  return events_;
+}
+
+void TraceExporter::add_node(std::uint32_t node, NodeTrace trace) {
+  nodes_.emplace_back(node, std::move(trace));
+}
+
+std::string TraceExporter::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.key("traceEvents");
+  w.begin_array();
+  for (const auto& [node, trace] : nodes_) {
+    const std::string process = "node " + std::to_string(node);
+    w.begin_object();
+    w.field("name", "process_name");
+    w.field("ph", "M");
+    w.field("pid", node);
+    w.key("args");
+    w.begin_object();
+    w.field("name", process);
+    w.end_object();
+    w.end_object();
+
+    for (std::size_t lane = 0; lane < trace.lanes.size(); ++lane) {
+      w.begin_object();
+      w.field("name", "thread_name");
+      w.field("ph", "M");
+      w.field("pid", node);
+      w.field("tid", static_cast<std::uint64_t>(lane));
+      w.key("args");
+      w.begin_object();
+      w.field("name", trace.lanes[lane].name);
+      w.end_object();
+      w.end_object();
+    }
+
+    for (std::size_t lane = 0; lane < trace.lanes.size(); ++lane) {
+      for (const auto& span : trace.lanes[lane].spans) {
+        const double ts_us = (trace.epoch_offset_s + span.start) * 1e6;
+        const double dur_us = std::max(span.end - span.start, 0.0) * 1e6;
+        w.begin_object();
+        w.field("name", runtime::task_kind_name(span.kind));
+        w.field("ph", "X");
+        w.field("pid", node);
+        w.field("tid", static_cast<std::uint64_t>(lane));
+        w.field("ts", ts_us);
+        w.field("dur", dur_us);
+        w.end_object();
+      }
+    }
+
+    // Events already carry process-epoch time; park them on a tid past the
+    // lane range so they render as their own row.
+    const auto event_tid = static_cast<std::uint64_t>(trace.lanes.size());
+    for (const auto& ev : trace.events) {
+      w.begin_object();
+      w.field("name", event_kind_name(ev.kind));
+      w.field("ph", "i");
+      w.field("s", "p");
+      w.field("pid", node);
+      w.field("tid", event_tid);
+      w.field("ts", ev.t * 1e6);
+      w.key("args");
+      w.begin_object();
+      w.field("a", ev.a);
+      w.field("b", ev.b);
+      w.end_object();
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool TraceExporter::write_file(const std::string& path) const {
+  return JsonWriter::write_string_to_file(path, to_json());
+}
+
+}  // namespace rocket::telemetry

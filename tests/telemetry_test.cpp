@@ -1,0 +1,371 @@
+// Telemetry layer tests (DESIGN.md §13): histogram bucket math and merge
+// associativity, lock-free concurrent accumulation (run under TSAN in
+// CI), the snapshot message's transport round trip, live cluster
+// snapshot streaming, the Chrome-trace exporter's epoch alignment, the
+// run-summary JSON shape, the profiler's span-retention cap, and the
+// ROCKET_LOG_LEVEL parser.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "apps/forensics.hpp"
+#include "common/log.hpp"
+#include "mesh/live_cluster.hpp"
+#include "mesh/transport.hpp"
+#include "runtime/profiler.hpp"
+#include "storage/object_store.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/run_summary.hpp"
+#include "telemetry/snapshot.hpp"
+#include "telemetry/trace.hpp"
+
+namespace rocket::telemetry {
+namespace {
+
+// --- histogram bucket math ------------------------------------------------
+
+TEST(LatencyHistogram, BucketBoundaries) {
+  // Bucket 0 holds the value 0; bucket b >= 1 holds [2^(b-1), 2^b) ns.
+  EXPECT_EQ(LatencyHistogram::bucket_of(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(2), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(3), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(4), 3u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1023), 10u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1024), 11u);
+  // The top bucket absorbs everything too large for 63 shifted bits.
+  EXPECT_EQ(LatencyHistogram::bucket_of(~std::uint64_t{0}),
+            kHistogramBuckets - 1);
+
+  // Every bucket's floor maps back into that bucket, and floor-1 maps to
+  // the bucket below — the boundary is exact everywhere.
+  for (std::size_t b = 1; b + 1 < kHistogramBuckets; ++b) {
+    const auto floor = HistogramSnapshot::bucket_floor_ns(b);
+    EXPECT_EQ(LatencyHistogram::bucket_of(floor), b) << "bucket " << b;
+    EXPECT_EQ(LatencyHistogram::bucket_of(floor - 1), b - 1)
+        << "bucket " << b;
+  }
+}
+
+TEST(LatencyHistogram, RecordAndSnapshot) {
+  LatencyHistogram h;
+  h.record_ns(0);
+  h.record_ns(5);       // bucket 3: [4, 8)
+  h.record_ns(1000);    // bucket 10: [512, 1024)
+  h.record_seconds(1e-6);  // 1000 ns again
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum_ns, 2005u);
+  EXPECT_EQ(snap.min_ns, 0u);
+  EXPECT_EQ(snap.max_ns, 1000u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+  EXPECT_EQ(snap.buckets[10], 2u);
+  // Quantiles stay inside the recorded envelope (the bucket midpoint is
+  // clamped to [min, max]).
+  EXPECT_GE(snap.quantile_seconds(0.99), 0.0);
+  EXPECT_LE(snap.quantile_seconds(0.99), 1000e-9);
+  EXPECT_DOUBLE_EQ(snap.mean_seconds(), 2005e-9 / 4.0);
+}
+
+TEST(HistogramSnapshot, MergeIsAssociativeAndCommutative) {
+  const auto make = [](std::uint64_t seed) {
+    LatencyHistogram h;
+    for (std::uint64_t i = 1; i <= 50; ++i) h.record_ns(seed * i * i);
+    auto s = h.snapshot();
+    s.name = "m";
+    return s;
+  };
+  const auto a = make(3), b = make(17), c = make(1001);
+
+  auto ab_c = a;
+  ab_c += b;
+  ab_c += c;
+  auto bc = b;
+  bc += c;
+  auto a_bc = a;
+  a_bc += bc;
+  auto ba = b;
+  ba += a;
+  ba += c;
+
+  for (const auto& merged : {a_bc, ba}) {
+    EXPECT_EQ(ab_c.count, merged.count);
+    EXPECT_EQ(ab_c.sum_ns, merged.sum_ns);
+    EXPECT_EQ(ab_c.min_ns, merged.min_ns);
+    EXPECT_EQ(ab_c.max_ns, merged.max_ns);
+    EXPECT_EQ(ab_c.buckets, merged.buckets);
+  }
+}
+
+// --- concurrent accumulation (TSAN target) --------------------------------
+
+TEST(MetricsRegistry, ConcurrentAccumulationIsExact) {
+  MetricsRegistry registry(true);
+  auto& counter = registry.counter("c");
+  auto& gauge = registry.gauge("g");
+  auto& histogram = registry.histogram("h");
+
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        counter.add();
+        gauge.add(2);
+        gauge.sub(1);
+        histogram.record_ns(i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_value("c"), kThreads * kPerThread);
+  EXPECT_EQ(snap.gauge_value("g"),
+            static_cast<std::int64_t>(kThreads * kPerThread));
+  ASSERT_NE(snap.histogram("h"), nullptr);
+  EXPECT_EQ(snap.histogram("h")->count, kThreads * kPerThread);
+}
+
+TEST(MetricsRegistry, DisabledRegistryRecordsNothing) {
+  MetricsRegistry registry(false);
+  auto& counter = registry.counter("c");
+  auto& histogram = registry.histogram("h");
+  counter.add(42);
+  histogram.record_ns(1000);
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_value("c"), 0u);
+  EXPECT_EQ(snap.histogram("h")->count, 0u);
+}
+
+TEST(MetricsSnapshot, MergeByNameAddsAndAppends) {
+  MetricsRegistry a(true), b(true);
+  a.counter("shared").add(3);
+  b.counter("shared").add(4);
+  b.counter("only_b").add(5);
+  a.histogram("lat").record_ns(10);
+  b.histogram("lat").record_ns(20);
+  auto merged = a.snapshot();
+  merged += b.snapshot();
+  EXPECT_EQ(merged.counter_value("shared"), 7u);
+  EXPECT_EQ(merged.counter_value("only_b"), 5u);
+  EXPECT_EQ(merged.histogram("lat")->count, 2u);
+}
+
+// --- snapshot transport round trip ----------------------------------------
+
+TEST(TelemetrySnapshot, RoundTripsThroughTransport) {
+  mesh::InProcessTransport transport(2, {128});
+  NodeStats stats;
+  stats.pairs = 12345;
+  stats.cache_hits = 77;
+  stats.in_flight_tiles = -3;  // gauges may read transiently negative
+  stats.busy_seconds = 1.5;
+  stats.lanes = 9;
+  ASSERT_TRUE(transport.send(1, 0, net::Tag::kTelemetry,
+                             mesh::TelemetrySnapshot{1, 42, stats}));
+  const auto msg = transport.recv(0);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->tag, net::Tag::kTelemetry);
+  const auto* snap = std::get_if<mesh::TelemetrySnapshot>(&msg->body);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->node, 1u);
+  EXPECT_EQ(snap->seq, 42u);
+  EXPECT_EQ(snap->stats.pairs, 12345u);
+  EXPECT_EQ(snap->stats.cache_hits, 77u);
+  EXPECT_EQ(snap->stats.in_flight_tiles, -3);
+  EXPECT_DOUBLE_EQ(snap->stats.busy_seconds, 1.5);
+  EXPECT_EQ(snap->stats.lanes, 9u);
+  // Telemetry traffic lands under its own tag in the counters.
+  const auto& per_tag = transport.counters()
+      .per_tag[static_cast<std::size_t>(net::Tag::kTelemetry)];
+  EXPECT_EQ(per_tag.messages, 1u);
+}
+
+// --- live cluster snapshot streaming --------------------------------------
+
+TEST(LiveCluster, StreamsClusterSnapshotsMidRun) {
+  storage::MemoryStore mem;
+  apps::ForensicsConfig fc;
+  fc.cameras = 2;
+  fc.images_per_camera = 6;
+  fc.width = 64;
+  fc.height = 48;
+  fc.seed = 5;
+  apps::ForensicsDataset dataset(fc, mem);
+  apps::ForensicsApplication app(dataset);
+  // Throttle the store so the run comfortably spans several snapshot
+  // intervals on any CI machine.
+  storage::ThrottledStore store(mem, 2000);
+
+  mesh::LiveClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.node.host_cache_capacity = 8_MiB;
+  cfg.node.cpu_threads = 2;
+  cfg.snapshot_interval_s = 0.005;
+  std::atomic<std::uint64_t> callbacks{0};
+  std::atomic<std::uint64_t> max_nodes_seen{0};
+  cfg.on_cluster_snapshot = [&](const telemetry::ClusterSnapshot& snap) {
+    callbacks.fetch_add(1);
+    std::uint64_t prev = max_nodes_seen.load();
+    while (prev < snap.nodes.size() &&
+           !max_nodes_seen.compare_exchange_weak(prev, snap.nodes.size())) {
+    }
+  };
+  mesh::LiveCluster cluster(cfg);
+  std::uint64_t pairs = 0;
+  const auto report = cluster.run_all_pairs(
+      app, store, [&](const runtime::PairResult&) { ++pairs; });
+
+  EXPECT_EQ(pairs, report.pairs);
+  EXPECT_GE(callbacks.load(), 1u);
+  // Once both publishers have been sampled the snapshot covers the mesh.
+  EXPECT_EQ(max_nodes_seen.load(), 2u);
+  const auto last = cluster.cluster_snapshot();
+  EXPECT_GE(last.seq, 1u);
+  EXPECT_GT(last.uptime_seconds, 0.0);
+  for (const auto& node : last.nodes) {
+    EXPECT_TRUE(node.alive);
+    EXPECT_LE(node.cache_hit_rate, 1.0);
+  }
+  // The cluster metrics merge carries the hot-seam histograms.
+  EXPECT_NE(report.metrics.histogram("tile.latency"), nullptr);
+  EXPECT_GT(report.metrics.histogram("tile.latency")->count, 0u);
+  EXPECT_NE(report.metrics.histogram("cache.acquire_wait"), nullptr);
+  // Per-node traffic tables sum to the cluster table.
+  ASSERT_EQ(report.node_traffic.size(), 2u);
+  std::uint64_t per_node_messages = 0;
+  for (const auto& t : report.node_traffic) {
+    per_node_messages += t.total_messages();
+  }
+  EXPECT_EQ(per_node_messages, report.traffic.total_messages());
+}
+
+// --- trace exporter -------------------------------------------------------
+
+TEST(TraceExporter, AlignsNodesOnOneTimeline) {
+  using runtime::Profiler;
+  using runtime::TaskKind;
+
+  NodeTrace n0;
+  n0.epoch_offset_s = 0.0;
+  n0.lanes.push_back(Profiler::LaneView{
+      "gpu0", 0.002, {{TaskKind::kCompare, 0.001, 0.003}}});
+  n0.events.push_back(TraceEvent{EventKind::kNodeDeath, 0.004, 2, 1});
+
+  NodeTrace n1;
+  n1.epoch_offset_s = 0.010;  // started 10 ms after the process epoch
+  n1.lanes.push_back(Profiler::LaneView{
+      "gpu0", 0.001, {{TaskKind::kIo, 0.001, 0.002}}});
+
+  TraceExporter exporter;
+  exporter.add_node(0, n0);
+  exporter.add_node(1, n1);
+  const std::string json = exporter.to_json();
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"node 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"node 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"node_death\""), std::string::npos);
+  EXPECT_NE(json.find("\"compare\""), std::string::npos);
+  // Node 0's span starts at 1 ms on the shared timeline; node 1's io span
+  // starts at its epoch offset + 1 ms = 11 ms. Timestamps are written in
+  // microseconds.
+  EXPECT_NE(json.find("\"ts\":1000,"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":11000,"), std::string::npos);
+  // Balanced JSON at the macro level.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(EventLog, CapsAndCounts) {
+  EventLog log(4);
+  for (int i = 0; i < 10; ++i) {
+    log.record(EventKind::kPrefetchPark, static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(log.events().size(), 4u);
+  EXPECT_EQ(log.dropped(), 6u);
+}
+
+// --- run summary ----------------------------------------------------------
+
+TEST(RunSummary, EmitsDocumentedSchema) {
+  runtime::NodeRuntime::Report node_report;
+  node_report.pairs = 10;
+  node_report.wall_seconds = 0.5;
+  node_report.loads = 4;
+  MetricsRegistry reg(true);
+  reg.histogram("tile.latency").record_ns(1000000);
+  reg.counter("peer_fetch.retry").add(2);
+  node_report.metrics = reg.snapshot();
+
+  const auto summary = RunSummary::from_node("unit", node_report);
+  const std::string json = summary.to_json();
+  EXPECT_NE(json.find("\"schema\":\"rocket.run_summary/1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"mode\":\"single_node\""), std::string::npos);
+  EXPECT_NE(json.find("\"pairs\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"tile.latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"peer_fetch.retry\":2"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+// --- profiler span cap ----------------------------------------------------
+
+TEST(Profiler, CapsSpanRetentionAndCounts) {
+  using runtime::Profiler;
+  using runtime::TaskKind;
+  Profiler profiler(/*trace=*/true, /*max_spans_per_lane=*/4);
+  const auto lane = profiler.add_lane("test");
+  const auto t0 = Profiler::Clock::now();
+  for (int i = 0; i < 10; ++i) {
+    profiler.record(lane, TaskKind::kCompare, t0, t0);
+  }
+  EXPECT_EQ(profiler.spans_dropped(), 6u);
+  const auto lanes = profiler.lanes_view();
+  ASSERT_EQ(lanes.size(), 1u);
+  EXPECT_EQ(lanes[0].spans.size(), 4u);
+}
+
+TEST(Profiler, DisabledRecordIsANoOp) {
+  using runtime::Profiler;
+  using runtime::TaskKind;
+  Profiler profiler(/*trace=*/true);
+  profiler.set_enabled(false);
+  const auto lane = profiler.add_lane("test");
+  const auto t0 = Profiler::Clock::now();
+  profiler.record(lane, TaskKind::kCompare, t0, t0 + std::chrono::seconds(1));
+  EXPECT_EQ(profiler.lanes_view()[0].spans.size(), 0u);
+  EXPECT_DOUBLE_EQ(profiler.lane_busy_seconds(lane), 0.0);
+}
+
+// --- log level parsing ----------------------------------------------------
+
+TEST(LogLevel, ParsesNamesAndDigits) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("0"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("3"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("bogus"), std::nullopt);
+  EXPECT_EQ(parse_log_level("5"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace rocket::telemetry
