@@ -11,11 +11,25 @@
 //                      [--cache-shards 0]   (0 = auto: min(16, hw threads))
 //                      [--prefetch 0]       (look-ahead tiles per device)
 //                      [--kill-node N]      (chaos: kill node N mid-run;
-//                                            N >= 1 — the master survives)
+//                                            N >= 1, or 0 == --kill-master)
+//                      [--kill-master]      (chaos: kill node 0 mid-run; the
+//                                            lowest live node adopts the
+//                                            master role, DESIGN.md §14)
 //                      [--kill-after T]     (seconds until the kill, 0.02;
 //                                            must land inside the run — a
 //                                            mid-run kill stretches the run
 //                                            until recovery completes)
+//                      [--kill-all-after T] (chaos: kill EVERY node, staggered
+//                                            from T; pair with
+//                                            --checkpoint-dir, then rerun with
+//                                            --resume to finish the job)
+//                      [--checkpoint-dir D] (crash-safe run journal under D,
+//                                            DESIGN.md §14)
+//                      [--resume]           (replay the journal first; only
+//                                            the remaining frontier runs)
+//                      [--corrupt-rate R]   (chaos: deliver this fraction of
+//                                            frames corrupted first — the CRC
+//                                            check drops them)
 //                      [--live-stats]       (stream per-node cluster
 //                                            snapshots mid-run, DESIGN §13)
 //                      [--snapshot-interval T]  (seconds, 0.2)
@@ -29,6 +43,7 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -136,34 +151,80 @@ int main(int argc, char** argv) {
   }
   if (!trace_out.empty()) mesh_cfg.node.trace = true;
 
-  // Chaos: kill a non-master node mid-run (DESIGN.md §12). The run must
-  // still finish with the exact single-node multiset — the failure
-  // detector declares the death, the master re-grants the dead node's
-  // uncompleted regions, and duplicates are dropped at the ledger.
-  const auto kill_node = opts.get_int("kill-node", -1);
+  // Durability (DESIGN.md §14): a write-ahead journal under
+  // --checkpoint-dir; --resume replays it and runs only the remainder.
+  const std::string checkpoint_dir = opts.get("checkpoint-dir", "");
+  std::unique_ptr<rocket::storage::DirectoryStore> checkpoint_store;
+  if (!checkpoint_dir.empty()) {
+    checkpoint_store =
+        std::make_unique<rocket::storage::DirectoryStore>(checkpoint_dir);
+    mesh_cfg.checkpoint_store = checkpoint_store.get();
+    mesh_cfg.resume = opts.get_bool("resume", false);
+    std::printf("journal: %s/%s%s\n", checkpoint_dir.c_str(),
+                mesh_cfg.checkpoint_name.c_str(),
+                mesh_cfg.resume ? " (resuming)" : "");
+  } else if (opts.get_bool("resume", false)) {
+    std::printf("--resume needs --checkpoint-dir\n");
+    return 1;
+  }
+  mesh_cfg.frame_corrupt_rate = opts.get_double("corrupt-rate", 0.0);
+
+  // Chaos: kill nodes mid-run (DESIGN.md §12/§14). A worker kill is
+  // re-granted by the master; a master kill triggers failover (the lowest
+  // live node adopts the role); killing everyone ends the run early — the
+  // journal then carries a --resume rerun to the exact result.
+  auto kill_node = opts.get_int("kill-node", -1);
+  if (opts.get_bool("kill-master", false)) kill_node = 0;
   const double kill_after = opts.get_double("kill-after", 0.02);
-  if (kill_node >= 0) {
-    if (kill_node == 0 || kill_node >= static_cast<std::int64_t>(nodes)) {
-      std::printf("--kill-node must name a non-master node (1..%u)\n",
-                  nodes - 1);
+  const double kill_all_after = opts.get_double("kill-all-after", -1.0);
+  const bool kill_all = kill_all_after >= 0.0;
+  bool aggressive_clock = false;
+  if (kill_node >= 0 && !kill_all) {
+    if (kill_node >= static_cast<std::int64_t>(nodes)) {
+      std::printf("--kill-node must name a node (0..%u)\n", nodes - 1);
       return 1;
     }
     rocket::mesh::Fault fault;
     fault.node = static_cast<rocket::mesh::NodeId>(kill_node);
     fault.after_seconds = kill_after;
     mesh_cfg.faults.faults.push_back(fault);
+    aggressive_clock = true;
+    std::printf("chaos: killing %s %lld after %.2fs\n",
+                kill_node == 0 ? "master node" : "node",
+                static_cast<long long>(kill_node), kill_after);
+  }
+  if (kill_all) {
+    // Staggered whole-cluster death, master last so it journals the most.
+    for (std::uint32_t id = 1; id < nodes; ++id) {
+      rocket::mesh::Fault fault;
+      fault.node = id;
+      fault.after_seconds = kill_all_after + 0.03 * (id - 1);
+      mesh_cfg.faults.faults.push_back(fault);
+    }
+    rocket::mesh::Fault master_fault;
+    master_fault.node = 0;
+    master_fault.after_seconds =
+        kill_all_after + 0.03 * static_cast<double>(nodes);
+    mesh_cfg.faults.faults.push_back(master_fault);
+    aggressive_clock = true;
+    std::printf("chaos: killing ALL %u nodes, staggered from %.2fs\n", nodes,
+                kill_all_after);
+  }
+  if (aggressive_clock) {
     // An aggressive failover clock so the demo shows the recovery, not a
     // five-second detection wait.
     mesh_cfg.lease_timeout_s = 0.1;
     mesh_cfg.heartbeat_interval_s = 0.01;
-    std::printf("chaos: killing node %lld after %.2fs\n",
-                static_cast<long long>(kill_node), kill_after);
   }
   rocket::LiveCluster mesh(mesh_cfg);
-  ResultMap results;  // master callback is serialised: no lock needed
+  ResultMap results;
   const auto report = mesh.run_all_pairs(
-      app, store,
-      [&](const rocket::PairResult& r) { results[{r.left, r.right}] = r.score; });
+      app, store, [&](const rocket::PairResult& r) {
+        // With failover the delivering master can change mid-run, so the
+        // callback hops service threads — serialise the map ourselves.
+        std::scoped_lock lock(mutex);
+        results[{r.left, r.right}] = r.score;
+      });
 
   std::printf("\n%llu pairs on %u nodes in %.2fs (single node: %.2fs)\n",
               static_cast<unsigned long long>(report.pairs), nodes,
@@ -265,6 +326,28 @@ int main(int argc, char** argv) {
                     report.duplicate_results_dropped),
                 static_cast<unsigned long long>(report.peer_retries));
   }
+  if (report.master_failovers > 0) {
+    std::printf("failover: master role adopted %llu time(s) — the lowest "
+                "live node completed the aggregation\n",
+                static_cast<unsigned long long>(report.master_failovers));
+  }
+  if (report.corrupted_frames > 0) {
+    std::printf("transport: %llu corrupted frame(s) injected; CRC checks "
+                "dropped every one before delivery\n",
+                static_cast<unsigned long long>(report.corrupted_frames));
+  }
+  if (report.checkpoint.enabled) {
+    std::printf("journal: %llu record(s) appended, %llu replayed, %llu "
+                "pair(s) recovered%s%s\n",
+                static_cast<unsigned long long>(
+                    report.checkpoint.records_appended),
+                static_cast<unsigned long long>(
+                    report.checkpoint.records_replayed),
+                static_cast<unsigned long long>(
+                    report.checkpoint.pairs_recovered),
+                report.checkpoint.resumed ? " (resumed)" : "",
+                report.checkpoint.torn_tail ? ", torn tail truncated" : "");
+  }
 
   if (!trace_out.empty()) {
     rocket::telemetry::TraceExporter exporter;
@@ -292,14 +375,41 @@ int main(int argc, char** argv) {
     }
   }
 
-  // The mesh must reproduce the single-node result multiset exactly.
-  std::size_t mismatches = 0;
-  for (const auto& [pair, score] : reference) {
-    const auto it = results.find(pair);
-    if (it == results.end() || it->second != score) ++mismatches;
+  // Everything this run delivered must match the single-node reference;
+  // a wrong or invented pair is a failure in every mode.
+  std::size_t wrong = 0;
+  for (const auto& [pair, score] : results) {
+    const auto it = reference.find(pair);
+    if (it == reference.end() || it->second != score) ++wrong;
   }
-  std::printf("\nresult check vs single node: %zu/%zu pairs match%s\n",
-              reference.size() - mismatches, reference.size(),
-              mismatches == 0 ? " (exact)" : " — MISMATCH");
-  return mismatches == 0 ? 0 : 1;
+  if (wrong > 0) {
+    std::printf("\nresult check vs single node: %zu wrong pair(s) — "
+                "MISMATCH\n", wrong);
+    return 1;
+  }
+
+  if (kill_all) {
+    // The whole cluster died: the run is legitimately incomplete. What
+    // was delivered is exact, and the journal holds it for --resume.
+    std::printf("\nresult check vs single node: %zu/%zu pairs delivered "
+                "before the cluster died, all exact; resume with "
+                "--checkpoint-dir %s --resume\n",
+                results.size(), reference.size(), checkpoint_dir.c_str());
+    return 0;
+  }
+
+  // Complete modes (including --resume, where journal-recovered pairs
+  // count toward the total without being re-delivered): the full
+  // single-node multiset, exactly once.
+  const std::uint64_t covered =
+      report.checkpoint.pairs_recovered + results.size();
+  const bool complete = covered == reference.size() &&
+                        report.pairs == reference.size();
+  std::printf("\nresult check vs single node: %llu/%zu pairs match "
+              "(%llu recovered from the journal)%s\n",
+              static_cast<unsigned long long>(covered), reference.size(),
+              static_cast<unsigned long long>(
+                  report.checkpoint.pairs_recovered),
+              complete ? " (exact)" : " — MISMATCH");
+  return complete ? 0 : 1;
 }

@@ -19,8 +19,19 @@ SUMMARY_KEYS = [
     "schema", "app", "mode", "num_nodes", "pairs", "wall_seconds",
     "pairs_per_sec", "loads", "peer_loads", "remote_steals",
     "cache_fast_hits", "prefetch_hits", "stall_seconds", "host_cache",
-    "directory", "peer_cache", "failover", "traffic", "node_traffic",
-    "metrics", "nodes",
+    "directory", "peer_cache", "failover", "checkpoint", "traffic",
+    "node_traffic", "metrics", "nodes",
+]
+
+FAILOVER_KEYS = [
+    "node_deaths", "regions_reexecuted", "duplicate_results_dropped",
+    "results_received", "regions_adopted", "master_failovers",
+    "corrupted_frames",
+]
+
+CHECKPOINT_KEYS = [
+    "enabled", "resumed", "torn_tail", "pairs_recovered",
+    "records_replayed", "records_appended",
 ]
 
 HISTOGRAM_KEYS = ["name", "count", "mean_s", "p50_s", "p99_s", "min_s",
@@ -32,7 +43,8 @@ def fail(message):
     sys.exit(1)
 
 
-def check_summary(path, nodes):
+def check_summary(path, nodes, expect_master_failover=False,
+                  expect_resumed=False):
     doc = json.load(open(path))
     for key in SUMMARY_KEYS:
         if key not in doc:
@@ -50,6 +62,12 @@ def check_summary(path, nodes):
     for tag in doc["traffic"]["per_tag"]:
         if tag["raw_bytes"] < tag["bytes"]:
             fail(f"{path}: tag {tag['tag']!r} raw_bytes < wire bytes")
+    for key in FAILOVER_KEYS:
+        if key not in doc["failover"]:
+            fail(f"{path}: failover block missing {key!r}")
+    for key in CHECKPOINT_KEYS:
+        if key not in doc["checkpoint"]:
+            fail(f"{path}: checkpoint block missing {key!r}")
     for hist in doc["metrics"]["histograms"]:
         for key in HISTOGRAM_KEYS:
             if key not in hist:
@@ -57,6 +75,14 @@ def check_summary(path, nodes):
                      f"{key!r}")
     if doc["pairs"] == 0:
         fail(f"{path}: zero pairs recorded")
+    if expect_master_failover and doc["failover"]["master_failovers"] == 0:
+        fail(f"{path}: expected a master failover, none recorded")
+    if expect_resumed:
+        if not doc["checkpoint"]["resumed"]:
+            fail(f"{path}: expected a resumed run, checkpoint.resumed is "
+                 f"false")
+        if doc["checkpoint"]["pairs_recovered"] == 0:
+            fail(f"{path}: resumed run recovered zero pairs")
     print(f"check_telemetry: OK: {path} ({doc['pairs']} pairs, "
           f"{len(doc['nodes'])} nodes, "
           f"{len(doc['metrics']['histograms'])} histograms)")
@@ -93,9 +119,15 @@ def main():
     parser.add_argument("kind", choices=["summary", "trace"])
     parser.add_argument("path")
     parser.add_argument("--nodes", type=int, default=None)
+    parser.add_argument("--expect-master-failover", action="store_true",
+                        help="fail unless failover.master_failovers > 0")
+    parser.add_argument("--expect-resumed", action="store_true",
+                        help="fail unless the run resumed from a journal "
+                             "and recovered pairs")
     args = parser.parse_args()
     if args.kind == "summary":
-        check_summary(args.path, args.nodes)
+        check_summary(args.path, args.nodes, args.expect_master_failover,
+                      args.expect_resumed)
     else:
         check_trace(args.path, args.nodes)
 

@@ -1,0 +1,65 @@
+#pragma once
+
+// Jittered exponential backoff, shared by every retry loop in the runtime
+// and the mesh (DESIGN.md §14). Before this helper existed the codebase
+// grew two ad-hoc copies — the cache kFailed grant re-drive (microsecond
+// sleeps) and the peer-fetch retransmit deadline (fractional-second
+// deadlines) — with slightly different capping rules and no jitter, so
+// colliding retriers re-collided in lockstep.
+//
+// The jitter is a pure function of (attempt, salt): no hidden RNG state,
+// so a given call site's delay sequence is exactly reproducible in tests
+// (the deterministic-for-test hook) while distinct salts — an item id, a
+// worker index — decorrelate concurrent retriers.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/rng.hpp"
+
+namespace rocket {
+
+struct BackoffPolicy {
+  /// Delay before the first retry (attempt 1 doubles once; see below).
+  double base_s = 8e-6;
+  /// Ceiling applied to the un-jittered delay; jitter can stretch a capped
+  /// delay by at most `jitter` fractionally.
+  double cap_s = 1e-3;
+  /// Symmetric jitter fraction: the delay is scaled by a deterministic
+  /// factor in [1 - jitter, 1 + jitter). 0 disables jitter entirely.
+  double jitter = 0.25;
+  /// Exponent clamp: attempts beyond this stop doubling (the cap usually
+  /// binds first; this bounds the shift arithmetic).
+  std::uint32_t max_doublings = 10;
+
+  /// Un-jittered delay for the attempt'th retry: min(cap, base * 2^k)
+  /// with k = min(attempt, max_doublings).
+  constexpr double raw_delay_seconds(std::uint32_t attempt) const {
+    const std::uint32_t k = std::min(attempt, std::min(max_doublings, 62u));
+    const double d = base_s * static_cast<double>(1ull << k);
+    return std::min(d, cap_s);
+  }
+
+  /// Jittered delay: deterministic in (attempt, salt), so tests replay the
+  /// exact sequence and concurrent retriers with different salts spread.
+  double delay_seconds(std::uint32_t attempt, std::uint64_t salt = 0) const {
+    double d = raw_delay_seconds(attempt);
+    if (jitter > 0.0) {
+      const std::uint64_t h =
+          mix64(salt * 0x9E3779B97F4A7C15ULL + attempt + 1);
+      const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+      d *= 1.0 + jitter * (2.0 * u - 1.0);
+    }
+    return d;
+  }
+
+  void sleep_for(std::uint32_t attempt, std::uint64_t salt = 0) const {
+    const auto us = static_cast<std::int64_t>(
+        delay_seconds(attempt, salt) * 1e6);
+    if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+};
+
+}  // namespace rocket

@@ -1,0 +1,49 @@
+#pragma once
+
+// CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the integrity
+// guard on every mesh transport frame and every checkpoint-journal record
+// (DESIGN.md §14). zlib-compatible: crc32("123456789") == 0xCBF43926, and
+// crc32_update chains across fragments, so a record's checksum can be
+// accumulated field by field without materialising a contiguous buffer.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace rocket {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// Extend `crc` (a previous crc32 result, or 0 to start) over `size` bytes.
+inline std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                                  std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = detail::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+inline std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32_update(0, data, size);
+}
+
+}  // namespace rocket

@@ -28,16 +28,94 @@ LiveCluster::Report LiveCluster::run_all_pairs(
   const std::uint32_t n = app.item_count();
   const std::uint64_t total_pairs = dnc::count_pairs(dnc::root_region(n));
 
+  // --- checkpoint journal: replay, fingerprint check, torn-tail cut ---
+  CheckpointStats ck;
+  std::unique_ptr<checkpoint::Journal> journal;
+  std::vector<dnc::Pair> recovered;
+  if (config_.checkpoint_store != nullptr) {
+    ck.enabled = true;
+    checkpoint::Manifest manifest;
+    manifest.items = n;
+    manifest.num_nodes = p;
+    manifest.granularity = config_.partition_granularity;
+    manifest.seed = config_.node.seed;
+    manifest.expected_pairs = total_pairs;
+    manifest.fingerprint = checkpoint::Journal::fingerprint(
+        n, p, config_.partition_granularity, config_.node.seed);
+    journal = std::make_unique<checkpoint::Journal>(
+        *config_.checkpoint_store, config_.checkpoint_name);
+    bool fresh = true;
+    if (config_.resume) {
+      const auto replay = checkpoint::Journal::replay(
+          *config_.checkpoint_store, config_.checkpoint_name);
+      if (replay.found && replay.has_manifest &&
+          replay.manifest.fingerprint == manifest.fingerprint) {
+        ck.torn_tail = replay.torn;
+        if (replay.torn) {
+          // Cut the tear so this run appends from a record boundary.
+          checkpoint::Journal::truncate_to_valid(
+              *config_.checkpoint_store, config_.checkpoint_name, replay);
+        }
+        ck.resumed = true;
+        ck.records_replayed = replay.records;
+        // Dedup the replayed state through a scratch ledger: a journal
+        // written across a failover can record a pair twice (old and new
+        // master), and completed regions overlap their own results.
+        ResultLedger scratch(n, p);
+        for (const auto& result : replay.results) {
+          scratch.mark_recovered(result.left, result.right);
+        }
+        for (const auto& region : replay.completed_regions) {
+          dnc::for_each_pair(region, [&](const dnc::Pair& pair) {
+            scratch.mark_recovered(pair.left, pair.right);
+          });
+        }
+        recovered = scratch.delivered_pairs();
+        ck.pairs_recovered = recovered.size();
+        fresh = false;
+      }
+    }
+    if (fresh) journal->start_fresh(manifest);
+  }
+
   InProcessTransport::Config tc;
   tc.control_message_size = config_.control_message_size;
   tc.compress_threshold = config_.peer_compress_threshold;
   tc.faults = config_.faults;
+  tc.corrupt_rate = config_.frame_corrupt_rate;
+  tc.corrupt_seed = config_.frame_corrupt_seed;
   InProcessTransport transport(p, tc);
   storage::SynchronizedStore shared_store(store);
-  const auto done = std::make_shared<std::atomic<bool>>(total_pairs == 0);
+  const std::uint64_t remaining_pairs = total_pairs - recovered.size();
+  const auto done = std::make_shared<std::atomic<bool>>(remaining_pairs == 0);
 
-  const auto partition =
+  auto partition =
       dnc::partition_root(n, p, config_.partition_granularity);
+  if (!recovered.empty()) {
+    // Resume frontier: grant the full partition to its owners in a
+    // scratch ledger, mark the recovered pairs delivered, and re-read
+    // each node's share as coalesced undelivered row runs — only the
+    // remainder is executed.
+    ResultLedger scratch(n, p);
+    for (NodeId id = 0; id < p; ++id) {
+      for (const auto& region : partition[id]) {
+        scratch.grant(id, region, /*reexecution=*/false);
+      }
+    }
+    for (const dnc::Pair& pair : recovered) {
+      scratch.mark_recovered(pair.left, pair.right);
+    }
+    for (NodeId id = 0; id < p; ++id) {
+      partition[id] = scratch.undelivered_of(id);
+    }
+  }
+
+  // Master failover needs a failure detector to hand the role over, so
+  // it rides on the heartbeat/lease machinery.
+  const bool failover = config_.master_failover && p > 1 &&
+                        config_.heartbeat_interval_s > 0 &&
+                        config_.lease_timeout_s > 0;
+  std::atomic<std::uint64_t> delivered_this_run{0};
 
   // Mesh services. The master's completion hook sets the cluster-wide done
   // flag and wakes every node's steal waiters; no shutdown broadcast is
@@ -75,19 +153,31 @@ LiveCluster::Report LiveCluster::run_all_pairs(
       mc.max_fetch_retries = config_.max_fetch_retries;
       mc.export_leases = true;
     }
-    if (id == 0) {
+    // With failover EVERY node carries the master duties — any of them
+    // may adopt the role mid-run; without it only node 0 does.
+    if (id == 0 || failover) {
       mc.expected_pairs = total_pairs;
-      mc.on_result = on_result;
+      mc.on_result = [&on_result,
+                      &delivered_this_run](const runtime::PairResult& r) {
+        delivered_this_run.fetch_add(1, std::memory_order_relaxed);
+        if (on_result) on_result(r);
+      };
       mc.on_complete = [&done, &meshes] {
         done->store(true, std::memory_order_release);
         for (auto& mesh : meshes) {
           if (mesh) mesh->wake();
         }
       };
-      if (p > 1) {
+      // The ledger also backs the journal's exactly-once replay on a
+      // single node, so journalling forces it on even at p == 1.
+      if (p > 1 || journal != nullptr) {
         mc.ledger_items = n;
         mc.initial_grants = partition;
       }
+      mc.failover = failover;
+      mc.journal = journal.get();
+      mc.recovered = recovered;
+      mc.result_batch_pairs = std::max(1u, config_.journal_batch_pairs);
       mc.on_snapshot = [this](const telemetry::ClusterSnapshot& snap) {
         {
           std::lock_guard<std::mutex> lock(snapshot_mutex_);
@@ -131,8 +221,12 @@ LiveCluster::Report LiveCluster::run_all_pairs(
         };
         node_reports[id] = rt.run_partition(
             app, shared_store,
-            [&transport, id](const runtime::PairResult& r) {
-              transport.send(id, 0, net::Tag::kResult, ResultMsg{r});
+            [&transport, &meshes, id](const runtime::PairResult& r) {
+              // Route to the CURRENT master: after a failover the
+              // adopter aggregates, and anything still in flight to the
+              // corpse is covered by its conservative re-grant.
+              transport.send(id, meshes[id]->current_master(),
+                             net::Tag::kResult, ResultMsg{r});
             },
             port);
       } catch (...) {
@@ -146,11 +240,43 @@ LiveCluster::Report LiveCluster::run_all_pairs(
       }
     });
   }
+  // Termination watchdog for chaos runs: completion is signalled by a
+  // master, so a run where EVERY node dies — or where the master dies
+  // with failover off — would otherwise hang on workers polling
+  // remote_steal forever. Kill schedules are test/demo-only, so the
+  // watchdog only exists when one is configured.
+  std::thread watchdog;
+  std::atomic<bool> watchdog_stop{false};
+  if (!config_.faults.empty()) {
+    watchdog = std::thread([&] {
+      while (!watchdog_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        if (done->load(std::memory_order_acquire)) continue;
+        bool all_down = true;
+        for (NodeId k = 0; k < p; ++k) {
+          if (!transport.is_down(k)) {
+            all_down = false;
+            break;
+          }
+        }
+        const bool master_unrecoverable = !failover && transport.is_down(0);
+        if (all_down || master_unrecoverable) {
+          done->store(true, std::memory_order_release);
+          for (auto& mesh : meshes) {
+            if (mesh) mesh->wake();
+          }
+        }
+      }
+    });
+  }
+
   for (auto& t : node_threads) t.join();
   const double wall = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - wall_start)
                           .count();
 
+  watchdog_stop.store(true, std::memory_order_release);
+  if (watchdog.joinable()) watchdog.join();
   transport.close();
   for (auto& mesh : meshes) mesh->join();
   for (auto& error : errors) {
@@ -158,9 +284,16 @@ LiveCluster::Report LiveCluster::run_all_pairs(
   }
 
   Report report;
-  report.pairs = total_pairs;
+  // Pairs this run actually accounted for: journal-recovered plus
+  // freshly delivered. Equal to total_pairs in any completed run;
+  // smaller only when an unsurvivable chaos schedule cut the run short.
+  report.pairs = recovered.size() +
+                 delivered_this_run.load(std::memory_order_acquire);
   report.wall_seconds = wall;
   report.traffic = transport.counters();
+  report.corrupted_frames = transport.corrupted_frames();
+  if (journal != nullptr) ck.records_appended = journal->records_appended();
+  report.checkpoint = ck;
   report.node_traffic.reserve(p);
   for (NodeId id = 0; id < p; ++id) {
     report.loads += node_reports[id].loads;
@@ -187,6 +320,7 @@ LiveCluster::Report LiveCluster::run_all_pairs(
   report.regions_reexecuted = report.failover.regions_reexecuted;
   report.duplicate_results_dropped =
       report.failover.duplicate_results_dropped;
+  report.master_failovers = report.failover.master_failovers;
   report.peer_retries = report.peer_cache.retries;
   report.nodes = std::move(node_reports);
   return report;

@@ -83,8 +83,10 @@ struct LiveClusterConfig {
   std::uint32_t max_chain_hops = 0;
 
   /// Scripted, replayable node kills (chaos tests, the demo's
-  /// --kill-node). Node 0 is the master: killing it is not survivable and
-  /// must not be scheduled (DESIGN.md §12).
+  /// --kill-node / --kill-master). Killing node 0 is survivable when
+  /// `master_failover` is on (the lowest live node adopts the role,
+  /// DESIGN.md §14); without failover a master kill ends the run early
+  /// via the termination watchdog.
   FaultSchedule faults;
 
   // --- telemetry (DESIGN.md §13) ---
@@ -98,6 +100,46 @@ struct LiveClusterConfig {
   /// Called on the master's service thread with each new ClusterSnapshot.
   /// Must be cheap and must not re-enter the cluster.
   std::function<void(const telemetry::ClusterSnapshot&)> on_cluster_snapshot;
+
+  // --- durability (DESIGN.md §14) ---
+
+  /// Write-ahead run journal target. Non-null enables journalling: the
+  /// master appends a manifest, flushed result batches and completed
+  /// regions through this store (must support_write()). Null disables
+  /// the whole checkpoint path.
+  storage::ObjectStore* checkpoint_store = nullptr;
+  std::string checkpoint_name = "rocket.journal";
+
+  /// Replay an existing journal before running: already-delivered pairs
+  /// are NOT re-delivered, only the remaining frontier executes. A
+  /// journal whose manifest fingerprint mismatches this config is
+  /// ignored (fresh start). Requires checkpoint_store.
+  bool resume = false;
+
+  /// Master result-batch size for the mirror→journal→deliver flush unit
+  /// (only active when failover or a journal is enabled).
+  std::uint32_t journal_batch_pairs = 64;
+
+  /// Master failover: mirror aggregation state to a standby and let the
+  /// lowest live node adopt the master role when the master's lease
+  /// expires. Effective only with heartbeats + lease timeout enabled on
+  /// a multi-node mesh.
+  bool master_failover = true;
+
+  /// Chaos: probability that a sent frame is first delivered corrupted
+  /// (then retransmitted clean). Exercises the transport CRC path.
+  double frame_corrupt_rate = 0.0;
+  std::uint64_t frame_corrupt_seed = 1;
+};
+
+/// Journal/resume observability (zero/false when checkpointing is off).
+struct CheckpointStats {
+  bool enabled = false;
+  bool resumed = false;             // a prior journal was replayed
+  bool torn_tail = false;           // replay found (and cut) a torn tail
+  std::uint64_t pairs_recovered = 0;   // pairs restored from the journal
+  std::uint64_t records_replayed = 0;  // valid records walked on resume
+  std::uint64_t records_appended = 0;  // records written by this run
 };
 
 struct LiveClusterReport {
@@ -125,6 +167,9 @@ struct LiveClusterReport {
   std::uint64_t duplicate_results_dropped = 0;  // master dedup drops
   std::uint64_t peer_retries = 0;       // fetch retransmits, all nodes
   FailoverStats failover;               // full failover detail, aggregated
+  std::uint64_t master_failovers = 0;   // master-role adoptions
+  std::uint64_t corrupted_frames = 0;   // injected corrupt frames (chaos)
+  CheckpointStats checkpoint;           // journal/resume detail (§14)
 
   /// Name-merged metrics over every node's engine and mesh registries
   /// (DESIGN.md §13): latency histograms add bucket-wise, counters add.

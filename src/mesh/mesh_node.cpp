@@ -44,6 +44,7 @@ FailoverStats& operator+=(FailoverStats& a, const FailoverStats& b) {
   a.duplicate_results_dropped += b.duplicate_results_dropped;
   a.results_received += b.results_received;
   a.regions_adopted += b.regions_adopted;
+  a.master_failovers += b.master_failovers;
   return a;
 }
 
@@ -67,26 +68,42 @@ MeshNode::MeshNode(Config config, Transport& transport,
                      (static_cast<std::uint64_t>(cfg_.id) << 20) + w + 1);
     cells_.push_back(std::move(cell));
   }
-  if (cfg_.ledger_items > 0 && !cfg_.initial_grants.empty()) {
+  if (cfg_.ledger_items > 0 && !cfg_.initial_grants.empty() && is_master()) {
     ledger_ = std::make_unique<ResultLedger>(cfg_.ledger_items, p);
     for (NodeId node = 0; node < cfg_.initial_grants.size(); ++node) {
       for (const auto& region : cfg_.initial_grants[node]) {
         ledger_->grant(node, region, /*reexecution=*/false);
       }
     }
+    // Resume: pairs a previous incarnation already delivered are marked
+    // up front — they count toward completion but are never re-delivered
+    // (the journal, not this run, is their system of record).
+    for (const dnc::Pair& pair : cfg_.recovered) {
+      if (ledger_->mark_recovered(pair.left, pair.right)) ++results_seen_;
+    }
+    init_region_watch();
   }
-  if (is_master()) snap_states_.assign(p, SnapState{});
+  snap_states_.assign(p, SnapState{});
   steal_rtt_ = &metrics_.histogram("steal.rtt");
   fetch_hit_ = &metrics_.histogram("peer_fetch.hit");
   fetch_miss_ = &metrics_.histogram("peer_fetch.miss");
   lease_slack_ = &metrics_.histogram("lease.slack");
   fetch_retries_ = &metrics_.counter("peer_fetch.retry");
+  frame_corrupt_ = &metrics_.counter("net.frame_corrupt");
 }
 
 MeshNode::~MeshNode() { join(); }
 
 void MeshNode::start() {
   const auto p = transport_.num_nodes();
+  // Resume edge case: the journal already covered every pair. Nothing
+  // will ever arrive to trigger completion, so fire it up front.
+  if (is_master() && cfg_.expected_pairs > 0 &&
+      results_seen_ >= cfg_.expected_pairs && !completed_ &&
+      cfg_.on_complete) {
+    completed_ = true;
+    cfg_.on_complete();
+  }
   const std::int64_t now_ns =
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - epoch_)
@@ -95,12 +112,17 @@ void MeshNode::start() {
     last_seen_ns_[k].store(now_ns, std::memory_order_relaxed);
   }
   service_ = std::thread([this] { serve_loop(); });
-  const bool detector = is_master() && cfg_.lease_timeout_s > 0;
-  const bool heartbeats =
-      !is_master() && cfg_.heartbeat_interval_s > 0 && p > 1;
+  // With failover every node may end up master, so every node runs both
+  // the detector and heartbeats; the ticker branches on the CURRENT role.
+  const bool detector =
+      (is_master() || cfg_.failover) && cfg_.lease_timeout_s > 0;
+  const bool heartbeats = (!is_master() || cfg_.failover) &&
+                          cfg_.heartbeat_interval_s > 0 && p > 1;
   const bool deadlines = cfg_.fetch_timeout_s > 0;
   const bool snapshots = cfg_.snapshot_interval_s > 0;
-  if (detector || heartbeats || deadlines || snapshots) {
+  const bool master_tick = (cfg_.failover || cfg_.journal != nullptr) &&
+                           cfg_.heartbeat_interval_s > 0;
+  if (detector || heartbeats || deadlines || snapshots || master_tick) {
     ticker_ = std::thread([this] { ticker_loop(); });
   }
 }
@@ -117,6 +139,20 @@ void MeshNode::join() {
 
 void MeshNode::serve_loop() {
   while (auto msg = transport_.recv(cfg_.id)) {
+    // A killed node observes its own death at the next message boundary
+    // and goes silent: queued messages are discarded, nothing is acted
+    // on. (Sends already fail at the transport; this stops the master
+    // from journalling or delivering results as a corpse.)
+    if (!crashed_ && transport_.is_node_down(cfg_.id)) crashed_ = true;
+    if (crashed_) continue;
+    // Frame integrity (satellite: CRC every transport payload). A
+    // corrupted frame is dropped before it renews a lease or reaches a
+    // handler — the injector always follows it with a clean retransmit,
+    // so dropping is the whole recovery.
+    if (msg->crc != 0 && frame_crc(msg->body) != msg->crc) {
+      frame_corrupt_->add();
+      continue;
+    }
     const NodeId from = msg->from;
     if (from < transport_.num_nodes()) {
       // Any traffic renews the sender's lease, not just heartbeats — a
@@ -154,6 +190,12 @@ void MeshNode::serve_loop() {
             on_region_grant(body);
           } else if constexpr (std::is_same_v<Body, TelemetrySnapshot>) {
             on_telemetry(body);
+          } else if constexpr (std::is_same_v<Body, LedgerSync>) {
+            on_ledger_sync(std::move(body));
+          } else if constexpr (std::is_same_v<Body, MasterAnnounce>) {
+            on_master_announce(body);
+          } else if constexpr (std::is_same_v<Body, MasterTick>) {
+            on_master_tick();
           }
         },
         std::move(msg->body));
@@ -169,7 +211,7 @@ void MeshNode::ticker_loop() {
   if (cfg_.heartbeat_interval_s > 0) {
     period_s = std::min(period_s, cfg_.heartbeat_interval_s);
   }
-  if (is_master() && cfg_.lease_timeout_s > 0) {
+  if ((is_master() || cfg_.failover) && cfg_.lease_timeout_s > 0) {
     period_s = std::min(period_s, cfg_.lease_timeout_s / 4);
   }
   if (cfg_.fetch_timeout_s > 0) {
@@ -184,12 +226,36 @@ void MeshNode::ticker_loop() {
   std::unique_lock lock(ticker_mutex_);
   while (!ticker_cv_.wait_for(lock, tick, [this] { return ticker_stop_; })) {
     lock.unlock();
-    if (!is_master() && cfg_.heartbeat_interval_s > 0 &&
-        transport_.num_nodes() > 1) {
-      transport_.send(cfg_.id, kMaster, net::Tag::kHeartbeat,
-                      Heartbeat{cfg_.id, ++heartbeat_seq_});
+    const NodeId master_now = master_.load(std::memory_order_acquire);
+    const bool i_am_master = cfg_.id == master_now;
+    const auto p = transport_.num_nodes();
+    if (cfg_.heartbeat_interval_s > 0 && p > 1) {
+      if (!i_am_master) {
+        transport_.send(cfg_.id, master_now, net::Tag::kHeartbeat,
+                        Heartbeat{cfg_.id, ++heartbeat_seq_});
+      } else if (cfg_.failover) {
+        // Failover needs the master's liveness to be observable too:
+        // broadcast its lease renewal so every standby's master-watch
+        // has something to time out on.
+        ++heartbeat_seq_;
+        for (NodeId peer = 0; peer < p; ++peer) {
+          if (peer == cfg_.id || dead_[peer].load(std::memory_order_acquire)) {
+            continue;
+          }
+          transport_.send(cfg_.id, peer, net::Tag::kHeartbeat,
+                          Heartbeat{cfg_.id, heartbeat_seq_});
+        }
+      }
     }
-    if (is_master() && cfg_.lease_timeout_s > 0) check_leases();
+    if (i_am_master && cfg_.lease_timeout_s > 0) check_leases();
+    if (!i_am_master && cfg_.failover && cfg_.lease_timeout_s > 0) {
+      check_master_lease();
+    }
+    if (i_am_master && (cfg_.failover || cfg_.journal != nullptr)) {
+      // Periodic master duties (standby resync, partial-batch flush) run
+      // on the service thread, where the ledger lives.
+      transport_.send(cfg_.id, cfg_.id, net::Tag::kControl, MasterTick{});
+    }
     if (cfg_.fetch_timeout_s > 0) check_fetch_deadlines();
     if (cfg_.snapshot_interval_s > 0 &&
         std::chrono::steady_clock::now() >= next_snapshot_) {
@@ -232,6 +298,29 @@ void MeshNode::check_leases() {
   }
 }
 
+void MeshNode::check_master_lease() {
+  // Standby side of failover: watch the CURRENT master's lease the same
+  // way the master watches everyone else's. The verdict goes through our
+  // own inbox; the service thread decides whether this node is the
+  // lowest live survivor and must adopt.
+  const NodeId m = master_.load(std::memory_order_acquire);
+  if (m == cfg_.id || m >= transport_.num_nodes() || declared_[m]) return;
+  if (dead_[m].load(std::memory_order_acquire)) {
+    declared_[m] = true;
+    return;
+  }
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count();
+  const auto lease_ns = static_cast<std::int64_t>(cfg_.lease_timeout_s * 1e9);
+  const std::int64_t silence_ns =
+      now_ns - last_seen_ns_[m].load(std::memory_order_acquire);
+  if (silence_ns < lease_ns) return;
+  declared_[m] = true;
+  transport_.send(cfg_.id, cfg_.id, net::Tag::kFailover, NodeDown{m, 0});
+}
+
 void MeshNode::check_fetch_deadlines() {
   const auto now = std::chrono::steady_clock::now();
   std::vector<ItemId> retry;
@@ -245,13 +334,13 @@ void MeshNode::check_fetch_deadlines() {
       }
       if (pending.attempts < cfg_.max_fetch_retries) {
         ++pending.attempts;
-        // Exponential backoff: 2^attempts base timeouts until the next
-        // retransmit fires.
-        pending.deadline =
-            now + seconds_to_duration(cfg_.fetch_timeout_s *
-                                      static_cast<double>(
-                                          1u << std::min(pending.attempts,
-                                                         10u)));
+        // Shared jittered-exponential policy (common/backoff.hpp): base =
+        // one fetch timeout, doubling per attempt, salted by the item id
+        // so concurrent retriers don't retransmit in lockstep.
+        const BackoffPolicy policy{cfg_.fetch_timeout_s,
+                                   cfg_.fetch_timeout_s * 1024.0, 0.25, 10};
+        pending.deadline = now + seconds_to_duration(policy.delay_seconds(
+                                     pending.attempts, item));
         ++stats_.retries;
         fetch_retries_->add();
         if (cfg_.events != nullptr) {
@@ -501,7 +590,7 @@ void MeshNode::on_steal_request(const StealRequest& req) {
     // reached the thief's inbox: from here on the thief owns the region,
     // and the master's ledger must re-grant it if the *thief* dies (the
     // victim's own death no longer covers these pairs).
-    transport_.send(cfg_.id, kMaster, net::Tag::kFailover,
+    transport_.send(cfg_.id, current_master(), net::Tag::kFailover,
                     StealExport{*region, req.thief});
   }
 }
@@ -526,6 +615,10 @@ void MeshNode::wake() {
 // --- master: results, deaths, re-grants -----------------------------------
 
 void MeshNode::on_result_msg(const ResultMsg& msg) {
+  // A result can only land on a non-master through stale routing to a
+  // corpse (whose sends already fail) — a live non-master never receives
+  // one, but guard anyway: acting would fork the aggregation.
+  if (!is_master()) return;
   ++failover_.results_received;
   if (ledger_ != nullptr &&
       !ledger_->record(msg.result.left, msg.result.right)) {
@@ -534,10 +627,247 @@ void MeshNode::on_result_msg(const ResultMsg& msg) {
     // double-counted — the exactly-once invariant (DESIGN.md §12).
     return;
   }
-  if (cfg_.on_result) cfg_.on_result(msg.result);
-  ++results_seen_;
-  if (results_seen_ == cfg_.expected_pairs && cfg_.on_complete) {
+  const bool durable = cfg_.failover || cfg_.journal != nullptr;
+  if (!durable) {
+    // Pre-durability fast path: deliver immediately, bit-identical to
+    // the behaviour before batching existed.
+    if (cfg_.on_result) cfg_.on_result(msg.result);
+    ++results_seen_;
+    if (results_seen_ == cfg_.expected_pairs && !completed_ &&
+        cfg_.on_complete) {
+      completed_ = true;
+      cfg_.on_complete();
+    }
+    return;
+  }
+  batch_.push_back(msg.result);
+  note_region_progress(msg.result);
+  if (batch_.size() >= cfg_.result_batch_pairs ||
+      results_seen_ + batch_.size() >= cfg_.expected_pairs) {
+    flush_results();
+  }
+}
+
+// --- durability: flush ordering, standby mirror, adoption (§14) -----------
+
+void MeshNode::flush_results() {
+  if (batch_.empty()) return;
+  // Step 1: a corpse flushes nothing. (The kill may have landed between
+  // accepting the batch and now, via any thread's send firing the fault
+  // injector.)
+  if (transport_.is_node_down(cfg_.id)) {
+    crashed_ = true;
+    batch_.clear();
+    regions_just_completed_.clear();
+    return;
+  }
+  // Step 2: mirror before anything externally visible. A failed sync
+  // means WE are down (sync_to_standby only fails for self-death):
+  // abort the whole flush — no journal record, no user delivery — so
+  // mirror, journal and delivered stay exactly equal and the adopter's
+  // re-grant covers the dropped batch.
+  if (cfg_.failover && !sync_to_standby()) {
+    crashed_ = true;
+    batch_.clear();
+    regions_just_completed_.clear();
+    return;
+  }
+  // Step 3: journal. No send happens between here and delivery, so the
+  // injected crash model cannot separate them — a journalled batch IS a
+  // delivered batch, which is what makes resume's replay exact.
+  if (cfg_.journal != nullptr) {
+    cfg_.journal->append_results(batch_);
+    for (const dnc::Region& region : regions_just_completed_) {
+      cfg_.journal->append_region_complete(region);
+    }
+  }
+  regions_just_completed_.clear();
+  // Step 4: deliver and account.
+  for (const runtime::PairResult& result : batch_) {
+    if (cfg_.on_result) cfg_.on_result(result);
+  }
+  results_seen_ += batch_.size();
+  batch_.clear();
+  if (results_seen_ >= cfg_.expected_pairs && !completed_ &&
+      cfg_.on_complete) {
+    completed_ = true;
     cfg_.on_complete();
+  }
+}
+
+bool MeshNode::sync_to_standby() {
+  const auto p = transport_.num_nodes();
+  for (NodeId k = 0; k < p; ++k) {
+    if (k == cfg_.id || dead_[k].load(std::memory_order_acquire)) continue;
+    const bool fresh = (k != standby_) || standby_needs_snapshot_;
+    LedgerSync sync;
+    sync.master = cfg_.id;
+    sync.seq = ++sync_seq_;
+    sync.snapshot = fresh;
+    sync.delivered = results_seen_ + batch_.size();
+    if (fresh) {
+      // Full snapshot: the ledger already recorded the pending batch at
+      // accept time, so delivered_pairs() covers it — no separate delta.
+      if (ledger_ != nullptr) sync.pairs = ledger_->delivered_pairs();
+    } else {
+      sync.pairs.reserve(batch_.size());
+      for (const runtime::PairResult& result : batch_) {
+        sync.pairs.push_back(dnc::Pair{result.left, result.right});
+      }
+    }
+    const Bytes payload = sync.pairs.size() * sizeof(dnc::Pair);
+    if (transport_.send(cfg_.id, k, net::Tag::kLedgerSync, std::move(sync),
+                        payload)) {
+      standby_ = k;
+      standby_needs_snapshot_ = false;
+      return true;
+    }
+    // Send failed: either the candidate just died (try the next, with a
+    // snapshot) or we did (fatal for this flush).
+    if (transport_.is_node_down(cfg_.id)) return false;
+  }
+  // No live peer to mirror to: a single survivor needs no standby.
+  standby_ = kNoNode;
+  standby_needs_snapshot_ = true;
+  return !transport_.is_node_down(cfg_.id);
+}
+
+void MeshNode::on_ledger_sync(LedgerSync sync) {
+  if (sync.master == cfg_.id) return;
+  // In-process delivery is FIFO per sender; the seq guard only matters
+  // across a master change (a stale ex-master's delta must not splice
+  // into the new master's stream — snapshots reset the stream).
+  if (!sync.snapshot && sync.seq <= mirror_seq_) return;
+  mirror_seq_ = sync.seq;
+  mirror_delivered_ = sync.delivered;
+  if (sync.snapshot) {
+    mirror_ = std::move(sync.pairs);
+  } else {
+    mirror_.insert(mirror_.end(), sync.pairs.begin(), sync.pairs.end());
+  }
+}
+
+void MeshNode::on_master_announce(const MasterAnnounce& ann) {
+  if (ann.master >= transport_.num_nodes() || ann.master == cfg_.id) return;
+  master_.store(ann.master, std::memory_order_release);
+  failover_epoch_ = std::max(failover_epoch_, ann.epoch);
+  wake();
+}
+
+void MeshNode::on_master_tick() {
+  if (crashed_ || !is_master()) return;
+  if (!batch_.empty()) {
+    // Bounded staleness: a partial batch flushes within one tick even if
+    // results trickle in slower than result_batch_pairs.
+    flush_results();
+    return;
+  }
+  if (cfg_.failover && standby_needs_snapshot_) sync_to_standby();
+}
+
+void MeshNode::adopt_master(NodeId dead_master) {
+  const auto p = transport_.num_nodes();
+  master_.store(cfg_.id, std::memory_order_release);
+  ++failover_epoch_;
+  ++failover_.master_failovers;
+  // The master's death verdict is issued here, by the node that acts on
+  // it — the old master obviously cannot count its own death.
+  ++death_epoch_;
+  ++failover_.node_deaths;
+  if (cfg_.events != nullptr) {
+    cfg_.events->record(telemetry::EventKind::kNodeDeath, dead_master,
+                        death_epoch_);
+    cfg_.events->record(telemetry::EventKind::kMasterFailover, cfg_.id,
+                        failover_epoch_);
+  }
+  // Rebuild the aggregation state: everything starts as the dead
+  // master's lease, then the mirrored + recovered pairs are marked
+  // delivered. The mirror equals the dead master's user-delivered set
+  // exactly (flush step 2 precedes step 4 with no send between), so
+  // results_seen_ resumes at the true delivered count.
+  ledger_ = std::make_unique<ResultLedger>(cfg_.ledger_items, p);
+  ledger_->grant(dead_master, dnc::root_region(cfg_.ledger_items),
+                 /*reexecution=*/false);
+  results_seen_ = 0;
+  for (const dnc::Pair& pair : cfg_.recovered) {
+    if (ledger_->mark_recovered(pair.left, pair.right)) ++results_seen_;
+  }
+  for (const dnc::Pair& pair : mirror_) {
+    if (ledger_->mark_recovered(pair.left, pair.right)) ++results_seen_;
+  }
+  mirror_.clear();
+  init_region_watch();
+  batch_.clear();
+  regions_just_completed_.clear();
+  standby_ = kNoNode;
+  standby_needs_snapshot_ = true;
+  // Fresh leases for everyone: the new master's detector must not
+  // declare survivors dead for silence accumulated under the old reign.
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count();
+  for (NodeId k = 0; k < p; ++k) {
+    last_seen_ns_[k].store(now_ns, std::memory_order_release);
+  }
+  // Announce, and spread the death verdict (peers that detected the
+  // master's death themselves dedup on dead_).
+  for (NodeId peer = 0; peer < p; ++peer) {
+    if (peer == cfg_.id || dead_[peer].load(std::memory_order_acquire)) {
+      continue;
+    }
+    transport_.send(cfg_.id, peer, net::Tag::kFailover,
+                    MasterAnnounce{cfg_.id, failover_epoch_});
+    transport_.send(cfg_.id, peer, net::Tag::kFailover,
+                    NodeDown{dead_master, death_epoch_});
+  }
+  // Conservative re-grant of the ENTIRE undelivered frontier. Required,
+  // not an optimisation: results in flight to the dead master were
+  // silently dropped with its inbox, and a live node that already sent a
+  // pair there will never resend it — only re-execution recovers those
+  // pairs, and the ledger's dedup absorbs the overlap with regions still
+  // being computed.
+  if (results_seen_ >= cfg_.expected_pairs) {
+    if (!completed_ && cfg_.on_complete) {
+      completed_ = true;
+      cfg_.on_complete();
+    }
+    return;
+  }
+  for (const dnc::Region& region : ledger_->undelivered_of(dead_master)) {
+    regrant_region(region);
+  }
+}
+
+void MeshNode::init_region_watch() {
+  region_watch_.clear();
+  regions_just_completed_.clear();
+  if (ledger_ == nullptr || cfg_.journal == nullptr) return;
+  for (const auto& grants : cfg_.initial_grants) {
+    for (const dnc::Region& region : grants) {
+      std::uint64_t remaining = 0;
+      dnc::for_each_pair(region, [&](const dnc::Pair& pair) {
+        if (!ledger_->is_delivered(pair.left, pair.right)) ++remaining;
+      });
+      if (remaining > 0) region_watch_.push_back({region, remaining});
+    }
+  }
+}
+
+void MeshNode::note_region_progress(const runtime::PairResult& result) {
+  if (region_watch_.empty()) return;
+  for (RegionWatch& watch : region_watch_) {
+    const dnc::Region& r = watch.region;
+    if (result.left < r.row_begin || result.left >= r.row_end ||
+        result.right < r.col_begin || result.right >= r.col_end) {
+      continue;
+    }
+    if (--watch.remaining == 0) {
+      regions_just_completed_.push_back(r);
+      watch = region_watch_.back();
+      region_watch_.pop_back();
+    }
+    return;  // initial-partition regions are disjoint in pair space
   }
 }
 
@@ -549,6 +879,31 @@ void MeshNode::on_node_down(const NodeDown& down, NodeId from) {
     std::scoped_lock lock(mutex_);
     // Mediator prune: never hand a dead node out as a candidate again.
     directory_.remove_node(down.node);
+  }
+  if (cfg_.failover && !is_master() &&
+      down.node == master_.load(std::memory_order_acquire)) {
+    // The master is gone. The lowest live node adopts; everyone else
+    // waits for its MasterAnnounce (re-routing on dead_ in the
+    // meantime). Every node ranks survivors the same way, so at most
+    // one adopter emerges per death.
+    NodeId lowest = cfg_.id;
+    for (NodeId k = 0; k < p; ++k) {
+      if (!dead_[k].load(std::memory_order_acquire)) {
+        lowest = k;
+        break;
+      }
+    }
+    if (lowest == cfg_.id) adopt_master(down.node);
+    wake();
+    return;
+  }
+  if (is_master() && down.node == standby_) {
+    // The mirror target died: re-establish it immediately so the
+    // exposure window (results flushed but mirrored nowhere live) stays
+    // one batch wide.
+    standby_ = kNoNode;
+    standby_needs_snapshot_ = true;
+    if (cfg_.failover && !crashed_) sync_to_standby();
   }
   if (is_master() && from == cfg_.id) {
     // Locally-originated verdict (our own failure detector): broadcast to
@@ -654,7 +1009,7 @@ void MeshNode::publish_snapshot() {
     stats.peer_loads = stats_.chain_hits;
   }
   stats.remote_steals = remote_steal_count_.load(std::memory_order_relaxed);
-  transport_.send(cfg_.id, kMaster, net::Tag::kTelemetry,
+  transport_.send(cfg_.id, current_master(), net::Tag::kTelemetry,
                   TelemetrySnapshot{cfg_.id, ++snapshot_seq_, stats});
 }
 

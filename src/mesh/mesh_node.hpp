@@ -49,7 +49,9 @@
 #include <vector>
 
 #include "cache/distributed_directory.hpp"
+#include "common/backoff.hpp"
 #include "common/rng.hpp"
+#include "mesh/checkpoint.hpp"
 #include "mesh/result_ledger.hpp"
 #include "mesh/transport.hpp"
 #include "runtime/application.hpp"
@@ -88,6 +90,7 @@ struct FailoverStats {
   std::uint64_t duplicate_results_dropped = 0;  // master: dedup drops
   std::uint64_t results_received = 0;   // master: raw ResultMsg count
   std::uint64_t regions_adopted = 0;    // re-execution grants parked here
+  std::uint64_t master_failovers = 0;   // this node adopted the master role
 };
 
 FailoverStats& operator+=(FailoverStats& a, const FailoverStats& b);
@@ -153,8 +156,35 @@ class MeshNode final : public runtime::PeerFetchClient {
     /// Master only: item count and initial partition (indexed by node) —
     /// seeds the exactly-once ResultLedger. Zero items / empty grants
     /// disable the ledger (no dedup, pre-failure-model aggregation).
+    /// With `failover` these are set on EVERY node (any node may adopt
+    /// the master role), but only the current master builds a ledger.
     std::uint32_t ledger_items = 0;
     std::vector<std::vector<dnc::Region>> initial_grants;
+
+    // --- durability (DESIGN.md §14) ---
+
+    /// Master failover: the master mirrors its aggregation state to a
+    /// standby (kLedgerSync), every node heartbeat-watches the current
+    /// master, and on master lease expiry the lowest live node adopts
+    /// the role, dedups against its mirror, and re-grants the frontier.
+    bool failover = false;
+
+    /// Crash-safe run journal (shared across nodes; internally locked).
+    /// The current master appends flushed result batches and completed
+    /// regions. Null disables journalling.
+    checkpoint::Journal* journal = nullptr;
+
+    /// Pairs already delivered by a previous incarnation of this run
+    /// (journal replay). The master pre-marks them in its ledger; they
+    /// count toward expected_pairs but are NOT re-delivered.
+    std::vector<dnc::Pair> recovered;
+
+    /// Master: accepted results buffer until this many are pending (or
+    /// the run completes), then flush as one unit: standby mirror →
+    /// journal append → user delivery. Only batched when failover or a
+    /// journal is active — otherwise results deliver immediately, as
+    /// before the durability layer existed.
+    std::uint32_t result_batch_pairs = 64;
   };
 
   MeshNode(Config config, Transport& transport,
@@ -211,6 +241,13 @@ class MeshNode final : public runtime::PeerFetchClient {
     return dead_[node].load(std::memory_order_acquire);
   }
 
+  /// The node currently holding the master role, as this node knows it.
+  /// Result routing reads this so post-failover results reach the
+  /// adopter, not the corpse.
+  NodeId current_master() const {
+    return master_.load(std::memory_order_acquire);
+  }
+
  private:
   struct StealCell {
     std::mutex mutex;
@@ -242,6 +279,7 @@ class MeshNode final : public runtime::PeerFetchClient {
   void serve_loop();
   void ticker_loop();
   void check_leases();
+  void check_master_lease();
   void check_fetch_deadlines();
   void on_cache_request(const CacheRequest& req);
   void on_cache_probe(CacheProbe probe);
@@ -254,6 +292,31 @@ class MeshNode final : public runtime::PeerFetchClient {
   void on_steal_export(const StealExport& exp);
   void on_region_grant(const RegionGrant& grant);
   void on_telemetry(const TelemetrySnapshot& snap);
+  void on_ledger_sync(LedgerSync sync);
+  void on_master_announce(const MasterAnnounce& ann);
+  void on_master_tick();
+
+  // --- durability (master, service thread; DESIGN.md §14) ---
+
+  /// Flush the pending result batch: liveness check → standby mirror →
+  /// journal append → user delivery, in that order. A failure at the
+  /// mirror step means this node is dead: the batch is dropped whole (the
+  /// adopter re-grants it), never partially delivered.
+  void flush_results();
+
+  /// Mirror the current aggregation state to the lowest live peer; full
+  /// snapshot when the standby changed, delta (the pending batch)
+  /// otherwise. Returns false only when this node itself is down.
+  bool sync_to_standby();
+
+  /// Adopt the master role after `dead_master`'s lease expired: rebuild
+  /// the ledger from the mirror, announce, and re-grant the frontier.
+  void adopt_master(NodeId dead_master);
+
+  /// Rebuild the initial-grant completion watch (journal RegionComplete
+  /// records) from the ledger's current delivered state.
+  void init_region_watch();
+  void note_region_progress(const runtime::PairResult& result);
 
   /// Ticker: sample this node's runtime and ship it to the master.
   void publish_snapshot();
@@ -272,7 +335,11 @@ class MeshNode final : public runtime::PeerFetchClient {
   void complete_fetch(ItemId item, runtime::PeerPayload payload,
                       std::uint32_t hops, bool hit);
 
-  bool is_master() const { return cfg_.id == kMaster; }
+  bool is_master() const {
+    return cfg_.id == master_.load(std::memory_order_acquire);
+  }
+
+  static constexpr NodeId kNoNode = ~NodeId{0};
 
   Config cfg_;
   Transport& transport_;
@@ -294,6 +361,7 @@ class MeshNode final : public runtime::PeerFetchClient {
   telemetry::LatencyHistogram* fetch_miss_ = nullptr;
   telemetry::LatencyHistogram* lease_slack_ = nullptr;
   telemetry::Counter* fetch_retries_ = nullptr;
+  telemetry::Counter* frame_corrupt_ = nullptr;
   std::atomic<std::uint64_t> remote_steal_count_{0};
 
   /// Separate lock for the probe pointer: serving a probe copies a whole
@@ -305,13 +373,38 @@ class MeshNode final : public runtime::PeerFetchClient {
   std::vector<std::unique_ptr<StealCell>> cells_;
 
   // --- master state (service thread only) ---
-  std::uint64_t results_seen_ = 0;   // accepted (post-dedup) results
+  std::uint64_t results_seen_ = 0;   // user-delivered results (incl. recovered)
   std::unique_ptr<ResultLedger> ledger_;
   FailoverStats failover_;
   std::uint32_t death_epoch_ = 0;
   NodeId next_regrant_ = 0;  // round-robin survivor cursor
   std::vector<SnapState> snap_states_;  // telemetry fold, by publisher
   std::uint64_t cluster_snapshot_seq_ = 0;
+
+  // --- durability state (service thread only; DESIGN.md §14) ---
+  /// Which node holds the master role. Atomic because the ticker and the
+  /// result-routing path read it from other threads; written only by the
+  /// service thread (adoption, announce).
+  std::atomic<NodeId> master_{kMaster};
+  bool crashed_ = false;  // this node observed its own injected death
+  bool completed_ = false;  // on_complete fired (guard across failover)
+  std::vector<runtime::PairResult> batch_;  // accepted, awaiting flush
+  NodeId standby_ = kNoNode;
+  bool standby_needs_snapshot_ = true;
+  std::uint64_t sync_seq_ = 0;
+  std::uint32_t failover_epoch_ = 0;
+  /// Standby side: the mirrored delivered set and count.
+  std::vector<dnc::Pair> mirror_;
+  std::uint64_t mirror_delivered_ = 0;
+  std::uint64_t mirror_seq_ = 0;
+  /// Initial-grant regions with undelivered-pair countdowns; a zeroed
+  /// entry becomes a journal RegionComplete record at the next flush.
+  struct RegionWatch {
+    dnc::Region region;
+    std::uint64_t remaining = 0;
+  };
+  std::vector<RegionWatch> region_watch_;
+  std::vector<dnc::Region> regions_just_completed_;
 
   // --- liveness (shared between service thread and ticker) ---
   std::unique_ptr<std::atomic<bool>[]> dead_;

@@ -51,6 +51,26 @@ bool ResultLedger::record(dnc::ItemIndex left, dnc::ItemIndex right) {
   return true;
 }
 
+bool ResultLedger::mark_recovered(dnc::ItemIndex left, dnc::ItemIndex right) {
+  ROCKET_CHECK(left < right && right < n_, "recovered pair outside the root");
+  const std::uint64_t k = index_of(left, right);
+  if (delivered_[k]) return false;
+  delivered_[k] = 1;
+  ++delivered_count_;
+  return true;
+}
+
+std::vector<dnc::Pair> ResultLedger::delivered_pairs() const {
+  std::vector<dnc::Pair> pairs;
+  pairs.reserve(delivered_count_);
+  for (dnc::ItemIndex i = 0; i + 1 < n_; ++i) {
+    for (dnc::ItemIndex j = i + 1; j < n_; ++j) {
+      if (delivered_[index_of(i, j)]) pairs.push_back(dnc::Pair{i, j});
+    }
+  }
+  return pairs;
+}
+
 std::vector<dnc::Region> ResultLedger::undelivered_of(NodeId owner) const {
   // Coalesce the dead node's undelivered pairs into maximal row runs:
   // contiguous (i, [j0, j1)) strips become one Region each. Row runs are

@@ -54,6 +54,18 @@ class ResultLedger {
   /// for the pair (deliver it); false for a duplicate (drop it).
   bool record(dnc::ItemIndex left, dnc::ItemIndex right);
 
+  /// Pre-mark a pair as delivered without counting a duplicate: journal
+  /// replay on resume, and a standby's mirrored state on master adoption
+  /// (DESIGN.md §14). Returns true when the pair was newly marked.
+  bool mark_recovered(dnc::ItemIndex left, dnc::ItemIndex right);
+
+  /// Every delivered pair, row-major. O(n^2) scan — failover-time only.
+  std::vector<dnc::Pair> delivered_pairs() const;
+
+  bool is_delivered(dnc::ItemIndex left, dnc::ItemIndex right) const {
+    return delivered_[index_of(left, right)] != 0;
+  }
+
   /// The dead node's uncompleted lease, coalesced into row-run regions
   /// (ready to re-grant). Does not change ownership — call grant() with
   /// the chosen survivor for each returned region.

@@ -1,9 +1,180 @@
 #include "mesh/transport.hpp"
 
 #include "common/compress.hpp"
+#include "common/crc32.hpp"
 #include "common/rng.hpp"
 
 namespace rocket::mesh {
+
+namespace {
+
+// frame_crc helpers: hash one scalar field at a time (structs have
+// indeterminate padding bytes), sizes before variable-length contents.
+
+template <typename T>
+void fold(std::uint32_t& crc, const T& v) {
+  static_assert(std::is_arithmetic_v<T>, "fold scalar fields only");
+  crc = crc32_update(crc, &v, sizeof v);
+}
+
+void fold_bool(std::uint32_t& crc, bool v) {
+  const std::uint8_t b = v ? 1 : 0;
+  fold(crc, b);
+}
+
+void fold_region(std::uint32_t& crc, const dnc::Region& r) {
+  fold(crc, r.row_begin);
+  fold(crc, r.row_end);
+  fold(crc, r.col_begin);
+  fold(crc, r.col_end);
+  fold(crc, r.depth);
+}
+
+void fold_body(std::uint32_t& crc, const CacheRequest& b) {
+  fold(crc, b.item);
+  fold(crc, b.requester);
+}
+
+void fold_body(std::uint32_t& crc, const CacheProbe& b) {
+  fold(crc, b.item);
+  fold(crc, b.requester);
+  fold(crc, static_cast<std::uint64_t>(b.chain.size()));
+  for (const NodeId node : b.chain) fold(crc, node);
+  fold(crc, b.index);
+}
+
+void fold_body(std::uint32_t& crc, const CacheData& b) {
+  fold(crc, b.item);
+  fold(crc, b.hop);
+  fold_bool(crc, b.compressed);
+  fold(crc, static_cast<std::uint64_t>(b.bytes.size()));
+  crc = crc32_update(crc, b.bytes.data(), b.bytes.size());
+}
+
+void fold_body(std::uint32_t& crc, const CacheFailure& b) {
+  fold(crc, b.item);
+  fold(crc, b.hops);
+}
+
+void fold_body(std::uint32_t& crc, const StealRequest& b) {
+  fold(crc, b.thief);
+  fold(crc, b.worker);
+}
+
+void fold_body(std::uint32_t& crc, const StealReply& b) {
+  fold(crc, b.worker);
+  fold_bool(crc, b.has_region);
+  fold_region(crc, b.region);
+}
+
+void fold_body(std::uint32_t& crc, const ResultMsg& b) {
+  fold(crc, b.result.left);
+  fold(crc, b.result.right);
+  fold(crc, b.result.score);
+}
+
+void fold_body(std::uint32_t& crc, const Heartbeat& b) {
+  fold(crc, b.node);
+  fold(crc, b.seq);
+}
+
+void fold_body(std::uint32_t& crc, const NodeDown& b) {
+  fold(crc, b.node);
+  fold(crc, b.epoch);
+}
+
+void fold_body(std::uint32_t& crc, const StealExport& b) {
+  fold_region(crc, b.region);
+  fold(crc, b.thief);
+}
+
+void fold_body(std::uint32_t& crc, const RegionGrant& b) {
+  fold_region(crc, b.region);
+  fold(crc, b.epoch);
+}
+
+void fold_body(std::uint32_t& crc, const TelemetrySnapshot& b) {
+  // NodeStats is a wide plain struct whose fields evolve with the
+  // telemetry schema; (node, seq) identifies the frame, which is all the
+  // corrupt-drop path needs (a corrupted stats sample is cosmetic, a
+  // corrupted node/seq would misattribute it).
+  fold(crc, b.node);
+  fold(crc, b.seq);
+}
+
+void fold_body(std::uint32_t& crc, const LedgerSync& b) {
+  fold(crc, b.master);
+  fold(crc, b.seq);
+  fold_bool(crc, b.snapshot);
+  fold(crc, b.delivered);
+  fold(crc, static_cast<std::uint64_t>(b.pairs.size()));
+  for (const dnc::Pair& pair : b.pairs) {
+    fold(crc, pair.left);
+    fold(crc, pair.right);
+  }
+}
+
+void fold_body(std::uint32_t& crc, const MasterAnnounce& b) {
+  fold(crc, b.master);
+  fold(crc, b.epoch);
+}
+
+void fold_body(std::uint32_t& crc, const MasterTick&) {}
+
+/// Mutate one semantic field of the body — simulating bit rot on the wire
+/// AFTER the CRC was stamped, so verification must fail.
+void corrupt_body(MessageBody& body) {
+  std::visit(
+      [](auto& b) {
+        using T = std::decay_t<decltype(b)>;
+        if constexpr (std::is_same_v<T, CacheRequest>) {
+          b.item ^= 1u;
+        } else if constexpr (std::is_same_v<T, CacheProbe>) {
+          b.item ^= 1u;
+        } else if constexpr (std::is_same_v<T, CacheData>) {
+          if (!b.bytes.empty()) {
+            b.bytes[b.bytes.size() / 2] ^= 0x40;
+          } else {
+            b.item ^= 1u;
+          }
+        } else if constexpr (std::is_same_v<T, CacheFailure>) {
+          b.item ^= 1u;
+        } else if constexpr (std::is_same_v<T, StealRequest>) {
+          b.thief ^= 1u;
+        } else if constexpr (std::is_same_v<T, StealReply>) {
+          b.region.col_end ^= 1u;
+        } else if constexpr (std::is_same_v<T, ResultMsg>) {
+          b.result.left ^= 1u;
+        } else if constexpr (std::is_same_v<T, Heartbeat>) {
+          b.seq ^= 1u;
+        } else if constexpr (std::is_same_v<T, NodeDown>) {
+          b.node ^= 1u;
+        } else if constexpr (std::is_same_v<T, StealExport>) {
+          b.region.row_begin ^= 1u;
+        } else if constexpr (std::is_same_v<T, RegionGrant>) {
+          b.region.col_begin ^= 1u;
+        } else if constexpr (std::is_same_v<T, TelemetrySnapshot>) {
+          b.seq ^= 1u;
+        } else if constexpr (std::is_same_v<T, LedgerSync>) {
+          b.delivered ^= 1u;
+        } else if constexpr (std::is_same_v<T, MasterAnnounce>) {
+          b.master ^= 1u;
+        } else {
+          static_assert(std::is_same_v<T, MasterTick>, "unhandled body");
+        }
+      },
+      body);
+}
+
+}  // namespace
+
+std::uint32_t frame_crc(const MessageBody& body) {
+  std::uint32_t crc = 0;
+  const auto index = static_cast<std::uint32_t>(body.index());
+  fold(crc, index);
+  std::visit([&crc](const auto& b) { fold_body(crc, b); }, body);
+  return crc;
+}
 
 FaultSchedule FaultSchedule::single_kill(std::uint64_t seed,
                                          std::uint32_t num_nodes,
@@ -37,6 +208,7 @@ InProcessTransport::InProcessTransport(std::uint32_t num_nodes, Config config)
     link_down_[l].store(false, std::memory_order_relaxed);
   }
   faults_pending_.store(!config_.faults.empty(), std::memory_order_relaxed);
+  corrupt_state_ = mix64(config_.corrupt_seed + 0x66726D63ULL);  // "frmc"
 }
 
 void InProcessTransport::check_faults() {
@@ -97,6 +269,11 @@ bool InProcessTransport::send(NodeId src, NodeId dst, net::Tag tag,
     }
     payload_bytes = data->bytes.size();
   }
+  // The integrity stamp a wire transport would compute over its
+  // serialised frame — after compression, so the receiver checks what was
+  // actually on the wire.
+  const std::uint32_t crc = frame_crc(body);
+  bool corrupt = false;
   {
     std::scoped_lock lock(counters_mutex_);
     counters_.record(tag, payload_bytes + config_.control_message_size,
@@ -106,9 +283,25 @@ bool InProcessTransport::send(NodeId src, NodeId dst, net::Tag tag,
           tag, payload_bytes + config_.control_message_size,
           raw_payload_bytes + config_.control_message_size);
     }
+    if (config_.corrupt_rate > 0.0) {
+      const double u =
+          static_cast<double>(splitmix64(corrupt_state_) >> 11) * 0x1.0p-53;
+      corrupt = u < config_.corrupt_rate;
+    }
+  }
+  if (corrupt) {
+    // Deliver a mangled copy first, then the clean frame: a corrupted
+    // wire frame followed by its link-layer retransmit. The receiver must
+    // drop the first on CRC mismatch — a corrupted frame is never acted
+    // on, and never the only delivery.
+    Message mangled{src, dst, tag, crc, body};
+    corrupt_body(mangled.body);
+    if (frame_crc(mangled.body) == crc) mangled.crc = ~crc;  // MasterTick
+    corrupted_.fetch_add(1, std::memory_order_acq_rel);
+    inboxes_[dst]->push(std::move(mangled));
   }
   delivered_.fetch_add(1, std::memory_order_acq_rel);
-  inboxes_[dst]->push(Message{src, dst, tag, std::move(body)});
+  inboxes_[dst]->push(Message{src, dst, tag, crc, std::move(body)});
   return true;
 }
 

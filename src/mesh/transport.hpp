@@ -137,17 +137,54 @@ struct TelemetrySnapshot {
   telemetry::NodeStats stats;
 };
 
+/// Master → standby: aggregation-state mirror (DESIGN.md §14). `snapshot`
+/// carries the master's full delivered set (sent when a standby is first
+/// chosen or replaced); a delta carries only the pairs of one flushed
+/// batch. `delivered` is the master's post-flush delivered count — the
+/// standby adopts it so a failover knows how much of the run is done.
+struct LedgerSync {
+  NodeId master = 0;
+  std::uint64_t seq = 0;
+  bool snapshot = false;
+  std::uint64_t delivered = 0;
+  std::vector<dnc::Pair> pairs;
+};
+
+/// New master → everyone: `master` has adopted the master role for
+/// failover epoch `epoch` (count of adoptions so far + 1). Receivers
+/// redirect results, heartbeats and telemetry to the new master.
+struct MasterAnnounce {
+  NodeId master = 0;
+  std::uint32_t epoch = 0;
+};
+
+/// Master → itself on the heartbeat ticker: drives master-side periodic
+/// work (standby sync, journal upkeep) on the service thread, where the
+/// ledger lives.
+struct MasterTick {};
+
 using MessageBody = std::variant<CacheRequest, CacheProbe, CacheData,
                                  CacheFailure, StealRequest, StealReply,
                                  ResultMsg, Heartbeat, NodeDown, StealExport,
-                                 RegionGrant, TelemetrySnapshot>;
+                                 RegionGrant, TelemetrySnapshot, LedgerSync,
+                                 MasterAnnounce, MasterTick>;
 
 struct Message {
   NodeId from = 0;
   NodeId to = 0;
   net::Tag tag = net::Tag::kControl;
+  /// frame_crc(body) stamped by the transport at send time; receivers
+  /// verify before acting (satellite 1 of DESIGN.md §14). 0 only for
+  /// messages that never crossed a transport (unit-test fabrication).
+  std::uint32_t crc = 0;
   MessageBody body;
 };
+
+/// CRC32 over a message body: variant index plus every semantic field,
+/// hashed field-by-field (never whole structs — padding bytes are
+/// indeterminate). The integrity guard a wire transport would compute
+/// over its serialised frame.
+std::uint32_t frame_crc(const MessageBody& body);
 
 // --- fault injection ------------------------------------------------------
 
@@ -200,6 +237,15 @@ class Transport {
   /// Close every inbox (wakes all service threads).
   virtual void close() = 0;
 
+  /// Whether `node` is known dead. The in-process transport answers from
+  /// its fault injector; a wire transport may always answer false (a real
+  /// crashed process simply stops executing — this hook is how an
+  /// in-process "crashed" node observes its own death and goes silent).
+  virtual bool is_node_down(NodeId node) const {
+    (void)node;
+    return false;
+  }
+
   virtual net::TrafficCounters counters() const = 0;
 };
 
@@ -219,6 +265,14 @@ class InProcessTransport final : public Transport {
     /// Scripted node kills, evaluated before every delivery (chaos tests
     /// and the demo's --kill-node flag). Empty = no injected faults.
     FaultSchedule faults;
+
+    /// Chaos corrupt-frame injector: with this probability a send first
+    /// delivers a copy whose body was mutated AFTER the CRC was stamped
+    /// (the receiver must detect and drop it), then the clean frame —
+    /// modelling a corrupted wire frame plus link-layer retransmit. A
+    /// corrupted frame is therefore never the only delivery. 0 disables.
+    double corrupt_rate = 0.0;
+    std::uint64_t corrupt_seed = 1;
   };
 
   explicit InProcessTransport(std::uint32_t num_nodes)
@@ -246,6 +300,15 @@ class InProcessTransport final : public Transport {
   bool is_down(NodeId node) const {
     return down_[node].load(std::memory_order_acquire);
   }
+  bool is_node_down(NodeId node) const override {
+    return node < num_nodes() && is_down(node);
+  }
+
+  /// Corrupted frames injected so far (each was followed by its clean
+  /// retransmit).
+  std::uint64_t corrupted_frames() const {
+    return corrupted_.load(std::memory_order_acquire);
+  }
 
   /// Asymmetric link failure: sends from `src` to `dst` fail while every
   /// other direction keeps working (models a one-way partition, which is
@@ -267,6 +330,7 @@ class InProcessTransport final : public Transport {
   std::unique_ptr<std::atomic<bool>[]> link_down_;  // [src * p + dst]
   std::atomic<bool> closed_{false};
   std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> corrupted_{0};
   std::atomic<bool> faults_pending_{false};
   std::chrono::steady_clock::time_point epoch_;
   std::mutex fault_mutex_;
@@ -274,6 +338,7 @@ class InProcessTransport final : public Transport {
   mutable std::mutex counters_mutex_;
   net::TrafficCounters counters_;
   std::vector<net::TrafficCounters> node_counters_;  // by src node
+  std::uint64_t corrupt_state_ = 0;  // splitmix64 state; counters_mutex_
 };
 
 }  // namespace rocket::mesh

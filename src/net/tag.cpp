@@ -15,6 +15,7 @@ const char* tag_name(Tag tag) {
     case Tag::kHeartbeat: return "heartbeat";
     case Tag::kFailover: return "failover";
     case Tag::kTelemetry: return "telemetry";
+    case Tag::kLedgerSync: return "ledger-sync";
     case Tag::kCount: break;
   }
   return "unknown";

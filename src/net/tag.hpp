@@ -28,6 +28,7 @@ enum class Tag : std::uint32_t {
   kHeartbeat = 8,      // node → master: liveness lease renewal
   kFailover = 9,       // death verdicts, lease transfers, re-grants
   kTelemetry = 10,     // node → master: metrics snapshot stream
+  kLedgerSync = 11,    // master → standby: aggregation-state mirror
   kCount
 };
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cache/sharded_slot_cache.hpp"
+#include "common/backoff.hpp"
 #include "common/compress.hpp"
 #include "common/freelist.hpp"
 #include "common/log.hpp"
@@ -44,9 +45,13 @@ struct CpuTask {
 /// microseconds of backoff breaks the cycle and the attempt bound below
 /// makes termination unconditional.
 void retry_backoff(std::uint32_t attempt) {
-  const std::uint64_t us =
-      std::min<std::uint64_t>(1000, 8ull << std::min(attempt, 7u));
-  std::this_thread::sleep_for(std::chrono::microseconds(us));
+  // Shared jittered-exponential policy (common/backoff.hpp): 8 µs base,
+  // 1 ms cap — the same envelope the old hand-rolled min(1000, 8 << k)
+  // loop had, plus jitter so two writers that abort each other don't
+  // re-drive in lockstep. Salting with the attempt keeps the sequence a
+  // pure function of the retry count (deterministic for tests).
+  constexpr BackoffPolicy kGrantRetry{8e-6, 1e-3, 0.25, 7};
+  kGrantRetry.sleep_for(attempt, attempt);
 }
 
 /// Worker thread body: drain a queue in batches. The queue closes at

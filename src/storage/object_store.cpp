@@ -11,8 +11,21 @@ namespace rocket::storage {
 
 namespace fs = std::filesystem;
 
-void MemoryStore::put(const std::string& name, ByteBuffer data) {
-  objects_[name] = std::move(data);
+void ObjectStore::put(const std::string&, const ByteBuffer&) {
+  throw std::runtime_error("ObjectStore: write path not supported");
+}
+
+void ObjectStore::append(const std::string&, const ByteBuffer&) {
+  throw std::runtime_error("ObjectStore: append path not supported");
+}
+
+void MemoryStore::put(const std::string& name, const ByteBuffer& data) {
+  objects_[name] = data;
+}
+
+void MemoryStore::append(const std::string& name, const ByteBuffer& data) {
+  ByteBuffer& object = objects_[name];
+  object.insert(object.end(), data.begin(), data.end());
 }
 
 ByteBuffer MemoryStore::read(const std::string& name) {
@@ -70,6 +83,17 @@ std::vector<std::string> SynchronizedStore::list() const {
   return inner_->list();
 }
 
+void SynchronizedStore::put(const std::string& name, const ByteBuffer& data) {
+  std::scoped_lock lock(mutex_);
+  inner_->put(name, data);
+}
+
+void SynchronizedStore::append(const std::string& name,
+                               const ByteBuffer& data) {
+  std::scoped_lock lock(mutex_);
+  inner_->append(name, data);
+}
+
 ByteBuffer ThrottledStore::read(const std::string& name) {
   if (read_latency_us_ > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(read_latency_us_));
@@ -87,6 +111,14 @@ Bytes ThrottledStore::size_of(const std::string& name) const {
 
 std::vector<std::string> ThrottledStore::list() const {
   return inner_->list();
+}
+
+void ThrottledStore::put(const std::string& name, const ByteBuffer& data) {
+  inner_->put(name, data);
+}
+
+void ThrottledStore::append(const std::string& name, const ByteBuffer& data) {
+  inner_->append(name, data);
 }
 
 DirectoryStore::DirectoryStore(std::string root) : root_(std::move(root)) {
@@ -145,6 +177,23 @@ void DirectoryStore::put(const std::string& name, const ByteBuffer& data) {
   }
   file.write(reinterpret_cast<const char*>(data.data()),
              static_cast<std::streamsize>(data.size()));
+  file.flush();
+  if (!file) {
+    throw std::runtime_error("DirectoryStore: short write on " + name);
+  }
+}
+
+void DirectoryStore::append(const std::string& name, const ByteBuffer& data) {
+  std::ofstream file(path_of(name), std::ios::binary | std::ios::app);
+  if (!file) {
+    throw std::runtime_error("DirectoryStore: cannot append " + path_of(name));
+  }
+  file.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size()));
+  file.flush();
+  if (!file) {
+    throw std::runtime_error("DirectoryStore: short append on " + name);
+  }
 }
 
 }  // namespace rocket::storage

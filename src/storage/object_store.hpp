@@ -39,6 +39,15 @@ class ObjectStore {
   virtual Bytes size_of(const std::string& name) const = 0;
   virtual std::vector<std::string> list() const = 0;
 
+  // --- write path (DESIGN.md §14: the checkpoint journal's append log) ---
+  // Read-only deployments (a store that fronts someone else's bucket) may
+  // leave these unimplemented; the defaults throw. `append` creates the
+  // object when missing, so a journal needs no separate create step.
+
+  virtual bool supports_write() const { return false; }
+  virtual void put(const std::string& name, const ByteBuffer& data);
+  virtual void append(const std::string& name, const ByteBuffer& data);
+
   const StoreStats& stats() const { return stats_; }
 
  protected:
@@ -48,12 +57,14 @@ class ObjectStore {
 /// In-memory store; also the backing catalogue for generated datasets.
 class MemoryStore final : public ObjectStore {
  public:
-  void put(const std::string& name, ByteBuffer data);
-
   ByteBuffer read(const std::string& name) override;
   bool exists(const std::string& name) const override;
   Bytes size_of(const std::string& name) const override;
   std::vector<std::string> list() const override;
+
+  bool supports_write() const override { return true; }
+  void put(const std::string& name, const ByteBuffer& data) override;
+  void append(const std::string& name, const ByteBuffer& data) override;
 
   Bytes total_bytes() const;
 
@@ -73,6 +84,10 @@ class SynchronizedStore final : public ObjectStore {
   bool exists(const std::string& name) const override;
   Bytes size_of(const std::string& name) const override;
   std::vector<std::string> list() const override;
+
+  bool supports_write() const override { return inner_->supports_write(); }
+  void put(const std::string& name, const ByteBuffer& data) override;
+  void append(const std::string& name, const ByteBuffer& data) override;
 
  private:
   ObjectStore* inner_;
@@ -94,6 +109,10 @@ class ThrottledStore final : public ObjectStore {
   Bytes size_of(const std::string& name) const override;
   std::vector<std::string> list() const override;
 
+  bool supports_write() const override { return inner_->supports_write(); }
+  void put(const std::string& name, const ByteBuffer& data) override;
+  void append(const std::string& name, const ByteBuffer& data) override;
+
  private:
   ObjectStore* inner_;
   std::uint64_t read_latency_us_;
@@ -109,8 +128,10 @@ class DirectoryStore final : public ObjectStore {
   Bytes size_of(const std::string& name) const override;
   std::vector<std::string> list() const override;
 
-  /// Write an object (used by dataset generators).
-  void put(const std::string& name, const ByteBuffer& data);
+  bool supports_write() const override { return true; }
+  /// Write an object (used by dataset generators and journal recovery).
+  void put(const std::string& name, const ByteBuffer& data) override;
+  void append(const std::string& name, const ByteBuffer& data) override;
 
   const std::string& root() const { return root_; }
 

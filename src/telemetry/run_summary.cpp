@@ -153,6 +153,18 @@ std::string RunSummary::to_json() const {
              r.failover.duplicate_results_dropped)
       .field("results_received", r.failover.results_received)
       .field("regions_adopted", r.failover.regions_adopted)
+      .field("master_failovers", r.failover.master_failovers)
+      .field("corrupted_frames", r.corrupted_frames)
+      .end_object();
+
+  w.key("checkpoint")
+      .begin_object()
+      .field("enabled", r.checkpoint.enabled)
+      .field("resumed", r.checkpoint.resumed)
+      .field("torn_tail", r.checkpoint.torn_tail)
+      .field("pairs_recovered", r.checkpoint.pairs_recovered)
+      .field("records_replayed", r.checkpoint.records_replayed)
+      .field("records_appended", r.checkpoint.records_appended)
       .end_object();
 
   w.key("traffic");

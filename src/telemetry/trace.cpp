@@ -19,6 +19,7 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kRegionAdopt: return "region_adopt";
     case EventKind::kPrefetchPark: return "prefetch_park";
     case EventKind::kFetchRetry: return "fetch_retry";
+    case EventKind::kMasterFailover: return "master_failover";
   }
   return "unknown";
 }

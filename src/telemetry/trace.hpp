@@ -39,6 +39,7 @@ enum class EventKind : std::uint8_t {
   kRegionAdopt,   // a: adopting node
   kPrefetchPark,  // a: device ordinal (tile resolved before a token freed)
   kFetchRetry,    // a: item id (peer fetch retransmitted)
+  kMasterFailover,  // a: adopting node, b: failover epoch (DESIGN.md §14)
 };
 
 const char* event_kind_name(EventKind kind);

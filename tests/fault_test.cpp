@@ -21,7 +21,10 @@
 #include "apps/forensics.hpp"
 #include "apps/microscopy.hpp"
 #include "cache/distributed_directory.hpp"
+#include "common/backoff.hpp"
+#include "common/crc32.hpp"
 #include "dnc/pair_space.hpp"
+#include "mesh/checkpoint.hpp"
 #include "mesh/live_cluster.hpp"
 #include "mesh/mesh_node.hpp"
 #include "mesh/result_ledger.hpp"
@@ -569,6 +572,207 @@ TEST(ChaosMatrix, SeededSingleKillScheduleReplays) {
   expect_survived_exactly(outcome, expected, 1);
 }
 
+// --- durability primitives: CRC32 and shared backoff (DESIGN.md §14) -------
+
+TEST(Crc32, MatchesKnownAnswerAndChains) {
+  // The IEEE/zlib check value: crc32("123456789") == 0xCBF43926.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+
+  // Incremental updates compose to the one-shot answer.
+  std::uint32_t crc = crc32_update(0, "1234", 4);
+  crc = crc32_update(crc, "56789", 5);
+  EXPECT_EQ(crc, 0xCBF43926u);
+}
+
+TEST(BackoffPolicy, DoublesCapsAndJittersDeterministically) {
+  const BackoffPolicy policy{1e-4, 1e-3, 0.25, 10};
+  EXPECT_DOUBLE_EQ(policy.raw_delay_seconds(0), 1e-4);
+  EXPECT_DOUBLE_EQ(policy.raw_delay_seconds(1), 2e-4);
+  EXPECT_DOUBLE_EQ(policy.raw_delay_seconds(2), 4e-4);
+  EXPECT_DOUBLE_EQ(policy.raw_delay_seconds(3), 8e-4);
+  EXPECT_DOUBLE_EQ(policy.raw_delay_seconds(4), 1e-3) << "cap binds";
+  EXPECT_DOUBLE_EQ(policy.raw_delay_seconds(1000), 1e-3)
+      << "huge attempts must not overflow the shift";
+
+  for (std::uint32_t attempt = 0; attempt < 8; ++attempt) {
+    for (std::uint64_t salt = 0; salt < 4; ++salt) {
+      const double raw = policy.raw_delay_seconds(attempt);
+      const double jittered = policy.delay_seconds(attempt, salt);
+      EXPECT_GE(jittered, raw * 0.75);
+      EXPECT_LT(jittered, raw * 1.25);
+      // The deterministic-for-test hook: same (attempt, salt), same delay.
+      EXPECT_DOUBLE_EQ(jittered, policy.delay_seconds(attempt, salt));
+    }
+  }
+  // Distinct salts decorrelate concurrent retriers.
+  EXPECT_NE(policy.delay_seconds(3, 1), policy.delay_seconds(3, 2));
+
+  const BackoffPolicy no_jitter{1e-4, 1e-3, 0.0, 10};
+  EXPECT_DOUBLE_EQ(no_jitter.delay_seconds(2, 99),
+                   no_jitter.raw_delay_seconds(2));
+}
+
+// --- transport frame CRC and the corrupt-frame injector --------------------
+
+TEST(InProcessTransport, CorruptInjectorDeliversMangledThenCleanFrame) {
+  InProcessTransport::Config tc;
+  tc.corrupt_rate = 1.0;  // every frame gets a mangled twin
+  InProcessTransport transport(2, tc);
+  ASSERT_TRUE(transport.send(0, 1, net::Tag::kCacheRequest,
+                             CacheRequest{7, 0}));
+
+  // The mangled copy is delivered first and fails CRC verification...
+  const auto mangled = transport.recv(1);
+  ASSERT_TRUE(mangled.has_value());
+  EXPECT_NE(frame_crc(mangled->body), mangled->crc);
+
+  // ...and the clean retransmit always follows, intact.
+  const auto clean = transport.recv(1);
+  ASSERT_TRUE(clean.has_value());
+  EXPECT_EQ(frame_crc(clean->body), clean->crc);
+  ASSERT_TRUE(std::holds_alternative<CacheRequest>(clean->body));
+  EXPECT_EQ(std::get<CacheRequest>(clean->body).item, 7u);
+
+  EXPECT_EQ(transport.corrupted_frames(), 1u);
+  transport.close();
+}
+
+TEST(InProcessTransport, FrameCrcCoversEveryBodyAlternative) {
+  // Two bodies of the same alternative but different content must hash
+  // differently; the same content under a different alternative too.
+  const MessageBody a = CacheRequest{1, 0};
+  const MessageBody b = CacheRequest{2, 0};
+  EXPECT_NE(frame_crc(a), frame_crc(b));
+  EXPECT_EQ(frame_crc(a), frame_crc(MessageBody{CacheRequest{1, 0}}));
+  EXPECT_NE(frame_crc(MessageBody{Heartbeat{1, 0}}),
+            frame_crc(MessageBody{NodeDown{1, 0}}));
+}
+
+// --- checkpoint journal: round trip and torn-tail fuzz ---------------------
+
+TEST(Checkpoint, JournalRoundTripsThroughReplay) {
+  storage::MemoryStore store;
+  checkpoint::Manifest manifest;
+  manifest.items = 10;
+  manifest.num_nodes = 2;
+  manifest.granularity = 2;
+  manifest.seed = 7;
+  manifest.expected_pairs = 45;
+  manifest.fingerprint = checkpoint::Journal::fingerprint(10, 2, 2, 7);
+
+  checkpoint::Journal journal(store, "run.journal");
+  journal.start_fresh(manifest);
+  journal.append_results({{0, 1, 0.5}, {0, 2, 1.5}, {1, 2, -3.0}});
+  journal.append_results({{2, 3, 0.25}});
+  journal.append_region_complete(dnc::Region{0, 1, 1, 10, 0});
+  EXPECT_EQ(journal.records_appended(), 4u);
+
+  const auto replay = checkpoint::Journal::replay(store, "run.journal");
+  ASSERT_TRUE(replay.found);
+  ASSERT_TRUE(replay.has_manifest);
+  EXPECT_EQ(replay.manifest, manifest);
+  EXPECT_FALSE(replay.torn);
+  EXPECT_EQ(replay.records, 4u);
+  ASSERT_EQ(replay.results.size(), 4u);
+  EXPECT_EQ(replay.results[0].left, 0u);
+  EXPECT_EQ(replay.results[0].right, 1u);
+  EXPECT_DOUBLE_EQ(replay.results[0].score, 0.5);
+  EXPECT_DOUBLE_EQ(replay.results[3].score, 0.25);
+  ASSERT_EQ(replay.completed_regions.size(), 1u);
+  EXPECT_EQ(replay.completed_regions[0], (dnc::Region{0, 1, 1, 10, 0}));
+
+  // A journal for a different run shape is a different fingerprint.
+  EXPECT_NE(checkpoint::Journal::fingerprint(10, 2, 2, 7),
+            checkpoint::Journal::fingerprint(10, 3, 2, 7));
+  EXPECT_NE(checkpoint::Journal::fingerprint(10, 2, 2, 7),
+            checkpoint::Journal::fingerprint(11, 2, 2, 7));
+
+  // Replay of a missing object reports found=false, nothing recovered.
+  const auto missing = checkpoint::Journal::replay(store, "nope");
+  EXPECT_FALSE(missing.found);
+  EXPECT_FALSE(missing.has_manifest);
+  EXPECT_TRUE(missing.results.empty());
+}
+
+/// `candidate` recovered no more than `full` did, and everything it did
+/// recover is an exact prefix — corruption may cost the tail, never
+/// invent or reorder results.
+void expect_replay_prefix(const checkpoint::Replay& candidate,
+                          const checkpoint::Replay& full) {
+  ASSERT_LE(candidate.results.size(), full.results.size());
+  for (std::size_t i = 0; i < candidate.results.size(); ++i) {
+    EXPECT_EQ(candidate.results[i].left, full.results[i].left);
+    EXPECT_EQ(candidate.results[i].right, full.results[i].right);
+    EXPECT_EQ(candidate.results[i].score, full.results[i].score);
+  }
+  ASSERT_LE(candidate.completed_regions.size(),
+            full.completed_regions.size());
+  for (std::size_t i = 0; i < candidate.completed_regions.size(); ++i) {
+    EXPECT_EQ(candidate.completed_regions[i], full.completed_regions[i]);
+  }
+}
+
+TEST(Checkpoint, TornJournalFuzzDetectsEveryCorruption) {
+  storage::MemoryStore store;
+  checkpoint::Manifest manifest;
+  manifest.items = 8;
+  manifest.num_nodes = 2;
+  manifest.granularity = 2;
+  manifest.seed = 3;
+  manifest.expected_pairs = 28;
+  manifest.fingerprint = checkpoint::Journal::fingerprint(8, 2, 2, 3);
+
+  checkpoint::Journal journal(store, "j");
+  journal.start_fresh(manifest);
+  journal.append_results({{0, 1, 0.5}, {0, 2, 1.5}, {1, 2, -3.0}});
+  journal.append_region_complete(dnc::Region{0, 1, 1, 8, 0});
+  journal.append_results({{2, 3, 0.25}});
+  const auto full = checkpoint::Journal::replay(store, "j");
+  ASSERT_TRUE(full.found && full.has_manifest && !full.torn);
+  ASSERT_EQ(full.records, 4u);
+  const ByteBuffer bytes = store.read("j");
+  ASSERT_EQ(full.valid_bytes, bytes.size());
+
+  // Truncate at EVERY byte offset: the crash-mid-append shapes. Replay
+  // must keep the valid prefix, flag the tear iff the cut is mid-record,
+  // and truncate_to_valid must leave a clean journal behind.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    SCOPED_TRACE("truncated to " + std::to_string(len) + " bytes");
+    storage::MemoryStore cut;
+    cut.put("j", ByteBuffer(bytes.begin(),
+                            bytes.begin() + static_cast<std::ptrdiff_t>(len)));
+    const auto replay = checkpoint::Journal::replay(cut, "j");
+    ASSERT_TRUE(replay.found);
+    expect_replay_prefix(replay, full);
+    EXPECT_LE(replay.valid_bytes, len);
+    EXPECT_EQ(replay.torn, replay.valid_bytes != len)
+        << "every mid-record cut must be detected as a tear";
+
+    checkpoint::Journal::truncate_to_valid(cut, "j", replay);
+    const auto again = checkpoint::Journal::replay(cut, "j");
+    EXPECT_FALSE(again.torn);
+    EXPECT_EQ(again.records, replay.records);
+    EXPECT_EQ(again.valid_bytes, replay.valid_bytes);
+  }
+
+  // Flip EVERY byte (one at a time): bit rot anywhere in a record must be
+  // caught by the frame CRC (or framing bounds) — 100% detection, and the
+  // records before the flipped one survive untouched.
+  for (std::size_t offset = 0; offset < bytes.size(); ++offset) {
+    SCOPED_TRACE("flipped byte " + std::to_string(offset));
+    ByteBuffer mangled = bytes;
+    mangled[offset] ^= 0xFF;
+    storage::MemoryStore bad;
+    bad.put("j", mangled);
+    const auto replay = checkpoint::Journal::replay(bad, "j");
+    ASSERT_TRUE(replay.found);
+    EXPECT_TRUE(replay.torn);
+    EXPECT_LT(replay.records, full.records);
+    expect_replay_prefix(replay, full);
+  }
+}
+
 // --- bounded kFailed retry: the terminal paths -----------------------------
 
 TEST(NodeRuntime, ExhaustedAcquireRetriesFailPairsAndTerminate) {
@@ -620,6 +824,255 @@ TEST(NodeRuntime, ExhaustedAcquireRetriesFailPairsAndTerminate) {
     }
     EXPECT_EQ(report.pairs, expected.size());
   }
+}
+
+// --- master failover and checkpoint/resume chaos (DESIGN.md §14) -----------
+
+struct DurableOutcome {
+  ResultMap results;
+  std::map<std::pair<ItemId, ItemId>, int> counts;  // delivery multiplicity
+  LiveClusterReport report;
+};
+
+/// The run_chaos cluster with the durability layer fully engaged: small
+/// flush batches (so crashes land between flushes), an optional journal,
+/// and a callback safe against the master role moving across service
+/// threads mid-run.
+DurableOutcome run_durable(const runtime::Application& app,
+                           storage::ObjectStore& store, FaultSchedule faults,
+                           storage::ObjectStore* checkpoint = nullptr,
+                           bool resume = false) {
+  LiveClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.node.devices = {gpu::titanx_maxwell()};
+  cfg.node.host_cache_capacity = 64_MiB;
+  cfg.node.cpu_threads = 2;
+  cfg.node.cache_shards = 2;
+  cfg.hop_limit = 2;
+  cfg.max_chain_hops = 1;
+  cfg.heartbeat_interval_s = 0.005;
+  cfg.lease_timeout_s = 0.05;
+  cfg.fetch_timeout_s = 0.02;
+  cfg.max_fetch_retries = 2;
+  cfg.journal_batch_pairs = 8;
+  cfg.checkpoint_store = checkpoint;
+  cfg.resume = resume;
+  cfg.faults = std::move(faults);
+  LiveCluster cluster(cfg);
+
+  DurableOutcome outcome;
+  std::mutex mutex;
+  outcome.report =
+      cluster.run_all_pairs(app, store, [&](const PairResult& r) {
+        std::scoped_lock lock(mutex);
+        outcome.results[{r.left, r.right}] = r.score;
+        ++outcome.counts[{r.left, r.right}];
+      });
+  return outcome;
+}
+
+TEST(MasterFailover, KillMasterMatrixPreservesExactResults) {
+  storage::MemoryStore store;
+  apps::ForensicsConfig fc;
+  fc.cameras = 4;
+  fc.images_per_camera = 5;
+  fc.width = 48;
+  fc.height = 40;
+  fc.seed = 41;
+  apps::ForensicsDataset dataset(fc, store);
+  apps::ForensicsApplication app(dataset);
+  const ResultMap expected = single_node_reference(app, store);
+  ASSERT_EQ(expected.size(), 20ull * 19 / 2);
+
+  // Kill node 0 — the initial master — early, mid and late in the message
+  // stream. The lowest live node must adopt the role, dedup against its
+  // mirrored ledger, and complete the aggregation: the exact single-node
+  // multiset, every pair delivered exactly once across both masters.
+  for (const std::uint64_t after : {5ull, 60ull, 150ull}) {
+    SCOPED_TRACE("kill master after " + std::to_string(after) + " messages");
+    FaultSchedule schedule;
+    schedule.faults.push_back(Fault{0, after, 0.0});
+    const auto outcome = run_durable(app, store, std::move(schedule));
+
+    EXPECT_EQ(outcome.results, expected);
+    EXPECT_EQ(outcome.report.pairs, expected.size());
+    for (const auto& [pair, count] : outcome.counts) {
+      EXPECT_EQ(count, 1) << "pair (" << pair.first << "," << pair.second
+                          << ") delivered " << count << " times";
+    }
+    EXPECT_GE(outcome.report.master_failovers, 1u)
+        << "somebody must have adopted the master role";
+    EXPECT_GE(outcome.report.node_deaths, 1u);
+    // A batch in flight at the old master when it died was received and
+    // ledger-recorded but never delivered, so received may exceed
+    // delivered + duplicates — but never the other way around.
+    EXPECT_GE(outcome.report.failover.results_received,
+              outcome.report.pairs +
+                  outcome.report.duplicate_results_dropped);
+  }
+}
+
+TEST(MasterFailover, MasterAndWorkerDeathsSurvivedTogether) {
+  storage::MemoryStore store;
+  apps::ForensicsConfig fc;
+  fc.cameras = 4;
+  fc.images_per_camera = 5;
+  fc.width = 48;
+  fc.height = 40;
+  fc.seed = 43;
+  apps::ForensicsDataset dataset(fc, store);
+  apps::ForensicsApplication app(dataset);
+  const ResultMap expected = single_node_reference(app, store);
+
+  // A worker dies, then the master: the adopter inherits a cluster that
+  // already lost a node and still finishes exactly.
+  FaultSchedule schedule;
+  schedule.faults.push_back(Fault{2, 30, 0.0});
+  schedule.faults.push_back(Fault{0, 90, 0.0});
+  const auto outcome = run_durable(app, store, std::move(schedule));
+  EXPECT_EQ(outcome.results, expected);
+  EXPECT_EQ(outcome.report.pairs, expected.size());
+  for (const auto& [pair, count] : outcome.counts) EXPECT_EQ(count, 1);
+  EXPECT_GE(outcome.report.master_failovers, 1u);
+  // At least the master's death draws a verdict; the worker's may be
+  // absorbed silently if the master dies before its lease detector fires
+  // (the adopter's conservative full re-grant covers the worker anyway).
+  EXPECT_GE(outcome.report.node_deaths, 1u);
+}
+
+TEST(Checkpoint, KillAllThenResumeRoundTrip) {
+  storage::MemoryStore store;
+  apps::ForensicsConfig fc;
+  fc.cameras = 4;
+  fc.images_per_camera = 5;
+  fc.width = 48;
+  fc.height = 40;
+  fc.seed = 47;
+  apps::ForensicsDataset dataset(fc, store);
+  apps::ForensicsApplication app(dataset);
+  const ResultMap expected = single_node_reference(app, store);
+
+  // Run 1: every node dies, the master last (so some result batches have
+  // been journalled). The watchdog ends the run; the journal survives.
+  storage::MemoryStore checkpoint_store;
+  FaultSchedule schedule;
+  schedule.faults.push_back(Fault{1, 30, 0.0});
+  schedule.faults.push_back(Fault{2, 60, 0.0});
+  schedule.faults.push_back(Fault{3, 90, 0.0});
+  schedule.faults.push_back(Fault{0, 220, 0.0});
+  const auto first =
+      run_durable(app, store, std::move(schedule), &checkpoint_store);
+  EXPECT_TRUE(first.report.checkpoint.enabled);
+  EXPECT_FALSE(first.report.checkpoint.resumed);
+  EXPECT_LT(first.results.size(), expected.size())
+      << "the whole cluster died mid-run";
+  for (const auto& [pair, count] : first.counts) EXPECT_EQ(count, 1);
+
+  // Run 2: resume from the journal, no faults. Already-journalled pairs
+  // are recovered (not re-delivered); only the remaining frontier runs.
+  const auto second =
+      run_durable(app, store, {}, &checkpoint_store, /*resume=*/true);
+  EXPECT_TRUE(second.report.checkpoint.enabled);
+  EXPECT_TRUE(second.report.checkpoint.resumed);
+  EXPECT_EQ(second.report.checkpoint.pairs_recovered, first.results.size())
+      << "the journal holds exactly what run 1 delivered (flush ordering)";
+  EXPECT_EQ(second.report.pairs, expected.size())
+      << "recovered + newly delivered covers the whole pair space";
+  for (const auto& [pair, count] : second.counts) EXPECT_EQ(count, 1);
+
+  // The union of the two runs' deliveries is the exact single-node
+  // multiset: no pair lost, no pair delivered in both runs.
+  ResultMap combined = first.results;
+  for (const auto& [pair, score] : second.results) {
+    EXPECT_TRUE(combined.emplace(pair, score).second)
+        << "pair (" << pair.first << "," << pair.second
+        << ") delivered by both runs";
+  }
+  EXPECT_EQ(combined, expected);
+}
+
+TEST(Checkpoint, MismatchedFingerprintStartsFresh) {
+  storage::MemoryStore store;
+  apps::ForensicsConfig fc;
+  fc.cameras = 2;
+  fc.images_per_camera = 4;
+  fc.width = 32;
+  fc.height = 32;
+  fc.seed = 53;
+  apps::ForensicsDataset dataset(fc, store);
+  apps::ForensicsApplication app(dataset);
+  const ResultMap expected = single_node_reference(app, store);
+
+  // Plant a journal for a DIFFERENT run shape: resume must reject it by
+  // fingerprint and run everything from scratch.
+  storage::MemoryStore checkpoint_store;
+  checkpoint::Manifest foreign;
+  foreign.items = 999;
+  foreign.num_nodes = 2;
+  foreign.granularity = 4;
+  foreign.seed = 1;
+  foreign.fingerprint = checkpoint::Journal::fingerprint(999, 2, 4, 1);
+  checkpoint::Journal planted(checkpoint_store, "rocket.journal");
+  planted.start_fresh(foreign);
+  planted.append_results({{0, 1, 123.0}});
+
+  const auto outcome =
+      run_durable(app, store, {}, &checkpoint_store, /*resume=*/true);
+  EXPECT_FALSE(outcome.report.checkpoint.resumed);
+  EXPECT_EQ(outcome.report.checkpoint.pairs_recovered, 0u);
+  EXPECT_EQ(outcome.results, expected);
+  EXPECT_EQ(outcome.report.pairs, expected.size());
+}
+
+TEST(ChaosMatrix, FrameCorruptionIsDetectedAndHarmless) {
+  storage::MemoryStore store;
+  apps::ForensicsConfig fc;
+  fc.cameras = 4;
+  fc.images_per_camera = 5;
+  fc.width = 48;
+  fc.height = 40;
+  fc.seed = 59;
+  apps::ForensicsDataset dataset(fc, store);
+  apps::ForensicsApplication app(dataset);
+  const ResultMap expected = single_node_reference(app, store);
+
+  LiveClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.node.devices = {gpu::titanx_maxwell()};
+  cfg.node.host_cache_capacity = 64_MiB;
+  cfg.node.cpu_threads = 2;
+  cfg.node.cache_shards = 2;
+  cfg.hop_limit = 2;
+  cfg.frame_corrupt_rate = 0.05;
+  cfg.frame_corrupt_seed = 61;
+  LiveCluster cluster(cfg);
+
+  ResultMap results;
+  std::map<std::pair<ItemId, ItemId>, int> counts;
+  std::mutex mutex;
+  const auto report =
+      cluster.run_all_pairs(app, store, [&](const PairResult& r) {
+        std::scoped_lock lock(mutex);
+        results[{r.left, r.right}] = r.score;
+        ++counts[{r.left, r.right}];
+      });
+
+  // Corrupted frames were injected, detected at the receiver, and dropped
+  // — the clean retransmits carried the run to the exact multiset.
+  EXPECT_GT(report.corrupted_frames, 0u);
+  EXPECT_EQ(results, expected);
+  EXPECT_EQ(report.pairs, expected.size());
+  for (const auto& [pair, count] : counts) EXPECT_EQ(count, 1);
+
+  // Injected frames surface in the receiver-side drop counter. A mangled
+  // frame still queued when the run completes is never drained, so the
+  // drop count can trail the injection count — never exceed it.
+  std::uint64_t dropped = 0;
+  for (const auto& [name, value] : report.metrics.counters) {
+    if (name == "net.frame_corrupt") dropped = value;
+  }
+  EXPECT_GT(dropped, 0u);
+  EXPECT_LE(dropped, report.corrupted_frames);
 }
 
 }  // namespace
