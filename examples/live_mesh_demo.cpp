@@ -30,6 +30,21 @@
 //                      [--corrupt-rate R]   (chaos: deliver this fraction of
 //                                            frames corrupted first — the CRC
 //                                            check drops them)
+//                      [--slow-node N]      (grey failure: node N stays alive
+//                                            but runs --slow-factor x slower;
+//                                            the health machine marks it
+//                                            degraded and speculates its
+//                                            backlog, DESIGN.md §15)
+//                      [--slow-factor F]    (kernel stretch for --slow-node,
+//                                            10.0)
+//                      [--no-speculation]   (keep the binary alive/dead model:
+//                                            no health verdicts, no straggler
+//                                            speculation — baseline for the
+//                                            --slow-node comparison)
+//                      [--flaky-rate R]     (grey failure: this fraction of
+//                                            object-store reads throws a
+//                                            transient error; the load
+//                                            pipeline retries with backoff)
 //                      [--live-stats]       (stream per-node cluster
 //                                            snapshots mid-run, DESIGN §13)
 //                      [--snapshot-interval T]  (seconds, 0.2)
@@ -70,9 +85,12 @@ class LiveStatsPrinter {
          static_cast<unsigned long long>(snap.total_pairs),
          snap.cluster_pairs_per_sec);
     for (const auto& node : snap.nodes) {
-      emit("  node %u %-5s %8.0f pairs/s  busy %5.1f%%  cache hit %5.1f%%  "
+      // Health column: A(live) / S(uspected) / D(egraded) / X (dead),
+      // DESIGN.md §15.
+      emit("  node %u %-5s %c %8.0f pairs/s  busy %5.1f%%  cache hit %5.1f%%  "
            "in-flight %lld  queue %lld  steals %llu",
-           node.node, node.alive ? "alive" : "DEAD", node.pairs_per_sec,
+           node.node, node.alive ? "alive" : "DEAD",
+           rocket::telemetry::health_letter(node.health), node.pairs_per_sec,
            100.0 * node.busy_fraction, 100.0 * node.cache_hit_rate,
            static_cast<long long>(node.stats.in_flight_tiles),
            static_cast<long long>(node.stats.result_queue_depth),
@@ -169,6 +187,51 @@ int main(int argc, char** argv) {
   }
   mesh_cfg.frame_corrupt_rate = opts.get_double("corrupt-rate", 0.0);
 
+  // Grey failure (DESIGN.md §15): a straggler that stays alive but slow,
+  // and/or an object store with transient read errors. The health machine
+  // rides on the telemetry snapshot stream, so --slow-node turns it on.
+  const auto slow_node = opts.get_int("slow-node", -1);
+  const double slow_factor = opts.get_double("slow-factor", 10.0);
+  const bool no_speculation = opts.get_bool("no-speculation", false);
+  const double flaky_rate = opts.get_double("flaky-rate", 0.0);
+  if (slow_node >= 0) {
+    if (slow_node >= static_cast<std::int64_t>(nodes)) {
+      std::printf("--slow-node must name a node (0..%u)\n", nodes - 1);
+      return 1;
+    }
+    mesh_cfg.slow_node = static_cast<rocket::mesh::NodeId>(slow_node);
+    mesh_cfg.slow_factor = slow_factor;
+    mesh_cfg.slow_store_latency_us = 200;
+    if (!no_speculation) {
+      mesh_cfg.degraded_rate_fraction = 0.35;
+      mesh_cfg.suspect_intervals = 2;
+      // Aggressive drain: undelivered backlog coalesces into row runs, so
+      // a straggler owes many small regions — peel a wide slice each
+      // interval or the rescue trickles behind the blocked steal path.
+      mesh_cfg.speculation_regions_per_interval = 8;
+      if (mesh_cfg.snapshot_interval_s <= 0.0) {
+        mesh_cfg.snapshot_interval_s = 0.02;  // health needs the rate stream
+      }
+    }
+    std::printf("chaos: node %lld runs %.0fx slow (speculation %s)\n",
+                static_cast<long long>(slow_node), slow_factor,
+                no_speculation ? "OFF" : "on");
+  }
+  rocket::storage::ObjectStore* mesh_store = &store;
+  std::unique_ptr<rocket::storage::FlakyStore> flaky_store;
+  if (flaky_rate > 0.0) {
+    rocket::storage::FlakyStore::Config flaky_cfg;
+    flaky_cfg.error_rate = flaky_rate;
+    flaky_cfg.spike_rate = flaky_rate;
+    flaky_cfg.spike_us = 200;
+    flaky_cfg.seed = fc.seed;
+    flaky_store = std::make_unique<rocket::storage::FlakyStore>(store,
+                                                                flaky_cfg);
+    mesh_store = flaky_store.get();
+    std::printf("chaos: object store injects transient errors at rate %.2f\n",
+                flaky_rate);
+  }
+
   // Chaos: kill nodes mid-run (DESIGN.md §12/§14). A worker kill is
   // re-granted by the master; a master kill triggers failover (the lowest
   // live node adopts the role); killing everyone ends the run early — the
@@ -219,7 +282,7 @@ int main(int argc, char** argv) {
   rocket::LiveCluster mesh(mesh_cfg);
   ResultMap results;
   const auto report = mesh.run_all_pairs(
-      app, store, [&](const rocket::PairResult& r) {
+      app, *mesh_store, [&](const rocket::PairResult& r) {
         // With failover the delivering master can change mid-run, so the
         // callback hops service threads — serialise the map ourselves.
         std::scoped_lock lock(mutex);
@@ -330,6 +393,32 @@ int main(int argc, char** argv) {
     std::printf("failover: master role adopted %llu time(s) — the lowest "
                 "live node completed the aggregation\n",
                 static_cast<unsigned long long>(report.master_failovers));
+  }
+  if (report.nodes_degraded > 0 || report.nodes_recovered > 0 ||
+      report.regions_speculated > 0) {
+    std::printf("health: %llu degradation verdict(s), %llu recovery(ies), "
+                "%llu steal draw(s) skipped stragglers\n",
+                static_cast<unsigned long long>(report.nodes_degraded),
+                static_cast<unsigned long long>(report.nodes_recovered),
+                static_cast<unsigned long long>(
+                    report.steals_avoided_degraded));
+    std::printf("speculation: %llu region(s) of straggler backlog re-granted "
+                "to healthy nodes (first result wins; %llu duplicate(s) "
+                "dropped)\n",
+                static_cast<unsigned long long>(report.regions_speculated),
+                static_cast<unsigned long long>(
+                    report.duplicate_results_dropped));
+  }
+  if (flaky_store != nullptr) {
+    std::printf("flaky store: %llu transient error(s) injected, %llu latency "
+                "spike(s); %llu load retry(ies), %llu load(s) failed for "
+                "good\n",
+                static_cast<unsigned long long>(
+                    flaky_store->injected_errors()),
+                static_cast<unsigned long long>(
+                    flaky_store->injected_spikes()),
+                static_cast<unsigned long long>(report.load_retries),
+                static_cast<unsigned long long>(report.failed_loads));
   }
   if (report.corrupted_frames > 0) {
     std::printf("transport: %llu corrupted frame(s) injected; CRC checks "

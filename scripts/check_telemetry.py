@@ -19,8 +19,8 @@ SUMMARY_KEYS = [
     "schema", "app", "mode", "num_nodes", "pairs", "wall_seconds",
     "pairs_per_sec", "loads", "peer_loads", "remote_steals",
     "cache_fast_hits", "prefetch_hits", "stall_seconds", "host_cache",
-    "directory", "peer_cache", "failover", "checkpoint", "traffic",
-    "node_traffic", "metrics", "nodes",
+    "directory", "peer_cache", "failover", "health", "speculation",
+    "checkpoint", "traffic", "node_traffic", "metrics", "nodes",
 ]
 
 FAILOVER_KEYS = [
@@ -28,6 +28,13 @@ FAILOVER_KEYS = [
     "results_received", "regions_adopted", "master_failovers",
     "corrupted_frames",
 ]
+
+HEALTH_KEYS = [
+    "nodes_suspected", "nodes_degraded", "nodes_recovered",
+    "steals_avoided_degraded", "load_retries", "failed_loads",
+]
+
+SPECULATION_KEYS = ["regions", "pairs", "duplicate_results_dropped"]
 
 CHECKPOINT_KEYS = [
     "enabled", "resumed", "torn_tail", "pairs_recovered",
@@ -44,7 +51,7 @@ def fail(message):
 
 
 def check_summary(path, nodes, expect_master_failover=False,
-                  expect_resumed=False):
+                  expect_resumed=False, expect_speculation=False):
     doc = json.load(open(path))
     for key in SUMMARY_KEYS:
         if key not in doc:
@@ -65,6 +72,12 @@ def check_summary(path, nodes, expect_master_failover=False,
     for key in FAILOVER_KEYS:
         if key not in doc["failover"]:
             fail(f"{path}: failover block missing {key!r}")
+    for key in HEALTH_KEYS:
+        if key not in doc["health"]:
+            fail(f"{path}: health block missing {key!r}")
+    for key in SPECULATION_KEYS:
+        if key not in doc["speculation"]:
+            fail(f"{path}: speculation block missing {key!r}")
     for key in CHECKPOINT_KEYS:
         if key not in doc["checkpoint"]:
             fail(f"{path}: checkpoint block missing {key!r}")
@@ -83,6 +96,12 @@ def check_summary(path, nodes, expect_master_failover=False,
                  f"false")
         if doc["checkpoint"]["pairs_recovered"] == 0:
             fail(f"{path}: resumed run recovered zero pairs")
+    if expect_speculation:
+        if doc["speculation"]["regions"] == 0:
+            fail(f"{path}: expected straggler speculation, zero regions "
+                 f"re-granted")
+        if doc["health"]["nodes_degraded"] == 0:
+            fail(f"{path}: expected a degraded-node verdict, none recorded")
     print(f"check_telemetry: OK: {path} ({doc['pairs']} pairs, "
           f"{len(doc['nodes'])} nodes, "
           f"{len(doc['metrics']['histograms'])} histograms)")
@@ -124,10 +143,13 @@ def main():
     parser.add_argument("--expect-resumed", action="store_true",
                         help="fail unless the run resumed from a journal "
                              "and recovered pairs")
+    parser.add_argument("--expect-speculation", action="store_true",
+                        help="fail unless a node was degraded and some of "
+                             "its backlog was speculatively re-granted")
     args = parser.parse_args()
     if args.kind == "summary":
         check_summary(args.path, args.nodes, args.expect_master_failover,
-                      args.expect_resumed)
+                      args.expect_resumed, args.expect_speculation)
     else:
         check_trace(args.path, args.nodes)
 

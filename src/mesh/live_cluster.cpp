@@ -4,6 +4,7 @@
 #include <chrono>
 #include <exception>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <utility>
 
@@ -153,6 +154,15 @@ LiveCluster::Report LiveCluster::run_all_pairs(
       mc.max_fetch_retries = config_.max_fetch_retries;
       mc.export_leases = true;
     }
+    // Grey-failure knobs ride on every node: health verdicts are a master
+    // duty, and with failover any node may become the master mid-run.
+    mc.degraded_rate_fraction = config_.degraded_rate_fraction;
+    mc.suspect_intervals = config_.suspect_intervals;
+    mc.recover_rate_fraction = config_.recover_rate_fraction;
+    mc.recover_intervals = config_.recover_intervals;
+    mc.health_ewma_alpha = config_.health_ewma_alpha;
+    mc.speculation_regions_per_interval =
+        config_.speculation_regions_per_interval;
     // With failover EVERY node carries the master duties — any of them
     // may adopt the role mid-run; without it only node 0 does.
     if (id == 0 || failover) {
@@ -201,6 +211,20 @@ LiveCluster::Report LiveCluster::run_all_pairs(
       try {
         runtime::NodeRuntime::Config ncfg = config_.node;
         ncfg.event_log = event_logs[id].get();
+        // Grey-failure straggler injection: the designated slow node runs
+        // its kernels stretched and (optionally) sees extra object-store
+        // read latency — alive and correct, just slow.
+        storage::ObjectStore* node_store = &shared_store;
+        std::optional<storage::ThrottledStore> slow_store;
+        if (id == config_.slow_node) {
+          if (config_.slow_factor > 1.0) {
+            ncfg.kernel_slowdown = config_.slow_factor;
+          }
+          if (config_.slow_store_latency_us > 0) {
+            slow_store.emplace(shared_store, config_.slow_store_latency_us);
+            node_store = &*slow_store;
+          }
+        }
         runtime::NodeRuntime rt(std::move(ncfg));
         MeshNode& mesh = *meshes[id];
         runtime::MeshPort port;
@@ -220,7 +244,7 @@ LiveCluster::Report LiveCluster::run_all_pairs(
           mesh.register_stats(std::move(fn));
         };
         node_reports[id] = rt.run_partition(
-            app, shared_store,
+            app, *node_store,
             [&transport, &meshes, id](const runtime::PairResult& r) {
               // Route to the CURRENT master: after a failover the
               // adopter aggregates, and anything still in flight to the
@@ -306,6 +330,8 @@ LiveCluster::Report LiveCluster::run_all_pairs(
     report.cache_fast_hits += node_reports[id].cache_fast_hits;
     report.prefetch_hits += node_reports[id].prefetch_hits;
     report.stall_seconds += node_reports[id].stall_seconds;
+    report.load_retries += node_reports[id].load_retries;
+    report.failed_loads += node_reports[id].failed_loads;
     report.metrics += node_reports[id].metrics;
     report.metrics += meshes[id]->metrics_snapshot();
     report.node_traffic.push_back(transport.node_counters(id));
@@ -321,6 +347,10 @@ LiveCluster::Report LiveCluster::run_all_pairs(
   report.duplicate_results_dropped =
       report.failover.duplicate_results_dropped;
   report.master_failovers = report.failover.master_failovers;
+  report.regions_speculated = report.failover.regions_speculated;
+  report.nodes_degraded = report.failover.nodes_degraded;
+  report.nodes_recovered = report.failover.nodes_recovered;
+  report.steals_avoided_degraded = report.failover.steals_avoided_degraded;
   report.peer_retries = report.peer_cache.retries;
   report.nodes = std::move(node_reports);
   return report;

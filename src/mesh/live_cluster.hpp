@@ -130,6 +130,38 @@ struct LiveClusterConfig {
   /// (then retransmitted clean). Exercises the transport CRC path.
   double frame_corrupt_rate = 0.0;
   std::uint64_t frame_corrupt_seed = 1;
+
+  // --- grey-failure resilience (DESIGN.md §15) ---
+
+  /// Straggler detection: a node whose EWMA delivered-pairs rate stays
+  /// below this fraction of the cluster median for `suspect_intervals`
+  /// consecutive telemetry intervals is marked degraded. Needs the
+  /// snapshot stream (snapshot_interval_s > 0) for rate input. 0 keeps
+  /// the binary alive/dead model.
+  double degraded_rate_fraction = 0.0;
+  std::uint32_t suspect_intervals = 2;
+
+  /// Hysteresis: a degraded node recovers (and becomes grantable again)
+  /// after holding its rate above recover_rate_fraction × median for
+  /// recover_intervals consecutive intervals.
+  double recover_rate_fraction = 0.7;
+  std::uint32_t recover_intervals = 2;
+  double health_ewma_alpha = 0.4;
+
+  /// Straggler speculation bound: regions of a degraded node's
+  /// undelivered backlog re-granted to the fastest healthy node per
+  /// telemetry interval (first result wins; the ledger drops duplicates).
+  /// 0 disables speculation while keeping health tracking.
+  std::uint32_t speculation_regions_per_interval = 2;
+
+  /// Grey-failure straggler injection (chaos tests, the demo's
+  /// --slow-node): node `slow_node` runs every kernel `slow_factor`×
+  /// slower and sees `slow_store_latency_us` of extra latency per
+  /// object-store read. kNoSlowNode disables.
+  static constexpr NodeId kNoSlowNode = ~NodeId{0};
+  NodeId slow_node = kNoSlowNode;
+  double slow_factor = 1.0;
+  std::uint64_t slow_store_latency_us = 0;
 };
 
 /// Journal/resume observability (zero/false when checkpointing is off).
@@ -170,6 +202,15 @@ struct LiveClusterReport {
   std::uint64_t master_failovers = 0;   // master-role adoptions
   std::uint64_t corrupted_frames = 0;   // injected corrupt frames (chaos)
   CheckpointStats checkpoint;           // journal/resume detail (§14)
+
+  // --- grey-failure resilience (DESIGN.md §15) ---
+  std::uint64_t regions_speculated = 0;  // straggler backlog re-grants
+  std::uint64_t nodes_degraded = 0;      // degradation verdicts
+  std::uint64_t nodes_recovered = 0;     // hysteresis recoveries
+  std::uint64_t steals_avoided_degraded = 0;  // victim draws that skipped
+                                              // stragglers
+  std::uint64_t load_retries = 0;   // transient store-read retries, all nodes
+  std::uint64_t failed_loads = 0;   // loads that fell to the failed-item path
 
   /// Name-merged metrics over every node's engine and mesh registries
   /// (DESIGN.md §13): latency histograms add bucket-wise, counters add.

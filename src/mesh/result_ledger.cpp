@@ -12,11 +12,11 @@ constexpr net::NodeId kNoOwner = ~net::NodeId{0};
 
 ResultLedger::ResultLedger(dnc::ItemIndex n, std::uint32_t num_nodes)
     : n_(n) {
-  (void)num_nodes;
   const std::uint64_t pairs = dnc::count_pairs(dnc::root_region(n));
   owner_.assign(pairs, kNoOwner);
   delivered_.assign(pairs, 0);
   epoch_.assign(pairs, 0);
+  owed_.assign(num_nodes, 0);
 }
 
 void ResultLedger::grant(NodeId owner, const dnc::Region& region,
@@ -24,6 +24,10 @@ void ResultLedger::grant(NodeId owner, const dnc::Region& region,
   if (reexecution) ++regions_regranted_;
   dnc::for_each_pair(region, [&](const dnc::Pair& pair) {
     const std::uint64_t k = index_of(pair.left, pair.right);
+    if (!delivered_[k] && owner_[k] != owner) {
+      dec_owed(owner_[k]);
+      inc_owed(owner);
+    }
     owner_[k] = owner;
     if (reexecution && !delivered_[k]) {
       if (epoch_[k] < 0xFF) ++epoch_[k];
@@ -35,7 +39,11 @@ void ResultLedger::grant(NodeId owner, const dnc::Region& region,
 void ResultLedger::transfer(const dnc::Region& region, NodeId thief) {
   dnc::for_each_pair(region, [&](const dnc::Pair& pair) {
     const std::uint64_t k = index_of(pair.left, pair.right);
-    if (!delivered_[k]) owner_[k] = thief;
+    if (!delivered_[k] && owner_[k] != thief) {
+      dec_owed(owner_[k]);
+      inc_owed(thief);
+      owner_[k] = thief;
+    }
   });
 }
 
@@ -48,6 +56,7 @@ bool ResultLedger::record(dnc::ItemIndex left, dnc::ItemIndex right) {
   }
   delivered_[k] = 1;
   ++delivered_count_;
+  dec_owed(owner_[k]);
   return true;
 }
 
@@ -57,6 +66,7 @@ bool ResultLedger::mark_recovered(dnc::ItemIndex left, dnc::ItemIndex right) {
   if (delivered_[k]) return false;
   delivered_[k] = 1;
   ++delivered_count_;
+  dec_owed(owner_[k]);
   return true;
 }
 

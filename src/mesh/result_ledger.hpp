@@ -71,6 +71,14 @@ class ResultLedger {
   /// the chosen survivor for each returned region.
   std::vector<dnc::Region> undelivered_of(NodeId owner) const;
 
+  /// Undelivered pairs currently leased to `owner` — O(1), maintained
+  /// incrementally. Zero means the node is idle by completion: the health
+  /// detector (DESIGN.md §15) must not read its zero delivered-pairs rate
+  /// as straggling.
+  std::uint64_t pairs_owed(NodeId owner) const {
+    return owner < owed_.size() ? owed_[owner] : 0;
+  }
+
   std::uint64_t delivered() const { return delivered_count_; }
   std::uint64_t duplicates() const { return duplicates_; }
   std::uint64_t regions_regranted() const { return regions_regranted_; }
@@ -86,10 +94,18 @@ class ResultLedger {
     return row_start + (j - i - 1);
   }
 
+  void dec_owed(NodeId owner) {
+    if (owner < owed_.size() && owed_[owner] > 0) --owed_[owner];
+  }
+  void inc_owed(NodeId owner) {
+    if (owner < owed_.size()) ++owed_[owner];
+  }
+
   dnc::ItemIndex n_ = 0;
   std::vector<NodeId> owner_;          // per pair
   std::vector<std::uint8_t> delivered_;  // per pair (bool; uint8 for speed)
   std::vector<std::uint8_t> epoch_;    // per pair, re-execution count
+  std::vector<std::uint64_t> owed_;    // per node, undelivered leased pairs
   std::uint64_t delivered_count_ = 0;
   std::uint64_t duplicates_ = 0;
   std::uint64_t regions_regranted_ = 0;

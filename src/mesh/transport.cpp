@@ -121,6 +121,12 @@ void fold_body(std::uint32_t& crc, const MasterAnnounce& b) {
 
 void fold_body(std::uint32_t& crc, const MasterTick&) {}
 
+void fold_body(std::uint32_t& crc, const HealthUpdate& b) {
+  fold(crc, b.node);
+  fold(crc, b.state);
+  fold(crc, b.seq);
+}
+
 /// Mutate one semantic field of the body — simulating bit rot on the wire
 /// AFTER the CRC was stamped, so verification must fail.
 void corrupt_body(MessageBody& body) {
@@ -159,6 +165,8 @@ void corrupt_body(MessageBody& body) {
           b.delivered ^= 1u;
         } else if constexpr (std::is_same_v<T, MasterAnnounce>) {
           b.master ^= 1u;
+        } else if constexpr (std::is_same_v<T, HealthUpdate>) {
+          b.node ^= 1u;
         } else {
           static_assert(std::is_same_v<T, MasterTick>, "unhandled body");
         }

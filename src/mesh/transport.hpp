@@ -163,11 +163,24 @@ struct MasterAnnounce {
 /// ledger lives.
 struct MasterTick {};
 
+/// Master → everyone: `node` transitioned to health `state` (a
+/// telemetry::NodeHealth value, DESIGN.md §15). Receivers update their
+/// local health view so steal-victim selection skips stragglers
+/// cluster-wide, not just at the master. `seq` orders updates from one
+/// master; the in-process transport is FIFO per sender so it is
+/// informational here, but a reordering wire transport would drop stale
+/// ones.
+struct HealthUpdate {
+  NodeId node = 0;
+  std::uint8_t state = 0;
+  std::uint32_t seq = 0;
+};
+
 using MessageBody = std::variant<CacheRequest, CacheProbe, CacheData,
                                  CacheFailure, StealRequest, StealReply,
                                  ResultMsg, Heartbeat, NodeDown, StealExport,
                                  RegionGrant, TelemetrySnapshot, LedgerSync,
-                                 MasterAnnounce, MasterTick>;
+                                 MasterAnnounce, MasterTick, HealthUpdate>;
 
 struct Message {
   NodeId from = 0;

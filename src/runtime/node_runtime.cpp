@@ -146,6 +146,18 @@ struct Engine {
   std::atomic<std::uint64_t> tiles{0};
   std::atomic<std::uint64_t> prefetch_hits{0};
   std::atomic<std::uint64_t> acquire_retries{0};
+  std::atomic<std::uint64_t> load_retries{0};
+  std::atomic<std::uint64_t> failed_loads{0};
+  /// Remaining run-level transient-error allowance (DESIGN.md §15);
+  /// meaningful only when cfg.load_error_budget > 0.
+  std::atomic<std::int64_t> load_error_budget{0};
+
+  /// Spend one unit of the run-level transient-error budget. Returns
+  /// false once the budget is exhausted (always true when unlimited).
+  bool consume_load_error_budget() {
+    if (cfg.load_error_budget == 0) return true;
+    return load_error_budget.fetch_sub(1, std::memory_order_acq_rel) > 0;
+  }
 
   /// Completed results flow through this queue to one dedicated consumer
   /// thread, which is the only caller of on_result — compare/postprocess
@@ -155,6 +167,11 @@ struct Engine {
 
   /// Cluster peer-fetch hook (mesh runs only; null single-node).
   PeerFetchClient* peer_fetch = nullptr;
+
+  /// Cluster-wide completion poll (mesh runs only; null single-node).
+  /// Emulation sleeps (device stretch) check it so a straggler's
+  /// stretched kernel never pins the cluster join after the run is done.
+  std::function<bool()> global_done_poll;
 
   // Pool of load-pipeline state blocks. Reuse keeps the hot path free of
   // per-load heap churn: the pooled ByteBuffer/HostBuffer keep their
@@ -172,6 +189,9 @@ struct Engine {
         profiler(config.trace, config.max_spans_per_lane),
         metrics(config.telemetry) {
     if (!config.telemetry) profiler.set_enabled(false);
+    load_error_budget.store(
+        static_cast<std::int64_t>(config.load_error_budget),
+        std::memory_order_relaxed);
     tile_latency = &metrics.histogram("tile.latency");
     tile_load_wait = &metrics.histogram("tile.load_wait");
     cache_wait = &metrics.histogram("cache.acquire_wait");
@@ -307,13 +327,25 @@ void ensure_device_buffer(Engine& eng, DeviceState& dev, cache::SlotId dslot,
   }
 }
 
-/// Emulate a slower device by stretching kernel wall time.
-void stretch_kernel(DeviceState& dev, Profiler::Clock::time_point start) {
+/// Emulate a slower device by stretching kernel wall time. The sleep is
+/// sliced so it can bail as soon as the cluster reports done — a
+/// degraded node's stretched tile is pure emulation by then, and an
+/// unbroken multi-hundred-ms sleep would pin the whole cluster join on
+/// the straggler (DESIGN.md §15).
+void stretch_kernel(Engine& eng, DeviceState& dev,
+                    Profiler::Clock::time_point start) {
   if (dev.stretch <= 0.0) return;
   const auto elapsed = Profiler::Clock::now() - start;
-  std::this_thread::sleep_for(
-      std::chrono::duration_cast<Profiler::Clock::duration>(
-          elapsed * dev.stretch));
+  auto remaining = std::chrono::duration_cast<Profiler::Clock::duration>(
+      elapsed * dev.stretch);
+  const auto slice = std::chrono::duration_cast<Profiler::Clock::duration>(
+      std::chrono::milliseconds(1));
+  while (remaining > Profiler::Clock::duration::zero()) {
+    if (eng.global_done_poll && eng.global_done_poll()) return;
+    const auto step = remaining < slice ? remaining : slice;
+    std::this_thread::sleep_for(step);
+    remaining -= step;
+  }
 }
 
 /// Load complete: the client owns the published device slot's read pin.
@@ -329,6 +361,7 @@ void finish_load(LoadOp* op) {
 /// kFailed and re-drive their own loads) and notify the client.
 void fail_load(LoadOp* op, const char* what) {
   ROCKET_ERROR("load of item %u failed: %s", op->item, what);
+  op->eng->failed_loads.fetch_add(1, std::memory_order_relaxed);
   op->dev->cache->abort(op->dslot);
   if (op->hslot != cache::kInvalidSlot && op->eng->host_cache) {
     op->eng->host_cache->abort(op->hslot);
@@ -472,7 +505,27 @@ void run_load(LoadOp* op) {
     Engine& eng = *op->eng;
     try {
       ScopedTask span(eng.profiler, eng.io_lane, TaskKind::kIo);
-      op->file = eng.store.read(eng.app.file_name(op->item));
+      // Transient store errors (a flaky store timing out, DESIGN.md §15)
+      // retry in place with jittered backoff, bounded per load AND by the
+      // run-level error budget, so a flaky store can delay a load but
+      // never hang it. Permanent errors fail the item on the first throw.
+      constexpr BackoffPolicy kLoadRetry{50e-6, 5e-3, 0.25, 7};
+      std::uint32_t attempt = 0;
+      for (;;) {
+        try {
+          op->file = eng.store.read(eng.app.file_name(op->item));
+          break;
+        } catch (const storage::TransientStoreError& e) {
+          ++attempt;
+          if (attempt > eng.cfg.max_load_retries ||
+              !eng.consume_load_error_budget()) {
+            fail_load(op, e.what());
+            return;
+          }
+          eng.load_retries.fetch_add(1, std::memory_order_relaxed);
+          kLoadRetry.sleep_for(attempt, op->item);
+        }
+      }
     } catch (const std::exception& e) {
       fail_load(op, e.what());
       return;
@@ -508,7 +561,7 @@ void run_load(LoadOp* op) {
                             TaskKind::kPreprocess);
             const auto t0 = Profiler::Clock::now();
             op->eng->app.preprocess(op->item, dev.slots[op->dslot]);
-            stretch_kernel(dev, t0);
+            stretch_kernel(*op->eng, dev, t0);
           } catch (const std::exception& e) {
             fail_load(op, e.what());
             return;
@@ -621,7 +674,7 @@ struct Job final : LoadClient {
         const auto t0 = Profiler::Clock::now();
         score = eng.app.compare(items[0], dev.slots[pins[0]], items[1],
                                 dev.slots[pins[1]]);
-        stretch_kernel(dev, t0);
+        stretch_kernel(eng, dev, t0);
       } catch (const std::exception& e) {
         ROCKET_ERROR("comparison (%u,%u) failed: %s", items[0], items[1],
                      e.what());
@@ -859,7 +912,7 @@ struct TileJob final : LoadClient {
         results.push_back(PairResult{p.left, p.right, score});
         pair_failed.push_back(failed ? 1 : 0);
       });
-      stretch_kernel(dev, t0);
+      stretch_kernel(eng, dev, t0);
       TileJob* next = nullptr;
       {
         std::scoped_lock lock(dev.gate_mutex);
@@ -1040,6 +1093,12 @@ NodeRuntime::Report NodeRuntime::run_impl(const Application& app,
     if (config_.emulate_heterogeneity && spec.relative_speed > 0.0) {
       dev->stretch = max_speed / spec.relative_speed - 1.0;
     }
+    if (config_.kernel_slowdown > 1.0) {
+      // Grey-failure straggler injection (DESIGN.md §15): the node's
+      // kernels run kernel_slowdown× slower overall, composing with the
+      // heterogeneity stretch above.
+      dev->stretch = (1.0 + dev->stretch) * config_.kernel_slowdown - 1.0;
+    }
     dev->gpu_lane = eng.profiler.add_lane("gpu" + std::to_string(d) + " (" +
                                           spec.name + ")");
     dev->h2d_lane = eng.profiler.add_lane("h2d" + std::to_string(d));
@@ -1087,6 +1146,7 @@ NodeRuntime::Report NodeRuntime::run_impl(const Application& app,
   } probe_registration;
   if (port != nullptr) {
     if (eng.host_cache) eng.peer_fetch = port->peer_fetch;
+    eng.global_done_poll = port->global_done;
     if (port->register_probe && eng.host_cache) {
       port->register_probe(&host_probe);
       probe_registration.port = port;
@@ -1221,6 +1281,8 @@ NodeRuntime::Report NodeRuntime::run_impl(const Application& app,
   report.peer_loads = eng.peer_loads.load();
   report.prefetch_hits = eng.prefetch_hits.load();
   report.acquire_retries = eng.acquire_retries.load();
+  report.load_retries = eng.load_retries.load();
+  report.failed_loads = eng.failed_loads.load();
   // Guarded both ways: n == 0 (empty problem) must not divide by zero,
   // and a loadless run (everything served from warm caches, or nothing to
   // do) reports a clean 0.0 rather than relying on the division.

@@ -150,6 +150,23 @@ class NodeRuntime {
     /// Stretch kernel wall time on slower device models (see file header).
     bool emulate_heterogeneity = true;
 
+    /// Grey-failure straggler injection (DESIGN.md §15): stretch every
+    /// kernel's wall time by this factor on top of the heterogeneity
+    /// stretch. 1 = off. Used by chaos tests and the demo's --slow-node.
+    double kernel_slowdown = 1.0;
+
+    /// Transient store errors (storage::TransientStoreError) retry in
+    /// place on the I/O lane with jittered backoff, up to this many
+    /// retries per load; one more failure fails the item through the
+    /// NaN-pair path. Permanent errors never retry.
+    std::uint32_t max_load_retries = 4;
+
+    /// Run-level cap on tolerated transient store errors, shared by all
+    /// loads (0 = unlimited). Once spent, further transient errors become
+    /// terminal immediately — a store that is *persistently* flaky fails
+    /// fast instead of stretching the run with per-load retry cycles.
+    std::uint64_t load_error_budget = 0;
+
     /// Record a full task trace (Fig 6); cheap busy counters are always on.
     bool trace = false;
 
@@ -189,6 +206,11 @@ class NodeRuntime {
     std::uint64_t prefetch_hits = 0;
     /// kFailed cache-grant re-drives (bounded by max_acquire_retries).
     std::uint64_t acquire_retries = 0;
+    /// Transient store-read retries absorbed by the backoff budget
+    /// (DESIGN.md §15) and loads that exhausted it (or hit a permanent
+    /// error) and fell through to the failed-item path.
+    std::uint64_t load_retries = 0;
+    std::uint64_t failed_loads = 0;
     /// Per-device GPU-lane busy seconds (compare + preprocess kernels).
     std::vector<double> device_busy_seconds;
     /// Per-device load-stall seconds: wall time minus GPU-lane busy time —

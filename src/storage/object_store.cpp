@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/rng.hpp"
+
 namespace rocket::storage {
 
 namespace fs = std::filesystem;
@@ -118,6 +120,57 @@ void ThrottledStore::put(const std::string& name, const ByteBuffer& data) {
 }
 
 void ThrottledStore::append(const std::string& name, const ByteBuffer& data) {
+  inner_->append(name, data);
+}
+
+FlakyStore::FlakyStore(ObjectStore& inner, Config config)
+    : inner_(&inner), cfg_(config) {}
+
+bool FlakyStore::roll(double rate) {
+  if (rate <= 0.0) return false;
+  const std::uint64_t n = draws_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t h = mix64(cfg_.seed * 0x9E3779B97F4A7C15ULL + n + 1);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+  return u < rate;
+}
+
+ByteBuffer FlakyStore::read(const std::string& name) {
+  if (cfg_.spike_us > 0 && roll(cfg_.spike_rate)) {
+    spikes_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::microseconds(cfg_.spike_us));
+  }
+  if (roll(cfg_.error_rate)) {
+    std::scoped_lock lock(mutex_);
+    std::uint32_t& run = consecutive_[name];
+    if (run < cfg_.max_consecutive_failures) {
+      ++run;
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      throw TransientStoreError("FlakyStore: injected transient error on " +
+                                name);
+    }
+  }
+  {
+    std::scoped_lock lock(mutex_);
+    consecutive_.erase(name);
+  }
+  return inner_->read(name);
+}
+
+bool FlakyStore::exists(const std::string& name) const {
+  return inner_->exists(name);
+}
+
+Bytes FlakyStore::size_of(const std::string& name) const {
+  return inner_->size_of(name);
+}
+
+std::vector<std::string> FlakyStore::list() const { return inner_->list(); }
+
+void FlakyStore::put(const std::string& name, const ByteBuffer& data) {
+  inner_->put(name, data);
+}
+
+void FlakyStore::append(const std::string& name, const ByteBuffer& data) {
   inner_->append(name, data);
 }
 

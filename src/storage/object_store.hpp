@@ -11,9 +11,11 @@
 //                      aggregate bandwidth is processor-shared among the
 //                      cluster's concurrent reads (sim_store.hpp)
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -116,6 +118,67 @@ class ThrottledStore final : public ObjectStore {
  private:
   ObjectStore* inner_;
   std::uint64_t read_latency_us_;
+};
+
+/// Transient object-store failure: the retryable error class absorbed by
+/// the load pipeline's backoff budget (DESIGN.md §15). Permanent errors
+/// (missing object, short read) stay plain runtime_errors and fail the
+/// item immediately.
+class TransientStoreError : public std::runtime_error {
+ public:
+  explicit TransientStoreError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Grey-failure chaos decorator: injects seeded transient read errors and
+/// latency spikes — the storage half of the grey-failure model, a store
+/// that times out intermittently but eventually serves every object.
+/// Consecutive injected failures per object are capped, so a bounded
+/// retry budget always wins; exists/size_of/list are never perturbed
+/// (membership queries are assumed cached/cheap). Thread-safe.
+class FlakyStore final : public ObjectStore {
+ public:
+  struct Config {
+    double error_rate = 0.0;    // P(read throws TransientStoreError)
+    double spike_rate = 0.0;    // P(read sleeps spike_us first)
+    std::uint64_t spike_us = 0;
+    std::uint64_t seed = 1;
+    /// Cap on consecutive injected failures per object; the next read of
+    /// that object is then forced through, keeping every load winnable
+    /// within a small retry budget.
+    std::uint32_t max_consecutive_failures = 2;
+  };
+
+  FlakyStore(ObjectStore& inner, Config config);
+
+  ByteBuffer read(const std::string& name) override;
+  bool exists(const std::string& name) const override;
+  Bytes size_of(const std::string& name) const override;
+  std::vector<std::string> list() const override;
+
+  bool supports_write() const override { return inner_->supports_write(); }
+  void put(const std::string& name, const ByteBuffer& data) override;
+  void append(const std::string& name, const ByteBuffer& data) override;
+
+  std::uint64_t injected_errors() const {
+    return errors_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t injected_spikes() const {
+    return spikes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Deterministic Bernoulli draw: hashes a per-store sequence number, so
+  /// the fault pattern depends only on (seed, call order), not wall time.
+  bool roll(double rate);
+
+  ObjectStore* inner_;
+  Config cfg_;
+  std::atomic<std::uint64_t> draws_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> spikes_{0};
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint32_t> consecutive_;  // guarded by mutex_
 };
 
 /// Real files rooted at a directory.

@@ -84,6 +84,8 @@ RunSummary RunSummary::from_node(
   s.report.cache_fast_hits = report.cache_fast_hits;
   s.report.prefetch_hits = report.prefetch_hits;
   s.report.stall_seconds = report.stall_seconds;
+  s.report.load_retries = report.load_retries;
+  s.report.failed_loads = report.failed_loads;
   s.report.metrics = report.metrics;
   s.report.nodes.push_back(report);
   return s;
@@ -157,6 +159,23 @@ std::string RunSummary::to_json() const {
       .field("corrupted_frames", r.corrupted_frames)
       .end_object();
 
+  w.key("health")
+      .begin_object()
+      .field("nodes_suspected", r.failover.nodes_suspected)
+      .field("nodes_degraded", r.nodes_degraded)
+      .field("nodes_recovered", r.nodes_recovered)
+      .field("steals_avoided_degraded", r.steals_avoided_degraded)
+      .field("load_retries", r.load_retries)
+      .field("failed_loads", r.failed_loads)
+      .end_object();
+
+  w.key("speculation")
+      .begin_object()
+      .field("regions", r.regions_speculated)
+      .field("pairs", r.failover.pairs_speculated)
+      .field("duplicate_results_dropped", r.duplicate_results_dropped)
+      .end_object();
+
   w.key("checkpoint")
       .begin_object()
       .field("enabled", r.checkpoint.enabled)
@@ -190,6 +209,8 @@ std::string RunSummary::to_json() const {
         .field("stall_seconds", node.stall_seconds)
         .field("prefetch_hits", node.prefetch_hits)
         .field("acquire_retries", node.acquire_retries)
+        .field("load_retries", node.load_retries)
+        .field("failed_loads", node.failed_loads)
         .field("spans_dropped", node.spans_dropped);
     w.key("host_cache");
     write_cache_stats(w, node.host_cache);

@@ -20,6 +20,10 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kPrefetchPark: return "prefetch_park";
     case EventKind::kFetchRetry: return "fetch_retry";
     case EventKind::kMasterFailover: return "master_failover";
+    case EventKind::kNodeSuspected: return "node_suspected";
+    case EventKind::kNodeDegraded: return "node_degraded";
+    case EventKind::kNodeRecovered: return "node_recovered";
+    case EventKind::kRegionSpeculated: return "region_speculated";
   }
   return "unknown";
 }

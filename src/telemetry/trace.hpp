@@ -40,6 +40,10 @@ enum class EventKind : std::uint8_t {
   kPrefetchPark,  // a: device ordinal (tile resolved before a token freed)
   kFetchRetry,    // a: item id (peer fetch retransmitted)
   kMasterFailover,  // a: adopting node, b: failover epoch (DESIGN.md §14)
+  kNodeSuspected,   // a: node below the health rate threshold (§15)
+  kNodeDegraded,    // a: node confirmed as a straggler
+  kNodeRecovered,   // a: node back above the recovery threshold
+  kRegionSpeculated,  // a: healthy node granted to, b: pairs (saturated)
 };
 
 const char* event_kind_name(EventKind kind);

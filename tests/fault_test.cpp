@@ -572,6 +572,74 @@ TEST(ChaosMatrix, SeededSingleKillScheduleReplays) {
   expect_survived_exactly(outcome, expected, 1);
 }
 
+TEST(ChaosMatrix, GreyFailureStragglerFlakyStoreAndKillSurvived) {
+  storage::MemoryStore store;
+  apps::ForensicsConfig fc;
+  fc.cameras = 4;
+  fc.images_per_camera = 16;  // enough work that the verdict lands mid-run
+  fc.width = 48;
+  fc.height = 40;
+  fc.seed = 41;
+  apps::ForensicsDataset dataset(fc, store);
+  apps::ForensicsApplication app(dataset);
+  const ResultMap expected = single_node_reference(app, store);
+
+  // All three failure modes at once (DESIGN.md §15): node 1 is a grey
+  // straggler (50x slower kernels, half a millisecond of extra store
+  // latency per read), every node's store reads are flaky, and node 3
+  // dies outright mid-run. The consecutive-failure cap keeps every
+  // transient streak inside the default per-load retry allowance, so the
+  // result multiset must still be exact.
+  storage::FlakyStore::Config flaky_cfg;
+  flaky_cfg.error_rate = 0.2;
+  flaky_cfg.spike_rate = 0.1;
+  flaky_cfg.spike_us = 100;
+  flaky_cfg.max_consecutive_failures = 2;
+  flaky_cfg.seed = 41;
+  storage::FlakyStore flaky(store, flaky_cfg);
+
+  LiveClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.node.devices = {gpu::titanx_maxwell()};
+  cfg.node.host_cache_capacity = 64_MiB;
+  cfg.node.cpu_threads = 2;
+  cfg.node.cache_shards = 2;
+  cfg.hop_limit = 2;
+  cfg.max_chain_hops = 1;
+  cfg.heartbeat_interval_s = 0.005;
+  cfg.lease_timeout_s = 0.05;
+  cfg.fetch_timeout_s = 0.02;
+  cfg.max_fetch_retries = 2;
+  cfg.snapshot_interval_s = 0.005;
+  cfg.degraded_rate_fraction = 0.35;
+  cfg.suspect_intervals = 2;
+  cfg.speculation_regions_per_interval = 8;
+  cfg.slow_node = 1;
+  cfg.slow_factor = 50.0;
+  cfg.slow_store_latency_us = 500;
+  cfg.faults.faults.push_back(Fault{3, 40, 0.0});
+  LiveCluster cluster(cfg);
+
+  ChaosOutcome outcome;
+  outcome.report = cluster.run_all_pairs(
+      app, flaky, [&](const PairResult& r) {
+        outcome.results[{r.left, r.right}] = r.score;
+      });
+
+  expect_survived_exactly(outcome, expected, 1);
+  EXPECT_EQ(outcome.report.node_deaths, 1u)
+      << "the straggler is slow, not dead: its heartbeats still flow and "
+         "its lease must never expire";
+  EXPECT_GT(outcome.report.nodes_degraded, 0u)
+      << "the health machine must notice the straggler";
+  EXPECT_GT(outcome.report.regions_speculated, 0u)
+      << "a slice of the straggler's backlog must migrate";
+  EXPECT_GT(outcome.report.load_retries, 0u)
+      << "the flaky store must have fired";
+  EXPECT_EQ(outcome.report.failed_loads, 0u)
+      << "bounded streaks must never exhaust a load's retries";
+}
+
 // --- durability primitives: CRC32 and shared backoff (DESIGN.md §14) -------
 
 TEST(Crc32, MatchesKnownAnswerAndChains) {
