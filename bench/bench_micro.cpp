@@ -35,6 +35,7 @@
 #include "mesh/mesh_node.hpp"
 #include "mesh/transport.hpp"
 #include "runtime/node_runtime.hpp"
+#include "telemetry/span.hpp"
 #include "sim/primitives.hpp"
 #include "sim/process.hpp"
 #include "steal/deque.hpp"
@@ -586,18 +587,16 @@ PrefetchResult measure_prefetch_overlap() {
   return out;
 }
 
-// --- telemetry overhead ----------------------------------------------------
+// --- instrumentation overhead ---------------------------------------------
 
-struct TelemetryOverheadResult {
+struct OverheadResult {
   double on_pairs_per_sec = 0.0;   // best trial, informational
   double off_pairs_per_sec = 0.0;  // best trial, informational
   double ratio = 0.0;  // max(median paired ratio, best-of); CI gates >= 0.98
 };
 
-/// Head-to-head of the full runtime with the metrics layer armed vs
-/// disarmed (Config::telemetry), on the cache-friendly synthetic workload
-/// where per-pair overheads dominate — the worst case for instrument
-/// cost. The gate statistic combines two estimators, each robust to a
+/// Paired on/off throughput comparison with a noise-robust gate
+/// statistic. The statistic combines two estimators, each robust to a
 /// different noise shape: the MEDIAN of per-trial ratios (adjacent on/off
 /// pairs with alternating order — adjacent runs share the machine's
 /// momentary speed, which swings far more than 2% on a busy runner) and
@@ -605,26 +604,11 @@ struct TelemetryOverheadResult {
 /// clean-phase ceiling as trials accumulate). A persistent regression
 /// fails both — every pair loses AND the armed peak stays under the
 /// disarmed peak — so the gate takes the max of the two.
-TelemetryOverheadResult measure_telemetry_overhead() {
-  constexpr std::uint32_t kItems = 512;
+template <typename RunOnce>
+OverheadResult measure_overhead(RunOnce run_once) {
   constexpr int kTrialsPerRound = 7;
   constexpr int kMaxRounds = 4;
-  storage::MemoryStore store;
-  SyntheticApp app(kItems, store);
-  const auto run_once = [&](bool telemetry) {
-    runtime::NodeRuntime::Config cfg;
-    cfg.devices = {gpu::titanx_maxwell()};
-    cfg.host_cache_capacity = 64_MiB;
-    cfg.cpu_threads = 2;
-    cfg.telemetry = telemetry;
-    runtime::NodeRuntime rt(cfg);
-    const auto report =
-        rt.run(app, store, [](const runtime::PairResult&) {});
-    return report.wall_seconds > 0
-               ? static_cast<double>(report.pairs) / report.wall_seconds
-               : 0.0;
-  };
-  TelemetryOverheadResult out;
+  OverheadResult out;
   run_once(true);  // warm-up: page in the store and prime the allocator
   std::vector<double> ratios;
   // Adaptive rounds: when the median still looks like a regression, gather
@@ -656,6 +640,55 @@ TelemetryOverheadResult measure_telemetry_overhead() {
     if (out.ratio >= 0.99) break;
   }
   return out;
+}
+
+/// Metrics layer armed vs disarmed (Config::telemetry), on the
+/// cache-friendly synthetic workload where per-pair overheads dominate —
+/// the worst case for instrument cost.
+OverheadResult measure_telemetry_overhead() {
+  constexpr std::uint32_t kItems = 512;
+  storage::MemoryStore store;
+  SyntheticApp app(kItems, store);
+  return measure_overhead([&](bool telemetry) {
+    runtime::NodeRuntime::Config cfg;
+    cfg.devices = {gpu::titanx_maxwell()};
+    cfg.host_cache_capacity = 64_MiB;
+    cfg.cpu_threads = 2;
+    cfg.telemetry = telemetry;
+    runtime::NodeRuntime rt(cfg);
+    const auto report =
+        rt.run(app, store, [](const runtime::PairResult&) {});
+    return report.wall_seconds > 0
+               ? static_cast<double>(report.pairs) / report.wall_seconds
+               : 0.0;
+  });
+}
+
+/// Causal tracing armed (trace_sample_n = 1, every tile sampled — far
+/// denser than the production every-Nth setting) vs off, same worst-case
+/// workload. Sampled spans hash ids, stamp clocks and append to the
+/// per-node ring on every tile transition, so this bounds the cost the
+/// --trace-sample flag can add; CI gates the ratio >= 0.98 (DESIGN.md
+/// section 16).
+OverheadResult measure_tracing_overhead() {
+  constexpr std::uint32_t kItems = 512;
+  storage::MemoryStore store;
+  SyntheticApp app(kItems, store);
+  return measure_overhead([&](bool tracing) {
+    telemetry::SpanLog spans(0);
+    runtime::NodeRuntime::Config cfg;
+    cfg.devices = {gpu::titanx_maxwell()};
+    cfg.host_cache_capacity = 64_MiB;
+    cfg.cpu_threads = 2;
+    cfg.span_log = tracing ? &spans : nullptr;
+    cfg.trace_sample_n = tracing ? 1 : 0;
+    runtime::NodeRuntime rt(cfg);
+    const auto report =
+        rt.run(app, store, [](const runtime::PairResult&) {});
+    return report.wall_seconds > 0
+               ? static_cast<double>(report.pairs) / report.wall_seconds
+               : 0.0;
+  });
 }
 
 struct TraversalResult {
@@ -716,7 +749,8 @@ void run_mode_comparison_and_emit_json() {
       measure_cache_contention(2), measure_cache_contention(8)};
   const PrefetchResult prefetch = measure_prefetch_overlap();
   const TraversalResult traversal = measure_traversal_loads();
-  const TelemetryOverheadResult telemetry = measure_telemetry_overhead();
+  const OverheadResult telemetry = measure_telemetry_overhead();
+  const OverheadResult tracing = measure_tracing_overhead();
 
   std::printf("\n-- execution mode head-to-head (n=%u, %zu pairs) --\n",
               kItems, per_pair.results.size());
@@ -760,6 +794,10 @@ void run_mode_comparison_and_emit_json() {
       "(ratio %.3f; gate >= 0.98)\n",
       telemetry.on_pairs_per_sec, telemetry.off_pairs_per_sec,
       telemetry.ratio);
+  std::printf(
+      "tracing overhead (sample every tile): on %.0f pairs/s vs off "
+      "%.0f pairs/s (ratio %.3f; gate >= 0.98)\n",
+      tracing.on_pairs_per_sec, tracing.off_pairs_per_sec, tracing.ratio);
 
   FILE* f = std::fopen("BENCH_micro.json", "w");
   if (f == nullptr) {
@@ -823,6 +861,11 @@ void run_mode_comparison_and_emit_json() {
                "\"off_pairs_per_sec\": %.1f, \"ratio\": %.4f},\n",
                telemetry.on_pairs_per_sec, telemetry.off_pairs_per_sec,
                telemetry.ratio);
+  std::fprintf(f,
+               "  \"tracing\": {\"on_pairs_per_sec\": %.1f, "
+               "\"off_pairs_per_sec\": %.1f, \"ratio\": %.4f},\n",
+               tracing.on_pairs_per_sec, tracing.off_pairs_per_sec,
+               tracing.ratio);
   std::fprintf(f, "  \"cache_contention\": [\n");
   for (std::size_t i = 0; i < contention.size(); ++i) {
     const auto& c = contention[i];

@@ -52,6 +52,19 @@
 //                                            nodes on one aligned timeline;
 //                                            load in Perfetto/about:tracing)
 //                      [--summary-out F]    (rocket.run_summary/1 JSON)
+//                      [--trace-sample N]   (causal tracing, DESIGN.md §16:
+//                                            every Nth tile/item/steal gets a
+//                                            full cross-node span DAG; with
+//                                            --trace-out the spans render as
+//                                            Perfetto flow arrows; 1 = all)
+//                      [--critical-path]    (print the critical-path
+//                                            attribution table and the
+//                                            slowest sampled tiles' causal
+//                                            chains; defaults --trace-sample
+//                                            to 1 when unset)
+//                      [--metrics-out F]    (Prometheus text exposition 0.0.4
+//                                            of the cluster-merged metrics
+//                                            registry)
 
 #include <unistd.h>
 
@@ -62,6 +75,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/json_writer.hpp"
 #include "common/options.hpp"
 #include "common/table.hpp"
 #include "apps/forensics.hpp"
@@ -168,6 +182,24 @@ int main(int argc, char** argv) {
         };
   }
   if (!trace_out.empty()) mesh_cfg.node.trace = true;
+
+  // Causal tracing (DESIGN.md §16). --critical-path without an explicit
+  // sampling rate traces everything — an attribution table over zero
+  // spans would be 100% idle and useless.
+  const bool print_critical_path = opts.get_bool("critical-path", false);
+  const std::string metrics_out = opts.get("metrics-out", "");
+  mesh_cfg.trace_sample_n =
+      static_cast<std::uint32_t>(opts.get_int("trace-sample", 0));
+  if (print_critical_path && mesh_cfg.trace_sample_n == 0) {
+    mesh_cfg.trace_sample_n = 1;
+  }
+  if (mesh_cfg.trace_sample_n > 0) {
+    std::printf("tracing: every %s tile gets a causal span DAG\n",
+                mesh_cfg.trace_sample_n == 1
+                    ? "single"
+                    : (std::to_string(mesh_cfg.trace_sample_n) + "th")
+                          .c_str());
+  }
 
   // Durability (DESIGN.md §14): a write-ahead journal under
   // --checkpoint-dir; --resume replays it and runs only the remainder.
@@ -438,6 +470,58 @@ int main(int argc, char** argv) {
                 report.checkpoint.torn_tail ? ", torn tail truncated" : "");
   }
 
+  if (mesh_cfg.trace_sample_n > 0 && report.spans_aborted > 0) {
+    std::printf("tracing: %llu span(s) closed forcibly at teardown "
+                "(aborted flag set — expected after a kill)\n",
+                static_cast<unsigned long long>(report.spans_aborted));
+  }
+  if (report.flight_dumps > 0) {
+    std::printf("flight recorder: %llu black-box ring(s) dumped to %s as "
+                "rocket.flightrec.node<i>\n",
+                static_cast<unsigned long long>(report.flight_dumps),
+                checkpoint_dir.c_str());
+  }
+  if (print_critical_path) {
+    // Offline critical-path attribution (DESIGN.md §16): at each instant
+    // the highest-priority phase active anywhere in the cluster wins, so
+    // the percentages sum to 100 and "idle" is genuinely uncovered time.
+    const auto& cp = report.critical_path;
+    std::printf("\ncritical path: %zu sampled span(s) over a %.2fs window\n",
+                cp.spans_analyzed, cp.window_seconds);
+    rocket::TableWriter cp_table("critical-path attribution");
+    cp_table.set_header({"phase", "seconds", "percent"});
+    for (std::size_t i = 0; i < rocket::telemetry::kPathPhases; ++i) {
+      const auto phase = static_cast<rocket::telemetry::PathPhase>(i);
+      cp_table.add_row({rocket::telemetry::path_phase_name(phase),
+                        rocket::TableWriter::num(cp.phases[i].seconds, 4),
+                        rocket::TableWriter::num(cp.phases[i].percent, 1)});
+    }
+    std::printf("%s\n", cp_table.render().c_str());
+    for (std::size_t k = 0; k < cp.slowest.size(); ++k) {
+      const auto& tile = cp.slowest[k];
+      std::printf("slow tile #%zu: trace %016llx on node %u, %.4fs\n",
+                  k + 1,
+                  static_cast<unsigned long long>(tile.trace_id), tile.node,
+                  tile.seconds);
+      for (const auto& span : tile.chain) {
+        std::printf("    %-17s node %u  %.4fs -> %.4fs (%.4fs)%s\n",
+                    rocket::telemetry::span_phase_name(span.phase),
+                    span.node, span.start, span.end, span.end - span.start,
+                    span.aborted ? "  [aborted]" : "");
+      }
+    }
+  }
+  if (!metrics_out.empty()) {
+    // Prometheus text exposition 0.0.4 of the cluster-merged registry.
+    if (rocket::JsonWriter::write_string_to_file(
+            metrics_out, report.metrics.expose_text())) {
+      std::printf("metrics: wrote %s (Prometheus text exposition)\n",
+                  metrics_out.c_str());
+    } else {
+      std::printf("metrics: FAILED to write %s\n", metrics_out.c_str());
+      return 1;
+    }
+  }
   if (!trace_out.empty()) {
     rocket::telemetry::TraceExporter exporter;
     for (std::size_t i = 0; i < report.nodes.size(); ++i) {

@@ -1,9 +1,23 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdlib>
+#include <mutex>
 
 namespace rocket {
+
+namespace {
+std::mutex g_check_hook_mutex;
+std::function<void()> g_check_hook;      // guarded by g_check_hook_mutex
+std::atomic<bool> g_check_hook_fired{false};
+}  // namespace
+
+void set_check_failure_hook(std::function<void()> hook) {
+  std::scoped_lock lock(g_check_hook_mutex);
+  g_check_hook = std::move(hook);
+  g_check_hook_fired.store(false, std::memory_order_relaxed);
+}
 
 std::optional<LogLevel> parse_log_level(std::string_view text) {
   std::string lower;
@@ -61,6 +75,23 @@ std::string log_format(const char* fmt, ...) {
   }
   va_end(args);
   return out;
+}
+
+void run_check_failure_hook() noexcept {
+  // First failing thread wins; a second concurrent CHECK failure proceeds
+  // straight to abort rather than racing the dump.
+  if (g_check_hook_fired.exchange(true, std::memory_order_acq_rel)) return;
+  std::function<void()> hook;
+  {
+    std::scoped_lock lock(g_check_hook_mutex);
+    hook = g_check_hook;
+  }
+  if (!hook) return;
+  try {
+    hook();
+  } catch (...) {
+    // The process is already dying; the dump is best-effort.
+  }
 }
 }  // namespace detail
 

@@ -7,6 +7,7 @@
 // escape hatch when you cannot recompile the embedding application.
 
 #include <cstdio>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -36,8 +37,20 @@ class Logger {
   std::mutex mutex_;
 };
 
+/// Hook fired once, immediately before ROCKET_CHECK aborts the process —
+/// the black-box flight recorder's last chance to reach stable storage
+/// (DESIGN.md §16). Replaces any previous hook; nullptr clears it. The
+/// hook must be async-signal-tolerant in spirit: it runs on the failing
+/// thread with arbitrary locks held elsewhere, so it should only touch
+/// lock-free state (the flight ring qualifies) and simple I/O.
+void set_check_failure_hook(std::function<void()> hook);
+
 namespace detail {
 std::string log_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Invoke (and swallow exceptions from) the registered hook, at most once
+/// even if multiple threads fail checks concurrently.
+void run_check_failure_hook() noexcept;
 }  // namespace detail
 
 #define ROCKET_LOG(lvl, ...)                                                \
@@ -62,6 +75,7 @@ std::string log_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)
       ::rocket::Logger::instance().log(::rocket::LogLevel::kError,       \
                                        std::string("CHECK failed: ") +   \
                                            #cond + " — " + (msg));       \
+      ::rocket::detail::run_check_failure_hook();                        \
       std::abort();                                                      \
     }                                                                    \
   } while (0)

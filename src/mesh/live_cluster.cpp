@@ -14,6 +14,18 @@
 
 namespace rocket::mesh {
 
+namespace {
+
+/// Causal-trace timestamps: seconds since the shared process epoch, the
+/// same timeline every SpanRecord lives on (DESIGN.md §16).
+double trace_now() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       telemetry::process_epoch())
+      .count();
+}
+
+}  // namespace
+
 telemetry::ClusterSnapshot LiveCluster::cluster_snapshot() const {
   std::lock_guard<std::mutex> lock(snapshot_mutex_);
   return latest_snapshot_;
@@ -134,11 +146,62 @@ LiveCluster::Report LiveCluster::run_all_pairs(
     log = std::make_unique<telemetry::EventLog>();
   }
 
+  // Causal tracing (DESIGN.md §16): one span log and one black-box flight
+  // ring per node, shared between the node's mesh layer and its engine.
+  // Same lifetime rule as the event logs — declared before `meshes` so
+  // service threads never outlive their sinks.
+  const bool tracing = config_.trace_sample_n > 0;
+  std::vector<std::unique_ptr<telemetry::FlightRecorder>> flights(p);
+  std::vector<std::unique_ptr<telemetry::SpanLog>> span_logs(p);
+  if (tracing) {
+    for (NodeId id = 0; id < p; ++id) {
+      if (config_.flight_recorder_entries > 0) {
+        flights[id] = std::make_unique<telemetry::FlightRecorder>(
+            config_.flight_recorder_entries);
+      }
+      span_logs[id] =
+          std::make_unique<telemetry::SpanLog>(id, std::size_t{1} << 14,
+                                               flights[id].get());
+    }
+  }
+  // Black-box dump: write every node's last-K ring to the checkpoint
+  // store. Wired as the CHECK-failure hook for the whole run (an
+  // assertion anywhere flushes the rings before abort) and reused below
+  // for death/failover dumps. The rings are lock-free, so dumping from a
+  // failing thread is safe.
+  std::uint64_t flight_dumps = 0;
+  auto dump_flight = [&](NodeId id) {
+    if (flights[id] == nullptr || config_.checkpoint_store == nullptr ||
+        !config_.checkpoint_store->supports_write()) {
+      return;
+    }
+    const std::string text = flights[id]->dump_json_lines();
+    config_.checkpoint_store->put(
+        "rocket.flightrec.node" + std::to_string(id),
+        ByteBuffer(text.begin(), text.end()));
+    ++flight_dumps;
+  };
+  if (tracing && config_.checkpoint_store != nullptr &&
+      config_.checkpoint_store->supports_write()) {
+    set_check_failure_hook([&flights, &p, this] {
+      for (NodeId id = 0; id < p; ++id) {
+        if (flights[id] == nullptr) continue;
+        const std::string text = flights[id]->dump_json_lines();
+        config_.checkpoint_store->put(
+            "rocket.flightrec.node" + std::to_string(id),
+            ByteBuffer(text.begin(), text.end()));
+      }
+    });
+  }
+
   std::vector<std::unique_ptr<MeshNode>> meshes(p);
   for (NodeId id = 0; id < p; ++id) {
     MeshNode::Config mc;
     mc.id = id;
     mc.events = event_logs[id].get();
+    mc.spans = span_logs[id].get();
+    mc.flight = flights[id].get();
+    mc.trace_sample_n = config_.trace_sample_n;
     mc.snapshot_interval_s = config_.snapshot_interval_s;
     mc.num_workers =
         static_cast<std::uint32_t>(config_.node.devices.size());
@@ -203,6 +266,7 @@ LiveCluster::Report LiveCluster::run_all_pairs(
   std::vector<runtime::NodeRuntime::Report> node_reports(p);
   std::vector<std::exception_ptr> errors(p);
   const auto wall_start = std::chrono::steady_clock::now();
+  const double trace_window_start = trace_now();
 
   std::vector<std::thread> node_threads;
   node_threads.reserve(p);
@@ -211,6 +275,8 @@ LiveCluster::Report LiveCluster::run_all_pairs(
       try {
         runtime::NodeRuntime::Config ncfg = config_.node;
         ncfg.event_log = event_logs[id].get();
+        ncfg.span_log = span_logs[id].get();
+        ncfg.trace_sample_n = config_.trace_sample_n;
         // Grey-failure straggler injection: the designated slow node runs
         // its kernels stretched and (optionally) sees extra object-store
         // read latency — alive and correct, just slow.
@@ -243,14 +309,35 @@ LiveCluster::Report LiveCluster::run_all_pairs(
         port.register_stats = [&mesh](telemetry::NodeStatsFn fn) {
           mesh.register_stats(std::move(fn));
         };
+        // Shared (not per-copy) sequence: std::function copies must not
+        // fork the sampling stream.
+        auto result_seq = std::make_shared<std::atomic<std::uint64_t>>(0);
         node_reports[id] = rt.run_partition(
             app, *node_store,
-            [&transport, &meshes, id](const runtime::PairResult& r) {
+            [&transport, &meshes, &span_logs, this, id,
+             result_seq](const runtime::PairResult& r) {
+              // Deliver-hop sampling (§16): every Nth result by seeded
+              // hash of a per-node sequence roots a result.deliver span
+              // here; the master records the arrival child, giving the
+              // worker→master flow arrow.
+              telemetry::SpanContext ctx;
+              if (config_.trace_sample_n > 0 && span_logs[id] != nullptr) {
+                ctx = telemetry::make_trace(
+                    config_.node.seed,
+                    telemetry::span_mix(0x72736c74 /* 'rslt' */ ^ id) ^
+                        result_seq->fetch_add(1, std::memory_order_relaxed),
+                    config_.trace_sample_n);
+                if (ctx.sampled()) {
+                  const double now = trace_now();
+                  span_logs[id]->record(ctx, telemetry::SpanPhase::kDeliver,
+                                        now, now);
+                }
+              }
               // Route to the CURRENT master: after a failover the
               // adopter aggregates, and anything still in flight to the
               // corpse is covered by its conservative re-grant.
               transport.send(id, meshes[id]->current_master(),
-                             net::Tag::kResult, ResultMsg{r});
+                             net::Tag::kResult, ResultMsg{r, ctx});
             },
             port);
       } catch (...) {
@@ -303,6 +390,19 @@ LiveCluster::Report LiveCluster::run_all_pairs(
   if (watchdog.joinable()) watchdog.join();
   transport.close();
   for (auto& mesh : meshes) mesh->join();
+  // All recorders are quiescent from here. Un-register the CHECK hook
+  // before anything can unwind — it captures this frame.
+  const double trace_window_end = trace_now();
+  if (tracing) set_check_failure_hook(nullptr);
+  std::uint64_t spans_aborted = 0;
+  for (NodeId id = 0; id < p; ++id) {
+    if (span_logs[id] != nullptr) {
+      // Satellite-3 invariant: whatever a killed node (or a fetch that
+      // never completed) left open is closed now with the aborted flag —
+      // a finished run leaks no spans.
+      spans_aborted += span_logs[id]->abort_open(trace_window_end);
+    }
+  }
   for (auto& error : errors) {
     if (error) std::rethrow_exception(error);
   }
@@ -341,6 +441,11 @@ LiveCluster::Report LiveCluster::run_all_pairs(
     if (config_.node.trace) {
       node_reports[id].trace.events = event_logs[id]->events();
     }
+    // Same staleness rule for causal spans: mesh-side closes (steal
+    // serves, the abort sweep above) post-date the engine's copy.
+    if (config_.node.trace && span_logs[id] != nullptr) {
+      node_reports[id].trace.causal_spans = span_logs[id]->records();
+    }
   }
   report.node_deaths = report.failover.node_deaths;
   report.regions_reexecuted = report.failover.regions_reexecuted;
@@ -352,6 +457,30 @@ LiveCluster::Report LiveCluster::run_all_pairs(
   report.nodes_recovered = report.failover.nodes_recovered;
   report.steals_avoided_degraded = report.failover.steals_avoided_degraded;
   report.peer_retries = report.peer_cache.retries;
+
+  // --- causal tracing epilogue (DESIGN.md §16) ---
+  report.spans_aborted = spans_aborted;
+  // Black-box dumps: every dead node's ring; every ring when the master
+  // role moved (the post-mortem question is then "what did each node see
+  // around the handover").
+  for (NodeId id = 0; id < p; ++id) {
+    if (transport.is_down(id) || report.master_failovers > 0) {
+      dump_flight(id);
+    }
+  }
+  report.flight_dumps = flight_dumps;
+  // Critical-path attribution over every sampled span of the run. Always
+  // computed: with tracing off the span set is empty and the whole window
+  // is attributed to idle, so the report block is schema-stable.
+  std::vector<telemetry::SpanRecord> all_spans;
+  for (NodeId id = 0; id < p; ++id) {
+    if (span_logs[id] == nullptr) continue;
+    const auto spans = span_logs[id]->records();
+    all_spans.insert(all_spans.end(), spans.begin(), spans.end());
+  }
+  report.critical_path = telemetry::analyze_critical_path(
+      all_spans, trace_window_start, trace_window_end);
+
   report.nodes = std::move(node_reports);
   return report;
 }

@@ -29,7 +29,9 @@
 #include "net/tag.hpp"
 #include "runtime/node_runtime.hpp"
 #include "storage/object_store.hpp"
+#include "telemetry/critical_path.hpp"
 #include "telemetry/snapshot.hpp"
+#include "telemetry/span.hpp"
 
 namespace rocket::mesh {
 
@@ -100,6 +102,22 @@ struct LiveClusterConfig {
   /// Called on the master's service thread with each new ClusterSnapshot.
   /// Must be cheap and must not re-enter the cluster.
   std::function<void(const telemetry::ClusterSnapshot&)> on_cluster_snapshot;
+
+  // --- causal tracing (DESIGN.md §16) ---
+
+  /// Every Nth tile / item / steal — deterministically, by seeded hash of
+  /// its identity — gets a full causal trace: a span DAG spanning nodes,
+  /// recorded into the per-node span logs, rendered with cross-node flow
+  /// arrows by the TraceExporter, and fed to the critical-path analyzer.
+  /// 0 disables causal tracing entirely; 1 traces everything.
+  std::uint32_t trace_sample_n = 0;
+
+  /// Capacity of each node's black-box flight-recorder ring (last K span
+  /// closes + received messages), dumped to `checkpoint_store` as
+  /// `rocket.flightrec.node<i>` on node death, master failover, assertion
+  /// failure, or end of a chaos run. 0 disables the flight recorder.
+  /// Active only while causal tracing is on.
+  std::size_t flight_recorder_entries = 1024;
 
   // --- durability (DESIGN.md §14) ---
 
@@ -211,6 +229,23 @@ struct LiveClusterReport {
                                               // stragglers
   std::uint64_t load_retries = 0;   // transient store-read retries, all nodes
   std::uint64_t failed_loads = 0;   // loads that fell to the failed-item path
+
+  // --- causal tracing (DESIGN.md §16) ---
+
+  /// Offline critical-path attribution over every sampled span of the
+  /// run: percent of wall time per phase (sums to 100 by construction —
+  /// idle is the uncovered remainder) and the top-k slowest traced tiles
+  /// with their causal chains. Always populated: with tracing off the
+  /// window is attributed 100% idle.
+  telemetry::CriticalPathReport critical_path;
+
+  /// Sampled spans still open when a node's engine wound down, closed
+  /// forcibly with the aborted flag (the satellite-3 invariant: a killed
+  /// node leaks no unclosed spans).
+  std::uint64_t spans_aborted = 0;
+
+  /// Flight-recorder rings written to the checkpoint store post-mortem.
+  std::uint64_t flight_dumps = 0;
 
   /// Name-merged metrics over every node's engine and mesh registries
   /// (DESIGN.md §13): latency histograms add bucket-wise, counters add.

@@ -54,6 +54,22 @@ FailoverStats& operator+=(FailoverStats& a, const FailoverStats& b) {
   return a;
 }
 
+// --- causal tracing helpers (DESIGN.md §16) -------------------------------
+
+double MeshNode::trace_now() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       telemetry::process_epoch())
+      .count();
+}
+
+void MeshNode::record_child_span(const telemetry::SpanContext& parent,
+                                 std::uint64_t salt,
+                                 telemetry::SpanPhase phase, double start,
+                                 double end) {
+  if (cfg_.spans == nullptr || !parent.sampled()) return;
+  cfg_.spans->record(telemetry::child_of(parent, salt), phase, start, end);
+}
+
 MeshNode::MeshNode(Config config, Transport& transport,
                    std::shared_ptr<std::atomic<bool>> done)
     : cfg_(std::move(config)), transport_(transport), done_(std::move(done)),
@@ -172,6 +188,20 @@ void MeshNode::serve_loop() {
               std::chrono::steady_clock::now() - epoch_)
               .count();
       last_seen_ns_[from].store(now_ns, std::memory_order_release);
+    }
+    if (cfg_.flight != nullptr) {
+      // Black box: every message that reached a handler, with its causal
+      // ids when the body carries a sampled context (DESIGN.md §16).
+      telemetry::SpanContext sc;
+      std::visit(
+          [&sc](const auto& body) {
+            if constexpr (requires { body.span; }) sc = body.span;
+          },
+          msg->body);
+      cfg_.flight->record(
+          static_cast<std::uint16_t>(telemetry::kFlightMessageBase +
+                                     msg->body.index()),
+          cfg_.id, sc.trace_id, sc.span_id, from, 0);
     }
     std::visit(
         [this, from](auto&& body) {
@@ -349,7 +379,7 @@ void MeshNode::check_master_lease() {
 
 void MeshNode::check_fetch_deadlines() {
   const auto now = std::chrono::steady_clock::now();
-  std::vector<ItemId> retry;
+  std::vector<std::pair<ItemId, telemetry::SpanContext>> retry;
   std::vector<ItemId> expired;
   {
     std::scoped_lock lock(mutex_);
@@ -374,7 +404,7 @@ void MeshNode::check_fetch_deadlines() {
                               static_cast<std::uint32_t>(item),
                               pending.attempts);
         }
-        retry.push_back(item);
+        retry.emplace_back(item, pending.span);
       } else {
         ++stats_.timeouts;
         expired.push_back(item);
@@ -382,11 +412,11 @@ void MeshNode::check_fetch_deadlines() {
     }
   }
   const auto p = transport_.num_nodes();
-  for (const ItemId item : retry) {
+  for (const auto& [item, span] : retry) {
     const NodeId mediator = cache::DistributedDirectory::mediator_of(item, p);
     if (dead_[mediator].load(std::memory_order_acquire) ||
         !transport_.send(cfg_.id, mediator, net::Tag::kCacheRequest,
-                         CacheRequest{item, cfg_.id})) {
+                         CacheRequest{item, cfg_.id, span})) {
       complete_fetch(item, {}, 0, false);
     }
   }
@@ -395,11 +425,17 @@ void MeshNode::check_fetch_deadlines() {
 
 // --- requester side: peer fetch ------------------------------------------
 
-void MeshNode::fetch(ItemId item, DoneFn done) {
+void MeshNode::fetch(ItemId item, DoneFn done, telemetry::SpanContext ctx) {
   const auto p = transport_.num_nodes();
   if (p < 2 || cfg_.hop_limit == 0) {
     done({});
     return;
+  }
+  if (cfg_.spans != nullptr && ctx.sampled()) {
+    // The fetch's own peer.fetch span: closed by complete_fetch (aborted
+    // on a miss or failure), or by the teardown sweep if this node dies
+    // with the fetch still in flight.
+    cfg_.spans->open(ctx, telemetry::SpanPhase::kPeerFetch, trace_now());
   }
   const NodeId mediator = cache::DistributedDirectory::mediator_of(item, p);
   {
@@ -412,6 +448,7 @@ void MeshNode::fetch(ItemId item, DoneFn done) {
     auto& pending = pending_[item];
     pending.done = std::move(done);
     pending.t0 = std::chrono::steady_clock::now();
+    pending.span = ctx;
     if (cfg_.fetch_timeout_s > 0) {
       pending.deadline = pending.t0 + seconds_to_duration(cfg_.fetch_timeout_s);
     }
@@ -420,7 +457,7 @@ void MeshNode::fetch(ItemId item, DoneFn done) {
   // deadline wait; fall straight back to the object store.
   if (dead_[mediator].load(std::memory_order_acquire) ||
       !transport_.send(cfg_.id, mediator, net::Tag::kCacheRequest,
-                       CacheRequest{item, cfg_.id})) {
+                       CacheRequest{item, cfg_.id, ctx})) {
     complete_fetch(item, {}, 0, false);  // mediator unreachable
   }
 }
@@ -429,12 +466,14 @@ void MeshNode::complete_fetch(ItemId item, runtime::PeerPayload payload,
                               std::uint32_t hops, bool hit) {
   DoneFn done;
   std::chrono::steady_clock::time_point t0{};
+  telemetry::SpanContext span;
   {
     std::scoped_lock lock(mutex_);
     const auto it = pending_.find(item);
     if (it == pending_.end()) return;
     done = std::move(it->second.done);
     t0 = it->second.t0;
+    span = it->second.span;
     pending_.erase(it);
     if (hit) {
       ++stats_.chain_hits;
@@ -446,6 +485,11 @@ void MeshNode::complete_fetch(ItemId item, runtime::PeerPayload payload,
     }
     directory_.record_chain_outcome(hit, hops);
   }
+  if (cfg_.spans != nullptr && span.sampled()) {
+    // A miss closes the span as aborted: the causal chain ends here and
+    // the tile falls back to the object-store load path.
+    cfg_.spans->close(span.span_id, trace_now(), /*aborted=*/!hit);
+  }
   if (t0.time_since_epoch().count() != 0) {
     const double elapsed = std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - t0)
@@ -456,6 +500,13 @@ void MeshNode::complete_fetch(ItemId item, runtime::PeerPayload payload,
 }
 
 void MeshNode::on_cache_data(CacheData data) {
+  if (data.span.sampled()) {
+    // Zero-width arrival span, child of the serving candidate's
+    // peer.serve span: the return edge of the cross-node arrow pair.
+    const double now = trace_now();
+    record_child_span(data.span, 0x72656376 /* 'recv' */,
+                      telemetry::SpanPhase::kPeerFetch, now, now);
+  }
   complete_fetch(data.item,
                  runtime::PeerPayload{std::move(data.bytes), data.compressed},
                  data.hop, true);
@@ -475,11 +526,12 @@ void MeshNode::on_cache_request(const CacheRequest& req) {
     // respects the hop limit (and the walk cap, when configured).
     chain = directory_.on_request(req.item, req.requester);
   }
-  forward_probe(req.item, req.requester, std::move(chain), 0);
+  forward_probe(req.item, req.requester, std::move(chain), 0, req.span);
 }
 
 void MeshNode::forward_probe(ItemId item, NodeId requester,
-                             std::vector<NodeId> chain, std::uint32_t index) {
+                             std::vector<NodeId> chain, std::uint32_t index,
+                             const telemetry::SpanContext& span) {
   const auto hops = static_cast<std::uint32_t>(chain.size());
   for (std::uint32_t k = index; k < chain.size(); ++k) {
     const NodeId candidate = chain[k];
@@ -488,15 +540,17 @@ void MeshNode::forward_probe(ItemId item, NodeId requester,
     // probe miss.
     if (dead_[candidate].load(std::memory_order_acquire)) continue;
     if (transport_.send(cfg_.id, candidate, net::Tag::kCacheForward,
-                        CacheProbe{item, requester, chain, k})) {
+                        CacheProbe{item, requester, chain, k, span})) {
       return;
     }
   }
   transport_.send(cfg_.id, requester, net::Tag::kCacheFailure,
-                  CacheFailure{item, hops});
+                  CacheFailure{item, hops, span});
 }
 
 void MeshNode::on_cache_probe(CacheProbe probe) {
+  const double t0 =
+      cfg_.spans != nullptr && probe.span.sampled() ? trace_now() : 0.0;
   runtime::HostBuffer bytes;
   bool hit = false;
   {
@@ -504,15 +558,25 @@ void MeshNode::on_cache_probe(CacheProbe probe) {
     if (probe_ != nullptr) hit = probe_->probe(probe.item, bytes);
   }
   if (hit) {
+    telemetry::SpanContext serve;
+    if (cfg_.spans != nullptr && probe.span.sampled()) {
+      // peer.serve: this candidate's side of the fetch. Its id rides on
+      // the CacheData so the requester's arrival span links back — the
+      // pair of parent links is what Perfetto renders as two arrows
+      // (requester → candidate, candidate → requester).
+      serve = telemetry::child_of(probe.span, 0x73657276 /* 'serv' */);
+      cfg_.spans->record(serve, telemetry::SpanPhase::kPeerServe, t0,
+                         trace_now());
+    }
     const Bytes payload = bytes.size();
     transport_.send(
         cfg_.id, probe.requester, net::Tag::kCacheData,
-        CacheData{probe.item, probe.index + 1, false, std::move(bytes)},
+        CacheData{probe.item, probe.index + 1, false, std::move(bytes), serve},
         payload);
     return;
   }
   forward_probe(probe.item, probe.requester, std::move(probe.chain),
-                probe.index + 1);
+                probe.index + 1, probe.span);
 }
 
 // --- stealing -------------------------------------------------------------
@@ -575,13 +639,36 @@ std::optional<dnc::Region> MeshNode::remote_steal(std::uint32_t worker) {
     if (victims.empty()) return std::nullopt;
     const NodeId victim = victims[cell.rng.uniform_index(victims.size())];
     ++cell.outstanding;
+    telemetry::SpanContext steal_ctx;
+    if (tracing()) {
+      // Mesh-rooted trace: a steal has no tile context of its own. One
+      // node-wide key counter keeps every mesh-rooted key distinct; the
+      // folded node id keeps concurrent nodes' draws independent.
+      steal_ctx = mesh_trace(
+          (std::uint64_t{cfg_.id} << 40) ^
+          trace_key_seq_.fetch_add(1, std::memory_order_relaxed));
+      if (steal_ctx.sampled()) {
+        if (cell.span.sampled()) {
+          // The previous request timed out and its reply never arrived
+          // (dead victim): close it rather than leaking an open span.
+          cfg_.spans->close(cell.span.span_id, trace_now(), true);
+        }
+        cell.span = steal_ctx;
+        cfg_.spans->open(steal_ctx, telemetry::SpanPhase::kSteal,
+                         trace_now());
+      }
+    }
     lock.unlock();
     const bool sent =
         transport_.send(cfg_.id, victim, net::Tag::kStealRequest,
-                        StealRequest{cfg_.id, worker});
+                        StealRequest{cfg_.id, worker, steal_ctx});
     lock.lock();
     if (!sent) {
       --cell.outstanding;
+      if (cfg_.spans != nullptr && steal_ctx.sampled()) {
+        cfg_.spans->close(steal_ctx.span_id, trace_now(), true);
+        cell.span = {};
+      }
       return std::nullopt;
     }
   }
@@ -609,13 +696,23 @@ std::optional<dnc::Region> MeshNode::remote_steal(std::uint32_t worker) {
 }
 
 void MeshNode::on_steal_request(const StealRequest& req) {
+  const double t0 =
+      cfg_.spans != nullptr && req.span.sampled() ? trace_now() : 0.0;
   std::optional<dnc::Region> region;
   {
     std::scoped_lock lock(mutex_);
     if (exporter_ != nullptr) region = exporter_->try_steal();
   }
+  telemetry::SpanContext serve;
+  if (cfg_.spans != nullptr && req.span.sampled()) {
+    // steal.serve: the victim's side, child of the thief's steal span
+    // (forward arrow); its id rides on the reply for the return arrow.
+    serve = telemetry::child_of(req.span, 0x76696374 /* 'vict' */);
+    cfg_.spans->record(serve, telemetry::SpanPhase::kStealServe, t0,
+                       trace_now(), /*aborted=*/!region.has_value());
+  }
   StealReply reply{req.worker, region.has_value(),
-                   region.value_or(dnc::Region{})};
+                   region.value_or(dnc::Region{}), serve};
   if (!transport_.send(cfg_.id, req.thief, net::Tag::kStealReply,
                        std::move(reply))) {
     if (region.has_value()) {
@@ -635,16 +732,27 @@ void MeshNode::on_steal_request(const StealRequest& req) {
     // and the master's ledger must re-grant it if the *thief* dies (the
     // victim's own death no longer covers these pairs).
     transport_.send(cfg_.id, current_master(), net::Tag::kFailover,
-                    StealExport{*region, req.thief});
+                    StealExport{*region, req.thief, serve});
   }
 }
 
 void MeshNode::on_steal_reply(const StealReply& reply) {
   auto& cell = *cells_[reply.worker % cells_.size()];
+  telemetry::SpanContext steal_ctx;
   {
     std::scoped_lock lock(cell.mutex);
     if (cell.outstanding > 0) --cell.outstanding;
     if (reply.has_region) cell.regions.push_back(reply.region);
+    steal_ctx = std::exchange(cell.span, telemetry::SpanContext{});
+  }
+  if (cfg_.spans != nullptr && steal_ctx.sampled()) {
+    const double now = trace_now();
+    cfg_.spans->close(steal_ctx.span_id, now, /*aborted=*/!reply.has_region);
+    if (reply.span.sampled()) {
+      // Return edge: the reply's arrival, child of the victim's serve.
+      record_child_span(reply.span, 0x61646f70 /* 'adop' */,
+                        telemetry::SpanPhase::kSteal, now, now);
+    }
   }
   cell.cv.notify_all();
 }
@@ -663,6 +771,12 @@ void MeshNode::on_result_msg(const ResultMsg& msg) {
   // corpse (whose sends already fail) — a live non-master never receives
   // one, but guard anyway: acting would fork the aggregation.
   if (!is_master()) return;
+  if (msg.span.sampled()) {
+    // Arrival edge of a sampled result-delivery hop (worker → master).
+    const double now = trace_now();
+    record_child_span(msg.span, 0x6d737472 /* 'mstr' */,
+                      telemetry::SpanPhase::kDeliver, now, now);
+  }
   ++failover_.results_received;
   if (ledger_ != nullptr &&
       !ledger_->record(msg.result.left, msg.result.right)) {
@@ -979,6 +1093,13 @@ void MeshNode::on_node_down(const NodeDown& down, NodeId from) {
 }
 
 void MeshNode::on_steal_export(const StealExport& exp) {
+  if (exp.span.sampled()) {
+    // Third leg of a sampled steal: the lease-transfer notice reaching
+    // the master (victim → master arrow, child of the serve span).
+    const double now = trace_now();
+    record_child_span(exp.span, 0x78707274 /* 'xprt' */,
+                      telemetry::SpanPhase::kSteal, now, now);
+  }
   if (ledger_ == nullptr || exp.thief >= transport_.num_nodes()) return;
   if (!dead_[exp.thief].load(std::memory_order_acquire)) {
     ledger_->transfer(exp.region, exp.thief);
@@ -990,6 +1111,12 @@ void MeshNode::on_steal_export(const StealExport& exp) {
 }
 
 void MeshNode::on_region_grant(const RegionGrant& grant) {
+  if (grant.span.sampled()) {
+    // Adoption edge of a sampled re-grant (master → survivor arrow).
+    const double now = trace_now();
+    record_child_span(grant.span, 0x61646f70 /* 'adop' */,
+                      telemetry::SpanPhase::kGrant, now, now);
+  }
   {
     std::scoped_lock lock(mutex_);
     orphans_.push_back(grant.region);
@@ -1039,8 +1166,22 @@ void MeshNode::regrant_region(const dnc::Region& region) {
 void MeshNode::regrant_region_to(const dnc::Region& region, NodeId to) {
   if (to != cfg_.id) {
     ledger_->grant(to, region, /*reexecution=*/true);
+    telemetry::SpanContext grant;
+    double t0 = 0.0;
+    if (tracing()) {
+      // region.grant roots its own mesh trace (same key counter as the
+      // steal spans, so keys never collide within this node).
+      grant = mesh_trace(
+          (std::uint64_t{cfg_.id} << 40) ^
+          trace_key_seq_.fetch_add(1, std::memory_order_relaxed));
+      t0 = trace_now();
+    }
     if (transport_.send(cfg_.id, to, net::Tag::kFailover,
-                        RegionGrant{region, death_epoch_})) {
+                        RegionGrant{region, death_epoch_, grant})) {
+      if (cfg_.spans != nullptr && grant.sampled()) {
+        cfg_.spans->record(grant, telemetry::SpanPhase::kGrant, t0,
+                           trace_now());
+      }
       return;
     }
     // The chosen survivor is unreachable after all: take the lease back
@@ -1115,6 +1256,15 @@ void MeshNode::on_telemetry(const TelemetrySnapshot& snap) {
       const std::uint32_t lanes = std::max(s.last.lanes, 1u);
       ns.busy_fraction = (s.last.busy_seconds - s.prev.busy_seconds) /
                          (dt * static_cast<double>(lanes));
+    }
+    // Staleness fix: a publisher two intervals silent is not still
+    // delivering at its last-known rate — the frozen delta above would
+    // otherwise report a phantom rate for as long as the node stays
+    // quiet (a dead node's last sample never decays). Zero the
+    // instantaneous fields; the cumulative stats keep their last sample.
+    if (!ns.alive || ns.age_seconds > 2.0 * cfg_.snapshot_interval_s) {
+      ns.pairs_per_sec = 0.0;
+      ns.busy_fraction = 0.0;
     }
     const std::uint64_t lookups = s.last.cache_hits + s.last.cache_fills;
     if (lookups > 0) {

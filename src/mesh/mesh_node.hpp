@@ -152,6 +152,22 @@ class MeshNode final : public runtime::PeerFetchClient {
     /// re-grants); owned by the caller, may be null.
     telemetry::EventLog* events = nullptr;
 
+    // --- causal tracing (DESIGN.md §16) ---
+
+    /// Sampled-span sink shared with this node's runtime; null disables
+    /// causal tracing at the mesh layer.
+    telemetry::SpanLog* spans = nullptr;
+
+    /// Black-box ring of recent span/transport events, dumped to the
+    /// checkpoint store post-mortem. Null disables.
+    telemetry::FlightRecorder* flight = nullptr;
+
+    /// Deterministic message-level sampling for spans the mesh roots
+    /// itself (steals, re-grants, result-delivery hops): every Nth by
+    /// seeded hash. 0 disables mesh-rooted spans; propagated contexts on
+    /// incoming messages are honoured regardless.
+    std::uint32_t trace_sample_n = 0;
+
     /// Master only: fired on the service thread with each fresh
     /// ClusterSnapshot (once per master snapshot interval).
     std::function<void(const telemetry::ClusterSnapshot&)> on_snapshot;
@@ -244,7 +260,11 @@ class MeshNode final : public runtime::PeerFetchClient {
   // ---- NodeRuntime wiring (MeshPort hooks) ----
 
   /// PeerFetchClient: mediator lookup + candidate chain walk, §4.1.3.
-  void fetch(ItemId item, DoneFn done) override;
+  /// A sampled `ctx` opens a peer.fetch span closed by complete_fetch
+  /// (aborted when the fetch failed), and rides the request across the
+  /// wire so the serving candidate's span links back (DESIGN.md §16).
+  void fetch(ItemId item, DoneFn done,
+             telemetry::SpanContext ctx = {}) override;
 
   /// Cross-node steal with a bounded reply wait; nullopt on timeout,
   /// empty-handed victim, or cluster completion. Nodes declared dead are
@@ -304,6 +324,7 @@ class MeshNode final : public runtime::PeerFetchClient {
     std::condition_variable cv;
     std::deque<dnc::Region> regions;  // stolen regions awaiting pickup
     std::uint32_t outstanding = 0;    // unanswered requests
+    telemetry::SpanContext span;      // in-flight steal's context (§16)
     Rng rng{1};
   };
 
@@ -314,6 +335,7 @@ class MeshNode final : public runtime::PeerFetchClient {
     std::uint32_t attempts = 0;
     std::chrono::steady_clock::time_point deadline{};
     std::chrono::steady_clock::time_point t0{};  // issue time (latency)
+    telemetry::SpanContext span;  // sampled peer.fetch span (§16)
   };
 
   /// Master-side telemetry fold state for one publisher (service thread
@@ -396,9 +418,10 @@ class MeshNode final : public runtime::PeerFetchClient {
   NodeId pick_survivor();
 
   /// Forward the probe to chain[index], skipping unreachable candidates;
-  /// an exhausted chain reports a miss to the requester.
+  /// an exhausted chain reports a miss to the requester. `span` is the
+  /// requester's causal context, carried along the whole chain walk.
   void forward_probe(ItemId item, NodeId requester, std::vector<NodeId> chain,
-                     std::uint32_t index);
+                     std::uint32_t index, const telemetry::SpanContext& span);
 
   /// Resolve the pending fetch for `item` and record the chain outcome.
   void complete_fetch(ItemId item, runtime::PeerPayload payload,
@@ -407,6 +430,28 @@ class MeshNode final : public runtime::PeerFetchClient {
   bool is_master() const {
     return cfg_.id == master_.load(std::memory_order_acquire);
   }
+
+  // --- causal tracing helpers (DESIGN.md §16) ---
+
+  bool tracing() const {
+    return cfg_.spans != nullptr && cfg_.trace_sample_n > 0;
+  }
+
+  /// Seconds since the process trace epoch (the span timeline).
+  static double trace_now();
+
+  /// Root context for a mesh-originated trace (steal, grant, deliver),
+  /// deterministically sampled by `key` under the node seed.
+  telemetry::SpanContext mesh_trace(std::uint64_t key) const {
+    return tracing() ? telemetry::make_trace(cfg_.seed, key,
+                                             cfg_.trace_sample_n)
+                     : telemetry::SpanContext{};
+  }
+
+  /// Record a closed child span of `parent` on this node's span log.
+  void record_child_span(const telemetry::SpanContext& parent,
+                         std::uint64_t salt, telemetry::SpanPhase phase,
+                         double start, double end);
 
   static constexpr NodeId kNoNode = ~NodeId{0};
 
@@ -432,6 +477,7 @@ class MeshNode final : public runtime::PeerFetchClient {
   telemetry::Counter* fetch_retries_ = nullptr;
   telemetry::Counter* frame_corrupt_ = nullptr;
   std::atomic<std::uint64_t> remote_steal_count_{0};
+  std::atomic<std::uint64_t> trace_key_seq_{0};  // mesh-rooted trace keys
 
   /// Separate lock for the probe pointer: serving a probe copies a whole
   /// slot-sized buffer, which must not stall requester-side fetch

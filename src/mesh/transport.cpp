@@ -30,9 +30,16 @@ void fold_region(std::uint32_t& crc, const dnc::Region& r) {
   fold(crc, r.depth);
 }
 
+void fold_span(std::uint32_t& crc, const telemetry::SpanContext& s) {
+  fold(crc, s.trace_id);
+  fold(crc, s.span_id);
+  fold(crc, s.parent_id);
+}
+
 void fold_body(std::uint32_t& crc, const CacheRequest& b) {
   fold(crc, b.item);
   fold(crc, b.requester);
+  fold_span(crc, b.span);
 }
 
 void fold_body(std::uint32_t& crc, const CacheProbe& b) {
@@ -41,6 +48,7 @@ void fold_body(std::uint32_t& crc, const CacheProbe& b) {
   fold(crc, static_cast<std::uint64_t>(b.chain.size()));
   for (const NodeId node : b.chain) fold(crc, node);
   fold(crc, b.index);
+  fold_span(crc, b.span);
 }
 
 void fold_body(std::uint32_t& crc, const CacheData& b) {
@@ -49,28 +57,33 @@ void fold_body(std::uint32_t& crc, const CacheData& b) {
   fold_bool(crc, b.compressed);
   fold(crc, static_cast<std::uint64_t>(b.bytes.size()));
   crc = crc32_update(crc, b.bytes.data(), b.bytes.size());
+  fold_span(crc, b.span);
 }
 
 void fold_body(std::uint32_t& crc, const CacheFailure& b) {
   fold(crc, b.item);
   fold(crc, b.hops);
+  fold_span(crc, b.span);
 }
 
 void fold_body(std::uint32_t& crc, const StealRequest& b) {
   fold(crc, b.thief);
   fold(crc, b.worker);
+  fold_span(crc, b.span);
 }
 
 void fold_body(std::uint32_t& crc, const StealReply& b) {
   fold(crc, b.worker);
   fold_bool(crc, b.has_region);
   fold_region(crc, b.region);
+  fold_span(crc, b.span);
 }
 
 void fold_body(std::uint32_t& crc, const ResultMsg& b) {
   fold(crc, b.result.left);
   fold(crc, b.result.right);
   fold(crc, b.result.score);
+  fold_span(crc, b.span);
 }
 
 void fold_body(std::uint32_t& crc, const Heartbeat& b) {
@@ -86,11 +99,13 @@ void fold_body(std::uint32_t& crc, const NodeDown& b) {
 void fold_body(std::uint32_t& crc, const StealExport& b) {
   fold_region(crc, b.region);
   fold(crc, b.thief);
+  fold_span(crc, b.span);
 }
 
 void fold_body(std::uint32_t& crc, const RegionGrant& b) {
   fold_region(crc, b.region);
   fold(crc, b.epoch);
+  fold_span(crc, b.span);
 }
 
 void fold_body(std::uint32_t& crc, const TelemetrySnapshot& b) {

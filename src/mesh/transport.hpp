@@ -32,6 +32,7 @@
 #include "net/tag.hpp"
 #include "runtime/application.hpp"
 #include "telemetry/snapshot.hpp"
+#include "telemetry/span.hpp"
 
 namespace rocket::mesh {
 
@@ -44,6 +45,7 @@ using runtime::ItemId;
 struct CacheRequest {
   ItemId item = 0;
   NodeId requester = 0;
+  telemetry::SpanContext span;  // causal context (DESIGN.md §16); 0 ids = unsampled
 };
 
 /// Mediator/candidate → candidate chain[index]: probe for the item; on a
@@ -53,6 +55,7 @@ struct CacheProbe {
   NodeId requester = 0;
   std::vector<NodeId> chain;
   std::uint32_t index = 0;
+  telemetry::SpanContext span;
 };
 
 /// Candidate → requester: the host-level item payload, found at 1-based
@@ -65,6 +68,7 @@ struct CacheData {
   std::uint32_t hop = 0;
   bool compressed = false;
   runtime::HostBuffer bytes;
+  telemetry::SpanContext span;  // serving candidate's span (flow arrow source)
 };
 
 /// Exhausted chain → requester: distributed-cache miss after `hops`
@@ -72,12 +76,14 @@ struct CacheData {
 struct CacheFailure {
   ItemId item = 0;
   std::uint32_t hops = 0;
+  telemetry::SpanContext span;
 };
 
 /// Idle worker `worker` on node `thief` → victim node.
 struct StealRequest {
   NodeId thief = 0;
   std::uint32_t worker = 0;
+  telemetry::SpanContext span;
 };
 
 /// Victim → thief: a region, or empty-handed.
@@ -85,11 +91,13 @@ struct StealReply {
   std::uint32_t worker = 0;
   bool has_region = false;
   dnc::Region region;
+  telemetry::SpanContext span;  // victim's serve span (flow arrow source)
 };
 
 /// Worker node → master: one completed pair.
 struct ResultMsg {
   runtime::PairResult result{0, 0, 0.0};
+  telemetry::SpanContext span;  // sampled deliver hop (every Nth message)
 };
 
 /// Node → master: periodic liveness lease renewal. The master's failure
@@ -116,6 +124,7 @@ struct NodeDown {
 struct StealExport {
   dnc::Region region;
   NodeId thief = 0;
+  telemetry::SpanContext span;
 };
 
 /// Master → survivor: re-execution lease for a dead node's uncompleted
@@ -125,6 +134,7 @@ struct StealExport {
 struct RegionGrant {
   dnc::Region region;
   std::uint32_t epoch = 0;  // re-execution epoch of the region's pairs
+  telemetry::SpanContext span;
 };
 
 /// Node → master: periodic metrics sample on the heartbeat ticker

@@ -54,6 +54,26 @@ void retry_backoff(std::uint32_t attempt) {
   kGrantRetry.sleep_for(attempt, attempt);
 }
 
+/// Causal-trace timestamps live on the shared cluster timeline (seconds
+/// since telemetry::process_epoch(), DESIGN.md §16).
+double trace_now() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       telemetry::process_epoch())
+      .count();
+}
+
+/// Sampling key of a tile: a hash of its region identity, so the sampled
+/// population is a pure function of the pair-space decomposition and the
+/// run seed — replays trace the same tiles.
+std::uint64_t tile_trace_key(const dnc::Region& r) {
+  std::uint64_t key = telemetry::span_mix(0x74696c65 /* 'tile' */);
+  key = telemetry::span_mix(key ^ r.row_begin);
+  key = telemetry::span_mix(key ^ r.row_end);
+  key = telemetry::span_mix(key ^ r.col_begin);
+  key = telemetry::span_mix(key ^ r.col_end);
+  return key;
+}
+
 /// Worker thread body: drain a queue in batches. The queue closes at
 /// shutdown.
 void drain(MpmcQueue<Task>& queue) {
@@ -408,6 +428,17 @@ void start_host_fill(LoadOp* op) {
     run_load(op);
     return;
   }
+  // Item-rooted fetch trace (DESIGN.md §16): batched acquires decouple
+  // items from tiles — several tiles can wait on one load — so the peer
+  // fetch samples by item identity, not tile identity. The mesh layer
+  // opens/closes the peer.fetch span; we only root the context here.
+  telemetry::SpanContext ctx;
+  if (eng.cfg.span_log != nullptr && eng.cfg.trace_sample_n > 0) {
+    ctx = telemetry::make_trace(
+        eng.cfg.seed,
+        telemetry::span_mix(0x6974656d /* 'item' */) ^ op->item,
+        eng.cfg.trace_sample_n);
+  }
   // The completion may arrive on a mesh service thread, which outlives
   // this engine. Hold the in-flight gauge across the callback so run_impl
   // cannot tear the engine down while the handoff (the queue push below)
@@ -442,7 +473,7 @@ void start_host_fill(LoadOp* op) {
       stage_h2d_from_host(op, hslot);
     });
     engine.done->count_down();  // handoff complete: engine may wind down
-  });
+  }, ctx);
 }
 
 void handle_host_grant(LoadOp* op, Grant grant) {
@@ -745,6 +776,12 @@ struct TileJob final : LoadClient {
   /// Submission stamp: tile.load_wait measures to working-set-resolved,
   /// tile.latency to results-flushed (DESIGN.md §13).
   Profiler::Clock::time_point t_submit_;
+  /// Sampled causal trace of this tile (DESIGN.md §16). Unsampled tiles
+  /// carry a zero context and every instrumentation site below exits on
+  /// one branch. t_park < 0 means the tile never waited at the gate.
+  telemetry::SpanContext trace_ctx;
+  double t_trace_submit = 0.0;
+  double t_park = -1.0;
 
   TileJob(Engine& engine, DeviceState& device, std::uint32_t worker_id,
           bool prefetch, const dnc::Region& r)
@@ -754,6 +791,15 @@ struct TileJob final : LoadClient {
         t_submit_(Profiler::Clock::now()) {
     slots.assign(items.size(), cache::kInvalidSlot);
     load_failed.assign(items.size(), 0);
+    if (eng.cfg.span_log != nullptr && eng.cfg.trace_sample_n > 0) {
+      trace_ctx = telemetry::make_trace(eng.cfg.seed, tile_trace_key(r),
+                                        eng.cfg.trace_sample_n);
+      if (trace_ctx.sampled()) {
+        t_trace_submit = trace_now();
+        eng.cfg.span_log->open(trace_ctx, telemetry::SpanPhase::kTile,
+                               t_trace_submit);
+      }
+    }
   }
 
   double seconds_since_submit() const {
@@ -865,9 +911,18 @@ struct TileJob final : LoadClient {
   /// can be in flight, so this is pass-through.
   void request_compute() {
     eng.tile_load_wait->record_seconds(seconds_since_submit());
+    if (trace_ctx.sampled()) {
+      // load.wait child: submit -> whole working set resident. Overlaps
+      // any peer.fetch spans of the items it waited on (item-rooted
+      // traces; the DAGs join here in wall time, not by parent link).
+      eng.cfg.span_log->record(
+          telemetry::child_of(trace_ctx, 0x6c6f6164 /* 'load' */),
+          telemetry::SpanPhase::kLoadWait, t_trace_submit, trace_now());
+    }
     {
       std::scoped_lock lock(dev.gate_mutex);
       if (dev.compute_tokens == 0) {
+        if (trace_ctx.sampled()) t_park = trace_now();
         dev.ready_tiles.push_back(this);
         eng.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
         if (eng.cfg.event_log != nullptr) {
@@ -888,6 +943,17 @@ struct TileJob final : LoadClient {
   /// round trip.
   void compare_all() {
     dev.gpu_q.push([this] {
+      double t_compute = 0.0;
+      if (trace_ctx.sampled()) {
+        t_compute = trace_now();
+        if (t_park >= 0.0) {
+          // compute.gate.park child: working set resident but the compute
+          // stage was full — the prefetch shadow made visible.
+          eng.cfg.span_log->record(
+              telemetry::child_of(trace_ctx, 0x7061726b /* 'park' */),
+              telemetry::SpanPhase::kGatePark, t_park, t_compute);
+        }
+      }
       results.clear();
       results.reserve(static_cast<std::size_t>(pair_count));
       pair_failed.clear();
@@ -913,6 +979,11 @@ struct TileJob final : LoadClient {
         pair_failed.push_back(failed ? 1 : 0);
       });
       stretch_kernel(eng, dev, t0);
+      if (trace_ctx.sampled()) {
+        eng.cfg.span_log->record(
+            telemetry::child_of(trace_ctx, 0x636d7074 /* 'cmpt' */),
+            telemetry::SpanPhase::kCompute, t_compute, trace_now());
+      }
       TileJob* next = nullptr;
       {
         std::scoped_lock lock(dev.gate_mutex);
@@ -932,6 +1003,7 @@ struct TileJob final : LoadClient {
   /// the result consumer in one bulk queue push, release every pin in one
   /// batched (per-shard) pass.
   void finish() {
+    const double t_deliver = trace_ctx.sampled() ? trace_now() : 0.0;
     // Failed pairs keep their NaN sentinel (matching Job::fail_pair);
     // every successful compare goes through postprocess, even if the
     // application's compare legitimately returned NaN — result streams
@@ -946,6 +1018,16 @@ struct TileJob final : LoadClient {
     eng.result_depth->add(static_cast<std::int64_t>(flushed));
     eng.result_q.push_bulk(results);
     eng.tile_latency->record_seconds(seconds_since_submit());
+    if (trace_ctx.sampled()) {
+      // result.deliver child covers postprocess + the bulk flush; the tile
+      // root closes with it. The cross-node deliver hop (ResultMsg to the
+      // master) is recorded by the mesh layer with its own context.
+      const double now = trace_now();
+      eng.cfg.span_log->record(
+          telemetry::child_of(trace_ctx, 0x646c7672 /* 'dlvr' */),
+          telemetry::SpanPhase::kDeliver, t_deliver, now);
+      eng.cfg.span_log->close(trace_ctx.span_id, now);
+    }
     std::vector<cache::SlotId> pins;
     pins.reserve(items.size());
     for (std::size_t k = 0; k < items.size(); ++k) {
@@ -1325,6 +1407,12 @@ NodeRuntime::Report NodeRuntime::run_impl(const Application& app,
     report.trace.spans_dropped = report.spans_dropped;
     if (config_.event_log != nullptr) {
       report.trace.events = config_.event_log->events();
+    }
+    if (config_.span_log != nullptr) {
+      // Mesh-side spans (steal serves, late result hops) may land after
+      // this snapshot; LiveCluster re-reads the shared log once every
+      // node has joined. This copy keeps the single-node path complete.
+      report.trace.causal_spans = config_.span_log->records();
     }
   }
   return report;

@@ -183,6 +183,18 @@ class NodeRuntime {
     /// Optional sink for discrete trace events (prefetch parks); shared
     /// with the mesh layer's event stream by LiveCluster. May be null.
     telemetry::EventLog* event_log = nullptr;
+
+    // --- causal tracing (DESIGN.md §16) ---
+
+    /// Sampled causal-span sink (shared with the mesh layer by
+    /// LiveCluster; owned by the caller). Null disables tile span DAGs.
+    telemetry::SpanLog* span_log = nullptr;
+
+    /// Every Nth tile — deterministically, by region identity under
+    /// `seed` — gets a full causal trace rooted at its tile span; item
+    /// peer-fetches sample by item identity under the same knob. 0
+    /// disables sampling entirely.
+    std::uint32_t trace_sample_n = 0;
   };
 
   struct Report {

@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "runtime/application.hpp"
+#include "telemetry/span.hpp"
 
 namespace rocket::runtime {
 
@@ -41,8 +42,11 @@ class PeerFetchClient {
   /// never block the caller beyond bounded bookkeeping, and must always
   /// complete (failures included) so the load pipeline cannot hang — a
   /// dead mediator or candidate degrades to the local-load path (§6.1
-  /// no-hang invariant).
-  virtual void fetch(ItemId item, DoneFn done) = 0;
+  /// no-hang invariant). `ctx` is the sampled causal context of the fetch
+  /// (DESIGN.md §16); a default-constructed context means unsampled and
+  /// must cost nothing.
+  virtual void fetch(ItemId item, DoneFn done,
+                     telemetry::SpanContext ctx = {}) = 0;
 };
 
 /// Candidate side: non-disruptive read access to a live engine's host

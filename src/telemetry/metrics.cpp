@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 namespace rocket::telemetry {
 
@@ -123,6 +124,68 @@ const HistogramSnapshot* MetricsSnapshot::histogram(
     if (h.name == name) return &h;
   }
   return nullptr;
+}
+
+namespace {
+
+/// Prometheus metric name: "rocket_" prefix, every character outside
+/// [a-zA-Z0-9_] replaced by '_' ("peer_fetch.hit" -> rocket_peer_fetch_hit).
+std::string prom_name(const std::string& name) {
+  std::string out = "rocket_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void append_sample(std::string& out, const std::string& name,
+                   const std::string& labels, double value) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s%s %.17g\n", name.c_str(),
+                labels.c_str(), value);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::expose_text() const {
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " counter\n";
+    append_sample(out, p, "", static_cast<double>(v));
+  }
+  for (const auto& [name, v] : gauges) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    append_sample(out, p, "", static_cast<double>(v));
+  }
+  for (const auto& h : histograms) {
+    const std::string p = prom_name(h.name) + "_seconds";
+    out += "# TYPE " + p + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;  // elide empty buckets
+      cumulative += h.buckets[b];
+      // Exclusive upper bound of the log bucket, in seconds.
+      const double le =
+          static_cast<double>(HistogramSnapshot::bucket_floor_ns(b + 1)) *
+          1e-9;
+      char labels[64];
+      std::snprintf(labels, sizeof(labels), "{le=\"%.9g\"}", le);
+      append_sample(out, p + "_bucket", labels,
+                    static_cast<double>(cumulative));
+    }
+    append_sample(out, p + "_bucket", "{le=\"+Inf\"}",
+                  static_cast<double>(h.count));
+    append_sample(out, p + "_sum", "",
+                  static_cast<double>(h.sum_ns) * 1e-9);
+    append_sample(out, p + "_count", "", static_cast<double>(h.count));
+  }
+  return out;
 }
 
 MetricsSnapshot& MetricsSnapshot::operator+=(const MetricsSnapshot& other) {

@@ -195,6 +195,13 @@ struct MetricsSnapshot {
 
   /// Merge by name: same-name instruments add, new names append.
   MetricsSnapshot& operator+=(const MetricsSnapshot& other);
+
+  /// Prometheus text exposition format (version 0.0.4): every counter and
+  /// gauge as a sample, every latency histogram as a cumulative-bucket
+  /// histogram family in seconds. Names are prefixed "rocket_" and
+  /// sanitised ('.' and other non-[a-zA-Z0-9_] become '_'). Empty
+  /// buckets are elided except the mandatory {le="+Inf"}.
+  std::string expose_text() const;
 };
 
 class MetricsRegistry {
@@ -215,6 +222,9 @@ class MetricsRegistry {
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   MetricsSnapshot snapshot() const;
+
+  /// snapshot() rendered in the Prometheus text exposition format.
+  std::string expose_text() const { return snapshot().expose_text(); }
 
  private:
   std::atomic<bool> enabled_;

@@ -196,6 +196,48 @@ std::string RunSummary::to_json() const {
   w.key("metrics");
   write_metrics(w, r.metrics);
 
+  // Critical-path attribution (DESIGN.md §16). Always present so the
+  // schema check is unconditional; with tracing off the window is 100%
+  // idle and slowest_tiles is empty. Percentages sum to 100 by
+  // construction (idle is the uncovered remainder).
+  w.key("critical_path").begin_object();
+  w.field("wall_seconds", r.critical_path.window_seconds)
+      .field("spans_analyzed",
+             static_cast<std::uint64_t>(r.critical_path.spans_analyzed))
+      .field("spans_aborted", r.spans_aborted)
+      .field("flight_dumps", r.flight_dumps);
+  w.key("phases").begin_array();
+  for (std::size_t i = 0; i < kPathPhases; ++i) {
+    const auto phase = static_cast<PathPhase>(i);
+    w.begin_object()
+        .field("phase", path_phase_name(phase))
+        .field("seconds", r.critical_path.phases[i].seconds)
+        .field("percent", r.critical_path.phases[i].percent)
+        .end_object();
+  }
+  w.end_array();
+  w.key("slowest_tiles").begin_array();
+  for (const auto& tile : r.critical_path.slowest) {
+    w.begin_object()
+        .field("trace", tile.trace_id)
+        .field("node", tile.node)
+        .field("seconds", tile.seconds);
+    w.key("chain").begin_array();
+    for (const auto& span : tile.chain) {
+      w.begin_object()
+          .field("phase", span_phase_name(span.phase))
+          .field("node", span.node)
+          .field("start", span.start)
+          .field("end", span.end)
+          .field("aborted", span.aborted)
+          .end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
   w.key("nodes").begin_array();
   for (std::size_t i = 0; i < r.nodes.size(); ++i) {
     const auto& node = r.nodes[i];

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "runtime/profiler.hpp"
+#include "telemetry/span.hpp"
 
 namespace rocket::telemetry {
 
@@ -85,6 +86,11 @@ struct NodeTrace {
   double epoch_offset_s = 0.0;
   std::vector<runtime::Profiler::LaneView> lanes;
   std::vector<TraceEvent> events;
+  /// Sampled causal spans (DESIGN.md §16). Already on the process
+  /// timeline — no epoch offset applies. Rendered on a dedicated
+  /// "causal" lane, with "s"/"f" flow arrows between nodes wherever a
+  /// span's parent lives on a different node.
+  std::vector<SpanRecord> causal_spans;
   std::uint64_t spans_dropped = 0;
 };
 

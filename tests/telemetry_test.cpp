@@ -15,13 +15,16 @@
 
 #include "apps/forensics.hpp"
 #include "common/log.hpp"
+#include "dnc/pair_space.hpp"
 #include "mesh/live_cluster.hpp"
 #include "mesh/transport.hpp"
 #include "runtime/profiler.hpp"
 #include "storage/object_store.hpp"
+#include "telemetry/critical_path.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/run_summary.hpp"
 #include "telemetry/snapshot.hpp"
+#include "telemetry/span.hpp"
 #include "telemetry/trace.hpp"
 
 namespace rocket::telemetry {
@@ -349,6 +352,333 @@ TEST(Profiler, DisabledRecordIsANoOp) {
   profiler.record(lane, TaskKind::kCompare, t0, t0 + std::chrono::seconds(1));
   EXPECT_EQ(profiler.lanes_view()[0].spans.size(), 0u);
   EXPECT_DOUBLE_EQ(profiler.lane_busy_seconds(lane), 0.0);
+}
+
+// --- causal tracing (DESIGN.md §16) ---------------------------------------
+
+TEST(Span, MakeTraceIsDeterministicAndSamplesEveryNth) {
+  // Same (seed, key, n) → byte-identical context: replays trace the same
+  // population.
+  const auto a = make_trace(42, 1234, 8);
+  const auto b = make_trace(42, 1234, 8);
+  EXPECT_EQ(a.trace_id, b.trace_id);
+  EXPECT_EQ(a.span_id, b.span_id);
+  EXPECT_EQ(a.parent_id, 0u);
+
+  EXPECT_FALSE(make_trace(42, 1234, 0).sampled());  // 0 disables
+  EXPECT_TRUE(make_trace(42, 1234, 1).sampled());   // 1 traces everything
+
+  // n = 8 samples roughly every 8th key (hash-based, so statistical).
+  std::size_t sampled = 0;
+  constexpr std::size_t kKeys = 8000;
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    if (make_trace(42, k, 8).sampled()) ++sampled;
+  }
+  EXPECT_GT(sampled, kKeys / 16);
+  EXPECT_LT(sampled, kKeys / 4);
+
+  // Different seeds pick different populations.
+  std::size_t differs = 0;
+  for (std::size_t k = 0; k < 100; ++k) {
+    if (make_trace(1, k, 4).sampled() != make_trace(2, k, 4).sampled()) {
+      ++differs;
+    }
+  }
+  EXPECT_GT(differs, 0u);
+}
+
+TEST(Span, ChildIdsDeriveIdenticallyOnBothEndsOfAHop) {
+  const auto root = make_trace(7, 99, 1);
+  ASSERT_TRUE(root.sampled());
+  // Both ends of a message hop hold the same parent context, so both
+  // derive the same child id without coordination.
+  const auto sender_view = child_of(root, 0x73657276);
+  const auto receiver_view = child_of(root, 0x73657276);
+  EXPECT_EQ(sender_view.span_id, receiver_view.span_id);
+  EXPECT_EQ(sender_view.trace_id, root.trace_id);
+  EXPECT_EQ(sender_view.parent_id, root.span_id);
+  // Different salts fan out to different children of the same parent.
+  EXPECT_NE(child_of(root, 1).span_id, child_of(root, 2).span_id);
+}
+
+TEST(SpanLog, OpenCloseAbortAccounting) {
+  SpanLog log(3);
+  const auto t1 = make_trace(1, 0, 1);
+  const auto t2 = make_trace(1, 1, 1);
+  const auto t3 = make_trace(1, 2, 1);
+  log.open(t1, SpanPhase::kTile, 1.0);
+  log.open(t2, SpanPhase::kPeerFetch, 1.5);
+  log.open(t3, SpanPhase::kSteal, 2.0);
+  EXPECT_EQ(log.open_count(), 3u);
+
+  EXPECT_TRUE(log.close(t1.span_id, 3.0));
+  EXPECT_FALSE(log.close(t1.span_id, 3.0));  // already closed: no-op
+  EXPECT_FALSE(log.close(0xdead, 3.0));      // unknown id: no-op
+  EXPECT_EQ(log.open_count(), 2u);
+
+  // The teardown sweep (satellite-3 invariant): every straggler closes
+  // with the aborted flag; nothing leaks.
+  EXPECT_EQ(log.abort_open(4.0), 2u);
+  EXPECT_EQ(log.open_count(), 0u);
+  EXPECT_EQ(log.aborted_count(), 2u);
+
+  const auto records = log.records();
+  ASSERT_EQ(records.size(), 3u);
+  std::size_t aborted = 0;
+  for (const auto& span : records) {
+    EXPECT_GE(span.end, span.start);
+    EXPECT_EQ(span.node, 3u);
+    if (span.aborted) ++aborted;
+  }
+  EXPECT_EQ(aborted, 2u);
+}
+
+TEST(SpanLog, DropsPastCapacityAndCounts) {
+  SpanLog log(0, /*capacity=*/2);
+  for (int i = 0; i < 5; ++i) {
+    log.record(make_trace(1, static_cast<std::uint64_t>(i), 1),
+               SpanPhase::kCompute, 0.0, 1.0);
+  }
+  EXPECT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.dropped(), 3u);
+}
+
+TEST(FlightRecorder, ConcurrentWritersKeepLastK) {
+  FlightRecorder ring(256);
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        ring.record(static_cast<std::uint16_t>(kFlightMessageBase + t),
+                    static_cast<std::uint32_t>(t), i, i + 1, i, i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(ring.total_recorded(), kThreads * kPerThread);
+  const auto dump = ring.dump();
+  EXPECT_EQ(dump.size(), 256u);  // exactly the last K survive
+  // Oldest-first order by claim sequence.
+  const auto lines = ring.dump_json_lines();
+  std::size_t newlines = std::count(lines.begin(), lines.end(), '\n');
+  EXPECT_EQ(newlines, dump.size());
+}
+
+TEST(FlightRecorder, SpanLogTeesClosesIntoTheRing) {
+  FlightRecorder ring(16);
+  SpanLog log(1, 64, &ring);
+  const auto ctx = make_trace(3, 5, 1);
+  log.record(ctx, SpanPhase::kCompute, 0.25, 0.75);
+  const auto dump = ring.dump();
+  ASSERT_EQ(dump.size(), 1u);
+  EXPECT_EQ(dump[0].kind,
+            static_cast<std::uint16_t>(SpanPhase::kCompute));
+  EXPECT_EQ(dump[0].node, 1u);
+  EXPECT_EQ(dump[0].trace_id, ctx.trace_id);
+  EXPECT_EQ(dump[0].a, 250000u);  // start in µs
+  EXPECT_EQ(dump[0].b, 750000u);  // end in µs
+}
+
+TEST(CriticalPath, HighestPriorityPhaseWinsAndIdleIsRemainder) {
+  // Window [0, 1]. Load covers [0.1, 0.6), compute covers [0.2, 0.5) on
+  // top of it; compute outranks load, so load keeps only its uncovered
+  // flanks. Everything outside [0.1, 0.6) is idle.
+  std::vector<SpanRecord> spans;
+  SpanRecord load;
+  load.ctx = make_trace(1, 0, 1);
+  load.phase = SpanPhase::kLoadWait;
+  load.start = 0.1;
+  load.end = 0.6;
+  SpanRecord compute;
+  compute.ctx = make_trace(1, 1, 1);
+  compute.phase = SpanPhase::kCompute;
+  compute.start = 0.2;
+  compute.end = 0.5;
+  spans.push_back(load);
+  spans.push_back(compute);
+
+  const auto report = analyze_critical_path(spans, 0.0, 1.0);
+  EXPECT_EQ(report.spans_analyzed, 2u);
+  EXPECT_DOUBLE_EQ(report.window_seconds, 1.0);
+  const auto seconds = [&](PathPhase p) {
+    return report.phases[static_cast<std::size_t>(p)].seconds;
+  };
+  EXPECT_NEAR(seconds(PathPhase::kCompute), 0.3, 1e-9);
+  EXPECT_NEAR(seconds(PathPhase::kLoad), 0.2, 1e-9);
+  EXPECT_NEAR(seconds(PathPhase::kIdle), 0.5, 1e-9);
+  double total_percent = 0.0;
+  for (const auto& share : report.phases) total_percent += share.percent;
+  EXPECT_NEAR(total_percent, 100.0, 1e-6);
+}
+
+TEST(CriticalPath, RanksSlowestTilesWithTheirChains) {
+  std::vector<SpanRecord> spans;
+  const auto slow = make_trace(9, 0, 1);
+  const auto fast = make_trace(9, 1, 1);
+  SpanRecord tile;
+  tile.ctx = slow;
+  tile.phase = SpanPhase::kTile;
+  tile.start = 0.0;
+  tile.end = 0.8;
+  spans.push_back(tile);
+  SpanRecord child;
+  child.ctx = child_of(slow, 1);
+  child.phase = SpanPhase::kCompute;
+  child.start = 0.1;
+  child.end = 0.7;
+  spans.push_back(child);
+  SpanRecord quick;
+  quick.ctx = fast;
+  quick.phase = SpanPhase::kTile;
+  quick.start = 0.0;
+  quick.end = 0.2;
+  spans.push_back(quick);
+
+  const auto report = analyze_critical_path(spans, 0.0, 1.0, /*top_k=*/2);
+  ASSERT_EQ(report.slowest.size(), 2u);
+  EXPECT_EQ(report.slowest[0].trace_id, slow.trace_id);
+  EXPECT_NEAR(report.slowest[0].seconds, 0.8, 1e-9);
+  EXPECT_EQ(report.slowest[0].chain.size(), 2u);  // tile + its child
+  EXPECT_EQ(report.slowest[1].trace_id, fast.trace_id);
+}
+
+TEST(CriticalPath, EmptyInputIsAllIdle) {
+  const auto report = analyze_critical_path({}, 0.0, 2.0);
+  EXPECT_NEAR(report.percent(PathPhase::kIdle), 100.0, 1e-9);
+  EXPECT_TRUE(report.slowest.empty());
+}
+
+TEST(MetricsSnapshot, PrometheusTextExposition) {
+  MetricsRegistry registry(true);
+  registry.counter("peer_fetch.retry").add(3);
+  registry.gauge("result.queue_depth").add(7);
+  registry.histogram("tile.latency").record_ns(1000000);
+  registry.histogram("tile.latency").record_ns(4000000);
+  const std::string text = registry.expose_text();
+
+  // Names sanitise to the rocket_ prefix; dots become underscores.
+  EXPECT_NE(text.find("# TYPE rocket_peer_fetch_retry counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("rocket_peer_fetch_retry 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rocket_result_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("rocket_result_queue_depth 7"), std::string::npos);
+  // Histograms export as cumulative _seconds families.
+  EXPECT_NE(text.find("# TYPE rocket_tile_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("rocket_tile_latency_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("rocket_tile_latency_seconds_count 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("rocket_tile_latency_seconds_sum"),
+            std::string::npos);
+  // The exposition ends with a newline (required by the format).
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(TraceExporter, EmitsCausalSpansWithCrossNodeFlowArrows) {
+  const auto root = make_trace(11, 0, 1);
+  const auto serve = child_of(root, 0x73657276);
+
+  NodeTrace n0;  // requester: opens the peer.fetch root
+  n0.epoch_offset_s = 0.0;
+  SpanRecord fetch;
+  fetch.ctx = root;
+  fetch.phase = SpanPhase::kPeerFetch;
+  fetch.node = 0;
+  fetch.start = 0.001;
+  fetch.end = 0.004;
+  n0.causal_spans.push_back(fetch);
+
+  NodeTrace n1;  // server: records the serve child of the propagated ctx
+  n1.epoch_offset_s = 0.0;
+  SpanRecord served;
+  served.ctx = serve;
+  served.phase = SpanPhase::kPeerServe;
+  served.node = 1;
+  served.start = 0.002;
+  served.end = 0.003;
+  n1.causal_spans.push_back(served);
+
+  TraceExporter exporter;
+  exporter.add_node(0, n0);
+  exporter.add_node(1, n1);
+  const std::string json = exporter.to_json();
+
+  EXPECT_NE(json.find("\"peer.fetch\""), std::string::npos);
+  EXPECT_NE(json.find("\"peer.serve\""), std::string::npos);
+  // Parent on node 0, child on node 1 → one "s"/"f" flow pair binds the
+  // two slices across processes.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"causal\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+// Satellite 3: a node killed mid-run (its peer fetches in flight) must not
+// leak sampled spans — the teardown sweep closes every orphan with the
+// aborted flag, and the surviving spans still produce a coherent
+// critical-path attribution. Runs under TSAN in CI like the rest of this
+// binary, so it also exercises the tracing hot paths for races.
+TEST(LiveCluster, KilledNodeLeavesNoUnclosedSampledSpans) {
+  storage::MemoryStore mem;
+  apps::ForensicsConfig fc;
+  fc.cameras = 2;
+  fc.images_per_camera = 6;
+  fc.width = 64;
+  fc.height = 48;
+  fc.seed = 5;
+  apps::ForensicsDataset dataset(fc, mem);
+  apps::ForensicsApplication app(dataset);
+  // Slow loads keep peer fetches in flight when the kill lands.
+  storage::ThrottledStore store(mem, 1500);
+
+  mesh::LiveClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.node.host_cache_capacity = 8_MiB;
+  cfg.node.cpu_threads = 2;
+  cfg.node.trace = true;
+  cfg.trace_sample_n = 1;  // trace everything: maximal leak surface
+  cfg.heartbeat_interval_s = 0.005;
+  cfg.lease_timeout_s = 0.05;
+  cfg.fetch_timeout_s = 0.02;
+  mesh::Fault fault;
+  fault.node = 2;
+  fault.after_seconds = 0.02;
+  cfg.faults.faults.push_back(fault);
+
+  mesh::LiveCluster cluster(cfg);
+  std::atomic<std::uint64_t> pairs{0};
+  const auto report = cluster.run_all_pairs(
+      app, store, [&](const runtime::PairResult&) { pairs.fetch_add(1); });
+
+  // Exactly-once survived the kill.
+  EXPECT_EQ(pairs.load(), report.pairs);
+  EXPECT_EQ(report.pairs, dnc::count_pairs(dnc::root_region(
+                              app.item_count())));
+
+  // Every sampled span in every node's trace is closed (end >= start);
+  // orphans of the dead node carry the aborted flag instead of leaking.
+  std::size_t spans_seen = 0;
+  for (const auto& node : report.nodes) {
+    for (const auto& span : node.trace.causal_spans) {
+      EXPECT_GE(span.end, span.start);
+      ++spans_seen;
+    }
+  }
+  EXPECT_GT(spans_seen, 0u);
+  // The attribution still accounts for (essentially) the whole window.
+  double total_percent = 0.0;
+  for (const auto& share : report.critical_path.phases) {
+    total_percent += share.percent;
+  }
+  EXPECT_NEAR(total_percent, 100.0, 1.0);
+  EXPECT_GT(report.critical_path.spans_analyzed, 0u);
 }
 
 // --- log level parsing ----------------------------------------------------
